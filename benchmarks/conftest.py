@@ -1,0 +1,13 @@
+"""Shared benchmark settings.
+
+``SCALE`` shrinks every workload (iteration counts) so the full
+benchmark session stays in the minutes range; the figure *shapes* are
+scale-invariant.  ``benchmarks/run_all.py`` regenerates EXPERIMENTS.md
+at full scale.
+"""
+
+SCALE = 0.5
+
+#: Figures 9/10 study the morphing phase structure, which only has
+#: room to express itself at full workload scale.
+MORPH_SCALE = 1.0

@@ -1,0 +1,44 @@
+"""Figure 10: relative performance of the Figure 9 configurations.
+
+Paper shapes: normalized to the 1-mem/9-trans static, the 4-mem/6-trans
+static wins on some benchmarks and loses on others; introspective
+dynamic reconfiguration can beat the *best* static configuration on
+phase-structured benchmarks (the paper: gzip, mcf, parser, bzip2, by up
+to ~3%), while the reconfiguration-threshold choice is largely
+decoupled from performance — except that the eager threshold (0) pays
+for its reconfiguration churn.
+"""
+
+from conftest import MORPH_SCALE as SCALE
+
+from repro.harness import figure10_relative
+from repro.harness.runner import run_one
+
+
+def test_fig10_morphing_vs_statics(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure10_relative(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    # morphing beats the best static on at least two of the paper's
+    # phase-structured winners
+    wins = 0
+    for name in ["164.gzip", "181.mcf", "197.parser", "256.bzip2"]:
+        best_static = min(
+            run_one(name, "static_1mem_9trans", SCALE).cycles,
+            run_one(name, "static_4mem_6trans", SCALE).cycles,
+        )
+        morph = run_one(name, "morph_threshold_5", SCALE).cycles
+        if morph < best_static:
+            wins += 1
+    assert wins >= 2, "morphing should beat the best static on phase-heavy benchmarks"
+
+    # thresholds 15 and 5 perform nearly identically (decoupled), while
+    # threshold 0 thrashes
+    for name in ["181.mcf", "256.bzip2"]:
+        t15 = run_one(name, "morph_threshold_15", SCALE).cycles
+        t5 = run_one(name, "morph_threshold_5", SCALE).cycles
+        t0 = run_one(name, "morph_threshold_0", SCALE).cycles
+        assert abs(t15 - t5) / t5 < 0.02, name
+        assert t0 >= t5, name

@@ -1,0 +1,25 @@
+"""Figure 1: speculative parallel translation timeline (delta-T).
+
+The paper's opening illustration: the same program finishes earlier
+when translation happens speculatively on parallel tiles instead of on
+the execution core's critical path.
+"""
+
+from conftest import SCALE
+
+from repro.harness import figure1_timeline
+from repro.harness.runner import run_one
+
+
+def test_fig1_timeline(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure1_timeline(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    sequential = run_one("197.parser", "conservative_1", SCALE)
+    parallel = run_one("197.parser", "speculative_4", SCALE)
+    # the paper's deltaT: the parallel translator finishes earlier
+    assert parallel.cycles < sequential.cycles
+    # and the saving is substantial, not noise
+    assert (sequential.cycles - parallel.cycles) / sequential.cycles > 0.05

@@ -1,0 +1,35 @@
+"""Figure 4: comparison of L1.5 code cache sizes.
+
+Paper shape: benchmarks whose instruction working set exceeds the L1
+code cache (vpr, gcc, crafty, perlbmk, gap, vortex, twolf) improve with
+an L1.5; compact benchmarks are insensitive.
+"""
+
+from conftest import SCALE
+
+from repro.harness import figure4_l15_cache
+from repro.harness.runner import run_one
+
+
+def test_fig4_l15_cache_sizes(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure4_l15_cache(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    # large-code benchmarks: the banked L1.5 pays off
+    for name in ["175.vpr", "186.crafty", "300.twolf"]:
+        none = run_one(name, "no_l15", SCALE).slowdown
+        two_banks = run_one(name, "l15_128k", SCALE).slowdown
+        assert two_banks < none, f"{name}: L1.5 should help ({two_banks} vs {none})"
+
+    # compact benchmarks: insensitive (within a few percent)
+    for name in ["164.gzip", "256.bzip2"]:
+        none = run_one(name, "no_l15", SCALE).slowdown
+        two_banks = run_one(name, "l15_128k", SCALE).slowdown
+        assert abs(none - two_banks) / two_banks < 0.10, name
+
+    # capacity ordering: more L1.5 never hurts the thrashing benchmarks much
+    vpr_one = run_one("175.vpr", "l15_64k", SCALE).slowdown
+    vpr_two = run_one("175.vpr", "l15_128k", SCALE).slowdown
+    assert vpr_two <= vpr_one * 1.02

@@ -1,0 +1,51 @@
+"""Figure 5: slowdown with differing numbers of translation tiles.
+
+Paper shapes reproduced:
+
+* speculative parallel translation beats the conservative sequential
+  translator once a couple of slaves are available, saturating by ~6;
+* the vpr/gcc/crafty anomaly — a *single* speculative translator is
+  worse than the conservative one for code-heavy benchmarks (demand
+  misses queue behind speculative work; no preemption);
+* the 9-translator configuration trades three L2 data-cache banks and
+  regresses the memory-bound benchmark (mcf).
+"""
+
+from conftest import SCALE
+
+from repro.harness import figure5_translators
+from repro.harness.runner import run_one
+
+_BIG_CODE = ["175.vpr", "176.gcc", "186.crafty"]
+_SMALL_CODE = ["164.gzip", "197.parser", "256.bzip2"]
+
+
+def test_fig5_translator_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5_translators(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    for name in _BIG_CODE + _SMALL_CODE:
+        cons = run_one(name, "conservative_1", SCALE).slowdown
+        spec2 = run_one(name, "speculative_2", SCALE).slowdown
+        spec6 = run_one(name, "speculative_6", SCALE).slowdown
+        # more translation resources help, saturating
+        assert spec6 <= spec2 * 1.02, name
+        assert spec6 < cons, f"{name}: speculation should beat conservative"
+
+    # the anomaly: one speculative translator loses to conservative on
+    # the code-heavy benchmarks (manager congestion + no preemption)
+    for name in _BIG_CODE:
+        cons = run_one(name, "conservative_1", SCALE).slowdown
+        spec1 = run_one(name, "speculative_1", SCALE).slowdown
+        assert spec1 > cons, f"{name}: expected the speculative_1 anomaly"
+
+    # the 9-translator config trades L2 data banks: memory-bound mcf regresses
+    mcf6 = run_one("181.mcf", "speculative_6", SCALE).slowdown
+    mcf9 = run_one("181.mcf", "speculative_9", SCALE).slowdown
+    assert mcf9 > mcf6
+
+    # headline spread: low-end ~7-12x, high-end dozens
+    assert run_one("181.mcf", "speculative_6", SCALE).slowdown < 15
+    assert run_one("176.gcc", "speculative_6", SCALE).slowdown > 40

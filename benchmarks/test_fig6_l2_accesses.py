@@ -1,0 +1,34 @@
+"""Figure 6: L2 code cache accesses per cycle.
+
+Paper shape: the poorly-performing applications (gcc, crafty, vortex)
+access the L2 code cache far more often per cycle than the compact ones
+— the congestion at the shared manager tile behind their slowdowns.
+"""
+
+from conftest import SCALE
+
+from repro.harness import figure6_l2_accesses
+from repro.harness.runner import run_one
+
+
+def test_fig6_l2_access_rates(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure6_l2_accesses(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    def per_instruction(name):
+        # the paper's prose metric ("per dynamic instruction"), which is
+        # stable across workload scale, unlike the per-cycle plot
+        run = run_one(name, "speculative_6", SCALE)
+        return run.l2_code_accesses / run.guest_instructions
+
+    # the worst performers touch the L2 code cache far more often per
+    # executed instruction
+    for heavy in ["176.gcc", "186.crafty", "255.vortex"]:
+        for light in ["181.mcf", "256.bzip2"]:
+            assert per_instruction(heavy) > per_instruction(light), (heavy, light)
+
+    # gcc vs the lightest: several times apart (the paper: ~100x at
+    # MinneSPEC scale; toy runs compress the range)
+    assert per_instruction("176.gcc") > 3 * per_instruction("256.bzip2")

@@ -1,0 +1,31 @@
+"""Figure 7: L2 code cache misses per L2 code cache access.
+
+Paper shape: the miss rate falls as speculative translators are added —
+speculation pre-populates the L2 code cache ahead of execution.
+"""
+
+from conftest import SCALE
+
+from repro.harness import figure7_l2_miss_rate
+from repro.harness.runner import run_one
+
+
+def test_fig7_miss_rate_falls_with_translators(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure7_l2_miss_rate(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    improved = 0
+    for name in ["164.gzip", "175.vpr", "176.gcc", "186.crafty", "253.perlbmk", "254.gap"]:
+        one = run_one(name, "speculative_1", SCALE).l2_miss_rate
+        six = run_one(name, "speculative_6", SCALE).l2_miss_rate
+        if six < one:
+            improved += 1
+    assert improved >= 4, "miss rate should fall with more translators on most benchmarks"
+
+    # conservative mode misses on every first touch: worst miss rate
+    for name in ["176.gcc", "175.vpr"]:
+        cons = run_one(name, "conservative_1", SCALE).l2_miss_rate
+        six = run_one(name, "speculative_6", SCALE).l2_miss_rate
+        assert six < cons, name

@@ -1,0 +1,31 @@
+"""Figure 8: no code optimization vs code optimization.
+
+Paper shape: "For all of the benchmarks, the occupancy of performing
+optimization in a speculative parallel environment was far outweighed
+by the decrease in runtimes afforded by the optimizations."
+"""
+
+from conftest import SCALE
+
+from repro.harness import figure8_optimization
+from repro.harness.runner import run_one
+from repro.workloads import SPECINT_NAMES
+
+
+def test_fig8_optimization_always_wins(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure8_optimization(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    for name in SPECINT_NAMES:
+        noopt = run_one(name, "morph_noopt", SCALE).slowdown
+        opt = run_one(name, "morph_opt", SCALE).slowdown
+        assert opt < noopt, f"{name}: optimization must win"
+
+    # and the win is substantial on ALU-heavy code (flag elimination)
+    ratio = (
+        run_one("164.gzip", "morph_noopt", SCALE).slowdown
+        / run_one("164.gzip", "morph_opt", SCALE).slowdown
+    )
+    assert ratio > 1.3

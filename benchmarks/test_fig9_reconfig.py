@@ -1,0 +1,36 @@
+"""Figure 9: trading silicon between L2 data cache and translation.
+
+Paper shapes: the 4-bank configuration beats the 1-bank configuration
+on memory-demanding benchmarks and not on others (motivating *static*
+reconfiguration); the morphing configurations reconfigure at runtime,
+with the eager threshold (0) reconfiguring most.
+"""
+
+from conftest import MORPH_SCALE as SCALE
+
+from repro.harness import figure9_reconfiguration
+from repro.harness.runner import run_one
+
+
+def test_fig9_static_tradeoff_and_morphing(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure9_reconfiguration(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    # memory-bound mcf wants the 4-bank shape
+    mcf_9t = run_one("181.mcf", "static_1mem_9trans", SCALE)
+    mcf_6t = run_one("181.mcf", "static_4mem_6trans", SCALE)
+    assert mcf_6t.slowdown < mcf_9t.slowdown
+
+    # code-bound gcc is indifferent-to-opposite: no static dominates all
+    gcc_9t = run_one("176.gcc", "static_1mem_9trans", SCALE)
+    gcc_6t = run_one("176.gcc", "static_4mem_6trans", SCALE)
+    assert abs(gcc_9t.slowdown - gcc_6t.slowdown) / gcc_6t.slowdown < 0.05
+
+    # morphing actually reconfigures, and the eager threshold most
+    for name in ["164.gzip", "181.mcf", "256.bzip2"]:
+        t5 = run_one(name, "morph_threshold_5", SCALE)
+        t0 = run_one(name, "morph_threshold_0", SCALE)
+        assert t5.reconfigurations >= 1, name
+        assert t0.reconfigurations >= t5.reconfigurations, name

@@ -1,0 +1,66 @@
+"""Figure 11 (table): architecture intrinsics + Section 4.5 accounting.
+
+Paper numbers reproduced exactly by construction (the timing model is
+calibrated to them) and validated against measured runs: the composed
+"fixable mismatch" floor is 3.9 x 1.3 x 1.1 = 5.5x, and the measured
+low-end benchmarks sit within ~1.3-1.6x of it.
+"""
+
+from conftest import SCALE
+
+import pytest
+
+from repro.analysis import decompose, expected_slowdown_floor, memory_slowdown_factor
+from repro.harness import table11_intrinsics
+from repro.harness.runner import run_one
+from repro.memsys.memsystem import L1_HIT_LATENCY
+from repro.refmachine.intrinsics import EMULATOR_INTRINSICS, PIII_INTRINSICS
+from repro.tiled.machine import default_placement
+from repro.memsys.memsystem import PipelinedMemorySystem
+
+
+def test_table11_report(benchmark):
+    result = benchmark.pedantic(
+        lambda: table11_intrinsics(scale=SCALE), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+
+    assert EMULATOR_INTRINSICS.l1_hit_occupancy == 4
+    assert EMULATOR_INTRINSICS.l2_hit_latency == 87
+    assert EMULATOR_INTRINSICS.l2_miss_latency == 151
+    assert PIII_INTRINSICS.execution_units == 3
+
+
+def test_section45_accounting():
+    assert memory_slowdown_factor() == pytest.approx(3.9, abs=0.1)
+    assert expected_slowdown_floor() == pytest.approx(5.5, abs=0.2)
+
+
+def test_measured_low_end_near_floor():
+    measured = run_one("181.mcf", "speculative_6", SCALE).slowdown
+    residual = decompose(measured).residual_factor
+    # paper: ~1.3x unaccounted at the low end of the slowdown spectrum
+    assert 0.9 < residual < 2.2
+
+
+def test_simulated_memory_system_matches_table11():
+    """The composed timing of the simulated memory path lands on the
+    published intrinsics (this is how the model was calibrated)."""
+    grid = default_placement(6, 4)
+    memsys = PipelinedMemorySystem(grid)
+    memsys.page_table.map_region(0, 1 << 22)
+
+    # warm TLB + bank, flush L1: a pure bank-hit access
+    memsys.access(0, 0x8000, False)
+    memsys.l1.flush()
+    outcome = memsys.access(100_000, 0x8000, False)
+    l2_hit_latency = outcome.stall_cycles + L1_HIT_LATENCY
+    assert abs(l2_hit_latency - EMULATOR_INTRINSICS.l2_hit_latency) <= 10
+
+    # flush banks too: a DRAM access
+    memsys.l1.flush()
+    for bank in memsys.banks:
+        bank.cache.flush()
+    outcome = memsys.access(200_000, 0x8000, False)
+    l2_miss_latency = outcome.stall_cycles + L1_HIT_LATENCY
+    assert abs(l2_miss_latency - EMULATOR_INTRINSICS.l2_miss_latency) <= 15

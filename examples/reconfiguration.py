@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Static vs dynamic virtual architecture reconfiguration.
+
+Runs one memory-bound workload (181.mcf-like) on the timing simulator
+under the paper's Figure 9 configurations: the two static extremes —
+1 L2 data bank with 9 translation slaves, and 4 banks with 6 slaves —
+and the dynamic morphing configuration that trades those three tiles at
+runtime based on the translation work-queue length.
+
+    python examples/reconfiguration.py [workload] [scale]
+"""
+
+import sys
+
+from repro.morph.config import PRESETS
+from repro.vm.timing import run_timing
+from repro.workloads import SPECINT_NAMES, build_workload
+
+CONFIGS = [
+    ("static_1mem_9trans", "static: 1 L2 data bank / 9 translators"),
+    ("static_4mem_6trans", "static: 4 L2 data banks / 6 translators"),
+    ("morph_threshold_15", "morphing, queue threshold 15"),
+    ("morph_threshold_5", "morphing, queue threshold 5"),
+    ("morph_threshold_0", "morphing, queue threshold 0 (eager)"),
+]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "181.mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    if workload not in SPECINT_NAMES:
+        raise SystemExit(f"unknown workload {workload}; choose from {SPECINT_NAMES}")
+
+    print(f"workload: {workload} (scale {scale})\n")
+    rows = []
+    for config_name, description in CONFIGS:
+        result = run_timing(build_workload(workload, scale), PRESETS[config_name])
+        rows.append((description, result))
+
+    best_static = min(r.cycles for d, r in rows[:2])
+    print(f"{'configuration':48s} {'cycles':>10s} {'slowdown':>9s} "
+          f"{'reconfigs':>9s} {'vs best static':>14s}")
+    for description, result in rows:
+        delta = 100.0 * (best_static - result.cycles) / best_static
+        print(f"{description:48s} {result.cycles:10d} {result.slowdown:9.2f} "
+              f"{result.reconfigurations:9d} {delta:+13.2f}%")
+
+    print(
+        "\nThe memory-heavy static wins on this workload's steady state; the\n"
+        "translation-heavy static wins its cold phase.  The morphing manager\n"
+        "watches the translation queues and flips between the two at runtime,\n"
+        "paying a cache flush per flip (Section 2.3 / Figures 9-10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

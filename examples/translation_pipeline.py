@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Inspect the translation pipeline stage by stage.
+
+Takes a guest basic block through every stage the paper's translator
+runs on a slave tile — decode, IR lowering, the optimization passes
+(dead-flag elimination in particular), and R32 code generation — and
+dumps the intermediate form after each stage.
+
+    python examples/translation_pipeline.py
+"""
+
+from repro.guest.assembler import assemble
+from repro.dbt.codegen import generate_block
+from repro.dbt.cost import estimate_block_cost
+from repro.dbt.frontend import lower_block, scan_block
+from repro.dbt.ir import UOpKind
+from repro.dbt.optimizer import (
+    eliminate_dead_code,
+    eliminate_dead_flags,
+    fold_constants,
+    propagate_copies,
+    successor_flag_liveness,
+)
+from repro.dbt.optimizer.scheduler import schedule_block
+
+SOURCE = """
+_start:
+    mov eax, [counter]
+    add eax, 1
+    cmp eax, 100
+    mov [counter], eax
+    jl _start
+    hlt
+.data
+counter: dd 0
+"""
+
+
+def reader_for(program):
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        return text.data[offset : offset + length]
+
+    return read
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="pipeline-demo")
+    read = reader_for(program)
+
+    print("=" * 64)
+    print("stage 1: guest basic block (variable-length VX86 decode)")
+    print("=" * 64)
+    guest = scan_block(read, program.entry)
+    for instr in guest.instructions:
+        raw = read(instr.address, instr.length)
+        print(f"  {instr.address:#010x}  {raw.hex():<20s}  {instr}")
+
+    print()
+    print("=" * 64)
+    print("stage 2: lowered IR (Valgrind-UCode style, flags explicit)")
+    print("=" * 64)
+    ir = lower_block(guest)
+    print(ir.pretty())
+
+    print()
+    print("=" * 64)
+    print("stage 3: optimization")
+    print("=" * 64)
+    before_uops = len(ir.uops)
+    before_flags = sum(1 for u in ir.uops if u.kind is UOpKind.FLAGS)
+
+    propagate_copies(ir)
+    fold_constants(ir)
+    live_out = successor_flag_liveness(read, [ir.terminator.target, ir.terminator.fallthrough])
+    removed_flags = eliminate_dead_flags(ir, live_out=live_out)
+    removed_dead = eliminate_dead_code(ir)
+
+    print(f"  copy propagation + constant folding + DCE: "
+          f"{before_uops} -> {len(ir.uops)} uops ({removed_dead} dead removed)")
+    print(f"  dead-flag elimination: {before_flags} FLAGS uops, "
+          f"{removed_flags} fully dead, survivors pruned to live bits")
+    print(f"  successor flag liveness mask: {live_out:#05x}")
+    print()
+    print(ir.pretty())
+
+    print()
+    print("=" * 64)
+    print("stage 4: R32 host code (guest regs pinned in $s0..$s7)")
+    print("=" * 64)
+    block = generate_block(ir)
+    scheduled = schedule_block(block.instrs, pinned=[s.offset_words for s in block.exit_stubs])
+    for index, instr in enumerate(scheduled):
+        marker = ""
+        for stub in block.exit_stubs:
+            if stub.offset_words == index:
+                marker = f"   <- exit stub ({stub.kind.name}" + (
+                    f" -> {stub.guest_target:#x})" if stub.guest_target else ")"
+                )
+        print(f"  {index:3d}  {instr}{marker}")
+
+    print()
+    print(f"guest instructions: {block.guest_instr_count}")
+    print(f"host instructions:  {len(scheduled)} "
+          f"({len(scheduled) / block.guest_instr_count:.1f}x expansion)")
+    print(f"estimated cost:     {estimate_block_cost(scheduled)} cycles per execution")
+    print(f"chainable exits:    {[hex(t) for _, t in block.stub_patch_offsets()]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — Constructing Virtual Architectures on a Tiled Processor.
+
+A full reproduction of Wentzlaff & Agarwal (CGO 2006): an all-software
+parallel dynamic binary translation engine that runs an x86-like guest
+on a Raw-like 16-tile host, exploiting spatial parallelism through
+speculative parallel translation, a pipelined memory system, banked
+code caches, and static/dynamic virtual architecture reconfiguration.
+
+Quick tour of the public API::
+
+    from repro import assemble, FunctionalVM, TimingVM, PRESETS, build_workload
+
+    # run a guest program through the real translation pipeline
+    program = assemble(source_text)
+    vm = FunctionalVM(program)
+    exit_code = vm.run()
+
+    # measure a synthetic SpecInt workload on the virtual architecture
+    result = TimingVM(build_workload("181.mcf"), PRESETS["speculative_6"]).run()
+    print(result.slowdown)   # cycles vs the Pentium III model
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.guest import GuestInterpreter, GuestProgram, assemble
+from repro.dbt import TranslatedBlock, TranslationConfig, Translator
+from repro.morph import PRESETS, VirtualArchConfig
+from repro.vm.functional import FunctionalRunResult, FunctionalVM
+from repro.vm.timing import TimingRunResult, TimingVM, run_timing
+from repro.workloads import SPECINT_NAMES, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "GuestInterpreter",
+    "GuestProgram",
+    "Translator",
+    "TranslationConfig",
+    "TranslatedBlock",
+    "FunctionalVM",
+    "FunctionalRunResult",
+    "TimingVM",
+    "TimingRunResult",
+    "run_timing",
+    "VirtualArchConfig",
+    "PRESETS",
+    "SPECINT_NAMES",
+    "build_workload",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Performance-loss analysis (Section 4.5)."""
+
+from repro.analysis.cpi import (
+    expected_slowdown_floor,
+    memory_cpi,
+    memory_slowdown_factor,
+)
+from repro.analysis.slowdown import SlowdownDecomposition, decompose
+
+__all__ = [
+    "memory_cpi",
+    "memory_slowdown_factor",
+    "expected_slowdown_floor",
+    "SlowdownDecomposition",
+    "decompose",
+]

@@ -1,0 +1,56 @@
+"""Slowdown decomposition of measured timing runs.
+
+Splits a measured slowdown into the Section 4.5 accounting: the
+memory-system factor, the ILP factor, the flag factor, and the residual
+the paper attributes to "code translation cost, code caching overhead
+and non-optimal code generation" — plus, for the high-slowdown
+applications, L2 code-cache congestion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cpi import expected_slowdown_floor, memory_slowdown_factor
+from repro.refmachine.intrinsics import FLAG_OVERHEAD_FACTOR, PIII_EFFECTIVE_ILP
+
+
+@dataclass
+class SlowdownDecomposition:
+    """One run's slowdown split into explained factors + residual."""
+
+    measured: float
+    memory_factor: float
+    ilp_factor: float
+    flag_factor: float
+
+    @property
+    def explained_floor(self) -> float:
+        return self.memory_factor * self.ilp_factor * self.flag_factor
+
+    @property
+    def residual_factor(self) -> float:
+        """measured / floor: translation + caching + codegen overheads."""
+        if self.explained_floor == 0:
+            return float("inf")
+        return self.measured / self.explained_floor
+
+    def rows(self):
+        return [
+            ("measured slowdown", self.measured),
+            ("memory system factor", self.memory_factor),
+            ("ILP factor", self.ilp_factor),
+            ("flag emulation factor", self.flag_factor),
+            ("explained floor", self.explained_floor),
+            ("residual (translation/caching/codegen)", self.residual_factor),
+        ]
+
+
+def decompose(measured_slowdown: float) -> SlowdownDecomposition:
+    """Decompose a measured slowdown using the paper's constants."""
+    return SlowdownDecomposition(
+        measured=measured_slowdown,
+        memory_factor=memory_slowdown_factor(),
+        ilp_factor=PIII_EFFECTIVE_ILP,
+        flag_factor=FLAG_OVERHEAD_FACTOR,
+    )

@@ -1,0 +1,37 @@
+"""Shared low-level utilities used across the simulator.
+
+This package deliberately contains only dependency-free helpers:
+32-bit integer arithmetic (:mod:`repro.common.bitops`), statistics
+counters (:mod:`repro.common.stats`), a deterministic PRNG
+(:mod:`repro.common.prng`) and small container types
+(:mod:`repro.common.lru`).
+"""
+
+from repro.common.bitops import (
+    MASK8,
+    MASK16,
+    MASK32,
+    sext8,
+    sext16,
+    sext32,
+    to_signed32,
+    to_unsigned32,
+    u32,
+)
+from repro.common.prng import DeterministicPrng
+from repro.common.stats import Counter, StatSet
+
+__all__ = [
+    "MASK8",
+    "MASK16",
+    "MASK32",
+    "sext8",
+    "sext16",
+    "sext32",
+    "to_signed32",
+    "to_unsigned32",
+    "u32",
+    "DeterministicPrng",
+    "Counter",
+    "StatSet",
+]

@@ -1,0 +1,140 @@
+"""Small container types for cache modeling.
+
+:class:`LruDict` provides ordered-eviction bookkeeping used by the TLB
+and code-cache models; :class:`SetAssociativeIndex` implements classic
+set-associative tag matching with LRU replacement, used by the data
+cache models.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.common.bitops import log2_exact
+
+_K = TypeVar("_K")
+_V = TypeVar("_V")
+
+
+class LruDict(Generic[_K, _V]):
+    """A dict bounded to ``capacity`` entries with LRU eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[_K, _V]" = OrderedDict()
+
+    def get(self, key: _K) -> Optional[_V]:
+        """Look up ``key``, refreshing its recency; ``None`` on miss."""
+        if key not in self._entries:
+            return None
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def peek(self, key: _K) -> Optional[_V]:
+        """Look up ``key`` without touching recency."""
+        return self._entries.get(key)
+
+    def put(self, key: _K, value: _V) -> Optional[Tuple[_K, _V]]:
+        """Insert/update ``key``; returns the evicted (key, value) if any."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return None
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            return self._entries.popitem(last=False)
+        return None
+
+    def discard(self, key: _K) -> None:
+        """Remove ``key`` if present."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: _K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[_K]:
+        return iter(self._entries)
+
+
+class SetAssociativeIndex:
+    """Tag bookkeeping for a set-associative cache.
+
+    Tracks only which line addresses are resident (no data); the
+    functional memory lives elsewhere.  Addresses are byte addresses;
+    the index maps them to (set, tag) internally.
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int, ways: int) -> None:
+        if size_bytes % (line_bytes * ways) != 0:
+            raise ValueError(
+                f"cache geometry invalid: size={size_bytes} line={line_bytes} ways={ways}"
+            )
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (line_bytes * ways)
+        self._offset_bits = log2_exact(line_bytes)
+        self._index_bits = log2_exact(self.num_sets)
+        self._sets: List["OrderedDict[int, bool]"] = [OrderedDict() for _ in range(self.num_sets)]
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address >> self._offset_bits
+        return line & (self.num_sets - 1), line >> self._index_bits
+
+    def lookup(self, address: int) -> bool:
+        """True on hit; refreshes LRU order for the line."""
+        set_index, tag = self._locate(address)
+        entries = self._sets[set_index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            return True
+        return False
+
+    def fill(self, address: int, dirty: bool = False) -> Optional[int]:
+        """Install the line holding ``address``.
+
+        Returns the byte address of an evicted *dirty* line, or ``None``
+        when nothing dirty was displaced.
+        """
+        set_index, tag = self._locate(address)
+        entries = self._sets[set_index]
+        if tag in entries:
+            entries.move_to_end(tag)
+            entries[tag] = entries[tag] or dirty
+            return None
+        entries[tag] = dirty
+        if len(entries) > self.ways:
+            old_tag, was_dirty = entries.popitem(last=False)
+            if was_dirty:
+                victim_line = (old_tag << self._index_bits) | set_index
+                return victim_line << self._offset_bits
+        return None
+
+    def mark_dirty(self, address: int) -> None:
+        """Mark the resident line holding ``address`` dirty (no-op on miss)."""
+        set_index, tag = self._locate(address)
+        entries = self._sets[set_index]
+        if tag in entries:
+            entries[tag] = True
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty lines dropped."""
+        dirty = 0
+        for entries in self._sets:
+            dirty += sum(1 for is_dirty in entries.values() if is_dirty)
+            entries.clear()
+        return dirty
+
+    def resident_lines(self) -> int:
+        """Total number of resident lines across all sets."""
+        return sum(len(entries) for entries in self._sets)

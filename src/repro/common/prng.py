@@ -1,0 +1,69 @@
+"""Deterministic pseudo-random number generator.
+
+Workload generators and the synthetic data they operate on must be
+reproducible across runs and Python versions, so we use a self-contained
+xorshift32 generator instead of :mod:`random`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, TypeVar
+
+_T = TypeVar("_T")
+
+_MASK32 = 0xFFFFFFFF
+
+
+class DeterministicPrng:
+    """xorshift32 PRNG with convenience sampling helpers."""
+
+    def __init__(self, seed: int = 0x2545F491) -> None:
+        if seed & _MASK32 == 0:
+            seed = 0x9E3779B9
+        self._state = seed & _MASK32
+
+    def next_u32(self) -> int:
+        """Return the next raw 32-bit value."""
+        x = self._state
+        x ^= (x << 13) & _MASK32
+        x ^= x >> 17
+        x ^= (x << 5) & _MASK32
+        self._state = x
+        return x
+
+    def below(self, bound: int) -> int:
+        """Uniform integer in ``[0, bound)``; ``bound`` must be positive."""
+        if bound <= 0:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self.next_u32() % bound
+
+    def in_range(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high)``."""
+        if high <= low:
+            raise ValueError(f"empty range [{low}, {high})")
+        return low + self.below(high - low)
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli trial with the given probability."""
+        return self.next_u32() < probability * (1 << 32)
+
+    def choice(self, items: Sequence[_T]) -> _T:
+        """Uniformly pick one element of a non-empty sequence."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self.below(len(items))]
+
+    def shuffled(self, items: Sequence[_T]) -> List[_T]:
+        """Return a Fisher-Yates shuffled copy of ``items``."""
+        result = list(items)
+        for i in range(len(result) - 1, 0, -1):
+            j = self.below(i + 1)
+            result[i], result[j] = result[j], result[i]
+        return result
+
+    def bytes(self, count: int) -> bytes:
+        """Return ``count`` pseudo-random bytes."""
+        chunks = bytearray()
+        while len(chunks) < count:
+            chunks += self.next_u32().to_bytes(4, "little")
+        return bytes(chunks[:count])

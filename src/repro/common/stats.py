@@ -1,0 +1,115 @@
+"""Statistics counters shared by every simulated component.
+
+A :class:`StatSet` is a named bag of counters.  Components create their
+own stat sets and the harness merges them into run-level reports; the
+figures in the paper (L2 code-cache accesses per cycle, miss rates, ...)
+are all ratios of these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass
+class Counter:
+    """A single monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the counter by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        self.value = 0
+
+
+class StatSet:
+    """A named collection of counters with lazy creation.
+
+    >>> stats = StatSet("l2_code_cache")
+    >>> stats.bump("accesses")
+    >>> stats.bump("accesses", 3)
+    >>> stats["accesses"]
+    4
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+
+    def counter(self, key: str) -> Counter:
+        """Return (creating if needed) the counter named ``key``."""
+        found = self._counters.get(key)
+        if found is None:
+            found = Counter(key)
+            self._counters[key] = found
+        return found
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self.counter(key).add(amount)
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters[key].value if key in self._counters else 0
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counters
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return ((name, counter.value) for name, counter in sorted(self._counters.items()))
+
+    def ratio(self, numerator: str, denominator: str, default: float = 0.0) -> float:
+        """Return ``numerator / denominator`` guarding against division by zero."""
+        bottom = self[denominator]
+        if bottom == 0:
+            return default
+        return self[numerator] / bottom
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot of all counters."""
+        return {name: counter.value for name, counter in self._counters.items()}
+
+    def merge(self, other: Mapping[str, int]) -> None:
+        """Add every counter of ``other`` into this set."""
+        for key, value in other.items():
+            self.bump(key, value)
+
+    def reset(self) -> None:
+        """Reset all counters to zero (the counters themselves survive)."""
+        for counter in self._counters.values():
+            counter.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{name}={value}" for name, value in self)
+        return f"StatSet({self.name}: {body})"
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean/min/max tracker for latency-style samples."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def observe(self, sample: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += sample
+        if sample < self.minimum:
+            self.minimum = sample
+        if sample > self.maximum:
+            self.maximum = sample
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0

@@ -1,0 +1,31 @@
+"""The dynamic binary translation engine.
+
+This is the paper's primary contribution: an x86-like guest ->
+MIPS-like host translator structured the way the prototype in the
+paper is (Section 3.2):
+
+* :mod:`repro.dbt.frontend` — the Valgrind-style parser: guest bytes ->
+  basic blocks -> a two-operand-free intermediate representation
+* :mod:`repro.dbt.ir` — the IR itself (x86-flavored micro-ops with
+  explicit flag-update operations)
+* :mod:`repro.dbt.optimizer` — "standard compiler optimizations"
+  applied at translation time: dead-flag elimination, constant
+  folding/propagation, copy propagation, dead-code elimination,
+  algebraic simplification, and load-latency-aware list scheduling
+* :mod:`repro.dbt.codegen` — lowering to R32 host code with pinned
+  guest registers, packed-flags insert/extract sequences and chainable
+  exit stubs
+* :mod:`repro.dbt.translator` — the translation pipeline facade plus
+  its timing cost model
+* :mod:`repro.dbt.codecache` — the L1 / banked L1.5 / L2 code cache
+  hierarchy with chaining in the lowest level
+* :mod:`repro.dbt.predictor` — static branch prediction and the return
+  predictor that drive speculation priorities
+* :mod:`repro.dbt.speculative` — the manager tile's prioritized work
+  queues and the slave-tile speculative translation timeline
+"""
+
+from repro.dbt.block import TranslatedBlock
+from repro.dbt.translator import TranslationConfig, Translator
+
+__all__ = ["TranslatedBlock", "TranslationConfig", "Translator"]

@@ -1,0 +1,90 @@
+"""Translated-block metadata.
+
+A :class:`TranslatedBlock` is the unit stored in the code caches: the
+relocatable host instruction sequence for one guest basic block plus
+everything the runtime needs — exit stubs for chaining, static
+successor addresses for speculative traversal, and the cycle cost the
+timing model charges per execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.host.isa import ExitReason, HostInstr, HostOp, LOAD_OPS, STORE_OPS
+
+
+@dataclass
+class ExitStub:
+    """One exit point of a translated block.
+
+    ``offset_words`` is the index of the stub's first instruction
+    within the block — after placement, ``block_host_address + 4 *
+    offset_words`` is the patch site for chaining.  ``guest_target`` is
+    the statically known destination (``None`` for indirect exits).
+    """
+
+    offset_words: int
+    kind: ExitReason
+    guest_target: Optional[int] = None
+
+    @property
+    def chainable(self) -> bool:
+        """Direct branch exits can be patched into host jumps."""
+        return self.kind is ExitReason.BRANCH and self.guest_target is not None
+
+    @property
+    def patch_offset_words(self) -> int:
+        """Word index of the chaining patch site: the EXITB slot.
+
+        Chains overwrite the stub's *third* word (the EXITB), keeping
+        the ``lui/ori`` that materialize the guest target in ``$v0`` —
+        so a chain can be severed at runtime (self-modifying code) and
+        the dispatch loop still knows where execution was headed.
+        """
+        return self.offset_words + 2
+
+
+@dataclass
+class TranslatedBlock:
+    """The output of translating one guest basic block."""
+
+    guest_address: int
+    guest_length: int
+    guest_instr_count: int
+    instrs: List[HostInstr]
+    exit_stubs: List[ExitStub]
+    call_return_address: Optional[int] = None
+    exit_kind: str = "jump"  # terminator kind (ir.ExitKind value)
+    cost_cycles: int = 0  # execution cost per visit (cache-hit timing)
+    translation_cycles: int = 0  # what it cost a slave tile to produce
+    optimized: bool = True
+
+    # populated when the block is placed into a code cache level
+    host_address: Optional[int] = None
+
+    @property
+    def host_size_bytes(self) -> int:
+        """Bytes of host code (the code-cache footprint)."""
+        return 4 * len(self.instrs)
+
+    @property
+    def load_count(self) -> int:
+        return sum(1 for instr in self.instrs if instr.op in LOAD_OPS)
+
+    @property
+    def store_count(self) -> int:
+        return sum(1 for instr in self.instrs if instr.op in STORE_OPS)
+
+    def direct_successors(self) -> Tuple[int, ...]:
+        """Statically known guest successor addresses (for speculation)."""
+        out = []
+        for stub in self.exit_stubs:
+            if stub.guest_target is not None and stub.kind is ExitReason.BRANCH:
+                out.append(stub.guest_target)
+        return tuple(out)
+
+    def stub_patch_offsets(self) -> List[Tuple[int, int]]:
+        """(patch-site word offset, guest target) per chainable stub."""
+        return [(s.patch_offset_words, s.guest_target) for s in self.exit_stubs if s.chainable]

@@ -1,0 +1,318 @@
+"""The three-level code cache hierarchy (Figure 3) with chaining.
+
+* **L1 code cache** — lives in the execution tile's 32KB instruction
+  memory.  Uses the paper's "tight packing and flushing algorithm":
+  blocks are bump-allocated; when full, the whole cache is flushed.
+  Chaining happens *only here* — "chaining can only occur once code is
+  copied into the instruction memory of the execution-runtime tile
+  because it is only at this point that the absolute position of the
+  relocatable code block is known".
+* **banked L1.5 code cache** — 0, 1 or 2 neighbor tiles (64KB each)
+  holding already-translated code for quick refill.  Longer latency
+  than L1 and *prevents chaining* (Section 4.2).
+* **L2 code cache** — 105MB in off-chip DRAM behind the manager tile,
+  which is also the speculative-translation coordinator.  Every access
+  occupies the shared manager resource; misses stall until a slave
+  translates the block.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.common.stats import StatSet
+from repro.dbt.block import TranslatedBlock
+from repro.dbt.speculative import TranslationSubsystem
+from repro.tiled.machine import TILE_IMEM_BYTES, TileGrid, TileRole
+from repro.tiled.network import Network
+from repro.tiled.resource import Resource
+
+#: Instruction memory left for cached code after the runtime engine.
+L1_CODE_CAPACITY = TILE_IMEM_BYTES - 8 * 1024
+
+#: Bytes per L1.5 bank tile.
+L15_BANK_CAPACITY = 64 * 1024
+
+#: Dispatch-loop overhead for an unchained control transfer.
+DISPATCH_OVERHEAD = 20
+
+#: Extra dispatch cost for indirect targets (hash lookup).
+INDIRECT_LOOKUP_OVERHEAD = 12
+
+#: One-time cost of patching a chain into a stub.
+CHAIN_PATCH_COST = 8
+
+#: L1.5 bank service occupancy per request (before transfer).
+L15_BANK_OCCUPANCY = 10
+
+#: Manager occupancy for an execution-engine L2 code-cache request.
+L2_REQUEST_OCCUPANCY = 30
+
+#: The L2 code cache is 105MB of off-chip DRAM behind a software hash
+#: table; a fetch costs several main-memory touches (directory walk +
+#: block read) on top of the manager's service time.
+L2_CODE_DRAM_LATENCY = 200
+
+#: Transfer cost: cycles per 4-byte word of block code moved.
+TRANSFER_PER_WORD = 0.25
+
+
+def _transfer_cycles(block: TranslatedBlock) -> int:
+    return max(1, int(len(block.instrs) * TRANSFER_PER_WORD))
+
+
+class L1CodeCache:
+    """Tight-packing, flush-on-full code store with chaining."""
+
+    def __init__(self, capacity_bytes: int = L1_CODE_CAPACITY) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._resident: Dict[int, TranslatedBlock] = {}
+        self._bytes_used = 0
+        self._chains: Set[Tuple[int, int]] = set()
+        self.stats = StatSet("l1_code_cache")
+
+    def lookup(self, pc: int) -> Optional[TranslatedBlock]:
+        block = self._resident.get(pc)
+        self.stats.bump("accesses")
+        if block is not None:
+            self.stats.bump("hits")
+        return block
+
+    def insert(self, block: TranslatedBlock) -> bool:
+        """Install a block; returns True when a flush was needed first."""
+        flushed = False
+        size = block.host_size_bytes
+        if size > self.capacity_bytes:
+            # an over-sized block still runs, occupying the whole cache
+            size = self.capacity_bytes
+        if self._bytes_used + size > self.capacity_bytes:
+            self.flush()
+            flushed = True
+        self._resident[block.guest_address] = block
+        self._bytes_used += size
+        self.stats.bump("inserts")
+        return flushed
+
+    def flush(self) -> None:
+        """Drop everything — including every chain."""
+        self._resident.clear()
+        self._chains.clear()
+        self._bytes_used = 0
+        self.stats.bump("flushes")
+
+    # chaining -----------------------------------------------------------
+
+    def try_chain(self, src_pc: int, dst_pc: int) -> bool:
+        """Patch src's stub to jump straight to dst (both must be resident)."""
+        if (src_pc, dst_pc) in self._chains:
+            return False
+        if src_pc not in self._resident or dst_pc not in self._resident:
+            return False
+        src = self._resident[src_pc]
+        if dst_pc not in [t for _, t in src.stub_patch_offsets()]:
+            return False
+        self._chains.add((src_pc, dst_pc))
+        self.stats.bump("chains")
+        return True
+
+    def is_chained(self, src_pc: int, dst_pc: int) -> bool:
+        return (src_pc, dst_pc) in self._chains
+
+    def chain_candidates(self, block: TranslatedBlock):
+        """(src, dst) pairs that could be chained now that ``block`` is in."""
+        pairs = []
+        for _, target in block.stub_patch_offsets():
+            if target in self._resident:
+                pairs.append((block.guest_address, target))
+        for pc, resident in self._resident.items():
+            if pc == block.guest_address:
+                continue
+            for _, target in resident.stub_patch_offsets():
+                if target == block.guest_address:
+                    pairs.append((pc, block.guest_address))
+        return pairs
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes_used
+
+
+class L15CodeCache:
+    """Banked second-level code cache across neighbor tiles."""
+
+    def __init__(self, bank_coords, grid: TileGrid, network: Network) -> None:
+        self.grid = grid
+        self.network = network
+        self.banks = [
+            _L15Bank(coord, f"l15_bank_{i}") for i, coord in enumerate(bank_coords)
+        ]
+        self.stats = StatSet("l15_code_cache")
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.banks)
+
+    def _bank_for(self, pc: int):
+        return self.banks[(pc >> 4) % len(self.banks)]
+
+    def lookup(self, now: int, pc: int, execution_coord) -> Tuple[Optional[TranslatedBlock], int]:
+        """Request ``pc``; returns (block or None, completion time)."""
+        self.stats.bump("accesses")
+        bank = self._bank_for(pc)
+        hops = self.grid.hops(execution_coord, bank.coord)
+        t = now + self.network.latency(hops)
+        block = bank.get(pc)
+        if block is None:
+            self.stats.bump("misses")
+            t = bank.resource.service(t, L15_BANK_OCCUPANCY)
+            return None, t + self.network.latency(hops)
+        self.stats.bump("hits")
+        t = bank.resource.service(t, L15_BANK_OCCUPANCY + _transfer_cycles(block))
+        words = len(block.instrs)
+        return block, t + self.network.latency(hops, payload_words=words)
+
+    def insert(self, block: TranslatedBlock) -> None:
+        if not self.banks:
+            return
+        self._bank_for(block.guest_address).put(block)
+        self.stats.bump("inserts")
+
+    def invalidate(self, pcs) -> None:
+        """Drop specific blocks (self-modifying code)."""
+        for pc in pcs:
+            if self.banks:
+                self._bank_for(pc).drop(pc)
+
+
+class _L15Bank:
+    """One L1.5 bank tile: LRU over blocks, bounded by bytes."""
+
+    def __init__(self, coord, name: str) -> None:
+        self.coord = coord
+        self.resource = Resource(name)
+        self._blocks: "OrderedDict[int, TranslatedBlock]" = OrderedDict()
+        self._bytes_used = 0
+
+    def get(self, pc: int) -> Optional[TranslatedBlock]:
+        block = self._blocks.get(pc)
+        if block is not None:
+            self._blocks.move_to_end(pc)
+        return block
+
+    def put(self, block: TranslatedBlock) -> None:
+        pc = block.guest_address
+        if pc in self._blocks:
+            self._blocks.move_to_end(pc)
+            return
+        self._blocks[pc] = block
+        self._bytes_used += block.host_size_bytes
+        while self._bytes_used > L15_BANK_CAPACITY and self._blocks:
+            _, victim = self._blocks.popitem(last=False)
+            self._bytes_used -= victim.host_size_bytes
+
+    def drop(self, pc: int) -> None:
+        victim = self._blocks.pop(pc, None)
+        if victim is not None:
+            self._bytes_used -= victim.host_size_bytes
+
+
+@dataclass
+class CodeLookupResult:
+    """Where a block came from and when it is ready to execute."""
+
+    block: TranslatedBlock
+    ready_time: int
+    level: str  # "l1" | "l1.5" | "l2" | "translate"
+    chained_entry: bool
+
+
+class CodeCacheHierarchy:
+    """Front end the runtime-execution tile talks to."""
+
+    def __init__(
+        self,
+        grid: TileGrid,
+        network: Network,
+        subsystem: TranslationSubsystem,
+        l15_banks: int = 2,
+        l1_capacity: int = L1_CODE_CAPACITY,
+    ) -> None:
+        self.grid = grid
+        self.network = network
+        self.subsystem = subsystem
+        self.execution = grid.find_one(TileRole.EXECUTION)
+        self.manager_coord = grid.find_one(TileRole.MANAGER)
+        self.l1 = L1CodeCache(l1_capacity)
+        bank_coords = grid.tiles_with_role(TileRole.L15_BANK)[:l15_banks]
+        self.l15 = L15CodeCache(bank_coords, grid, network)
+        self.stats = StatSet("code_cache")
+
+    def fetch(self, now: int, pc: int, prev_pc: Optional[int], indirect: bool) -> CodeLookupResult:
+        """Resolve guest ``pc`` to an executable block, charging timing.
+
+        ``prev_pc`` is the previously executed block (for chaining) and
+        ``indirect`` marks arrival through an indirect branch (never
+        chained; extra dispatch lookup cost).
+        """
+        self.subsystem.advance(now)
+
+        block = self.l1.lookup(pc)
+        if block is not None:
+            chained = (
+                prev_pc is not None and not indirect and self.l1.is_chained(prev_pc, pc)
+            )
+            ready = now
+            if not chained:
+                ready += DISPATCH_OVERHEAD + (INDIRECT_LOOKUP_OVERHEAD if indirect else 0)
+                self._maybe_chain(prev_pc, pc, indirect)
+            return CodeLookupResult(block, ready, "l1", chained)
+
+        # L1 miss: through the dispatch loop, then the hierarchy
+        t = now + DISPATCH_OVERHEAD + (INDIRECT_LOOKUP_OVERHEAD if indirect else 0)
+        level = "l1.5"
+        if self.l15.enabled:
+            block, t = self.l15.lookup(t, pc, self.execution)
+            if block is not None:
+                t = self._install(block, t, prev_pc, indirect)
+                return CodeLookupResult(block, t, "l1.5", False)
+
+        # L1.5 miss: the manager / L2 code cache
+        self.stats.bump("l2_accesses")
+        hops = self.grid.hops(self.execution, self.manager_coord)
+        t += self.network.latency(hops)
+        t = self.subsystem.manager.service(t, L2_REQUEST_OCCUPANCY)
+
+        entry = self.subsystem.lookup(pc)
+        hit = entry is not None and entry.state.value == "done" and entry.available_at <= t
+        if hit:
+            block = entry.block
+            t += L2_CODE_DRAM_LATENCY
+            level = "l2"
+        else:
+            self.stats.bump("l2_misses")
+            demand = self.subsystem.demand_request(pc, t)
+            block = demand.block
+            t = demand.ready_time if demand.ready_time > t else t
+            level = "translate"
+
+        t += _transfer_cycles(block)
+        t += self.network.latency(hops, payload_words=len(block.instrs))
+        self.l15.insert(block)
+        t = self._install(block, t, prev_pc, indirect)
+        return CodeLookupResult(block, t, level, False)
+
+    def _install(self, block: TranslatedBlock, t: int, prev_pc, indirect: bool) -> int:
+        flushed = self.l1.insert(block)
+        if flushed:
+            self.stats.bump("l1_flushes")
+        self._maybe_chain(prev_pc, block.guest_address, indirect)
+        # copy into instruction memory
+        return t + _transfer_cycles(block)
+
+    def _maybe_chain(self, prev_pc: Optional[int], pc: int, indirect: bool) -> None:
+        if prev_pc is None or indirect:
+            return
+        if self.l1.try_chain(prev_pc, pc):
+            self.stats.bump("chain_patches")

@@ -1,0 +1,541 @@
+"""Translator frontend: guest bytes -> basic blocks -> IR.
+
+Mirrors the paper's pipeline: a Valgrind-style parser decodes the
+variable-length guest instructions into basic blocks, which are then
+lowered into the flag-explicit micro-op IR of :mod:`repro.dbt.ir`.
+
+One deliberate, documented restriction (the paper's prototype has a
+longer list — no x87, no 16-bit code, userland only): the widening
+64/32-bit guest divides are translated assuming the *compiler-idiomatic*
+dividend setup — ``EDX`` zero (DIV) or the sign-extension of ``EAX``
+(IDIV, i.e. preceded by CDQ).  A ``GUARD`` micro-op verifies this at
+runtime and raises a guest fault otherwise, so the restriction can
+never cause silent misbehaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.guest.decoder import DecodeError, decode_instruction
+from repro.guest.isa import (
+    Immediate,
+    Instruction,
+    MemoryOperand,
+    Op,
+    Operand,
+    Register,
+    RegisterOperand,
+)
+from repro.dbt.ir import (
+    ExitKind,
+    FLAG_SEM_WRITES,
+    FlagSem,
+    IRBlock,
+    Terminator,
+    UOp,
+    UOpKind,
+    flag_mask,
+)
+
+#: Hard limit on guest instructions per basic block (the translator
+#: splits long straight-line runs, like every code-cache-based DBT).
+MAX_BLOCK_INSTRUCTIONS = 32
+
+
+class TranslationError(Exception):
+    """The frontend could not translate guest code at an address."""
+
+    def __init__(self, address: int, message: str) -> None:
+        super().__init__(f"translate {address:#010x}: {message}")
+        self.address = address
+
+
+@dataclass
+class GuestBlock:
+    """A decoded guest basic block (pre-IR)."""
+
+    address: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return sum(instr.length for instr in self.instructions)
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.length
+
+
+#: Reads guest code bytes: (address, length) -> bytes.
+CodeReader = Callable[[int, int], bytes]
+
+
+def scan_block(read_code: CodeReader, address: int) -> GuestBlock:
+    """Decode one basic block starting at ``address``.
+
+    The block ends at the first control-flow instruction or after
+    :data:`MAX_BLOCK_INSTRUCTIONS`.
+    """
+    block = GuestBlock(address)
+    pc = address
+    for _ in range(MAX_BLOCK_INSTRUCTIONS):
+        window = read_code(pc, 16)
+        try:
+            instr = decode_instruction(window, 0, pc)
+        except DecodeError as err:
+            raise TranslationError(pc, f"illegal guest instruction: {err}") from err
+        block.instructions.append(instr)
+        pc = instr.next_address
+        if instr.ends_block:
+            break
+    return block
+
+
+# ---------------------------------------------------------------------------
+# lowering
+# ---------------------------------------------------------------------------
+
+_VALUE_KIND = {
+    Op.ADD: UOpKind.ADD,
+    Op.SUB: UOpKind.SUB,
+    Op.CMP: UOpKind.SUB,
+    Op.AND: UOpKind.AND,
+    Op.OR: UOpKind.OR,
+    Op.XOR: UOpKind.XOR,
+    Op.TEST: UOpKind.AND,
+    Op.SHL: UOpKind.SHL,
+    Op.SHR: UOpKind.SHR,
+    Op.SAR: UOpKind.SAR,
+}
+
+_FLAG_SEM = {
+    Op.ADD: FlagSem.ADD,
+    Op.SUB: FlagSem.SUB,
+    Op.CMP: FlagSem.SUB,
+    Op.AND: FlagSem.LOGIC,
+    Op.OR: FlagSem.LOGIC,
+    Op.XOR: FlagSem.LOGIC,
+    Op.TEST: FlagSem.LOGIC,
+    Op.SHL: FlagSem.SHL,
+    Op.SHR: FlagSem.SHR,
+    Op.SAR: FlagSem.SAR,
+    Op.INC: FlagSem.INC,
+    Op.DEC: FlagSem.DEC,
+    Op.NEG: FlagSem.NEG,
+}
+
+
+class _Lowerer:
+    """Lowers one guest block into an :class:`IRBlock`."""
+
+    def __init__(self, guest: GuestBlock) -> None:
+        self.guest = guest
+        self.ir = IRBlock(
+            guest_address=guest.address,
+            guest_length=guest.length,
+            guest_instr_count=len(guest.instructions),
+        )
+
+    # -- small emission helpers ------------------------------------------
+
+    def _const(self, value: int) -> int:
+        dst = self.ir.new_temp()
+        self.ir.emit(UOp(UOpKind.CONST, dst=dst, imm=value & 0xFFFFFFFF))
+        return dst
+
+    def _get(self, reg: Register) -> int:
+        dst = self.ir.new_temp()
+        self.ir.emit(UOp(UOpKind.GET, dst=dst, reg=reg))
+        return dst
+
+    def _put(self, reg: Register, temp: int) -> None:
+        self.ir.emit(UOp(UOpKind.PUT, reg=reg, a=temp))
+
+    def _binop(self, kind: UOpKind, a: int, b: int) -> int:
+        dst = self.ir.new_temp()
+        self.ir.emit(UOp(kind, dst=dst, a=a, b=b))
+        return dst
+
+    def _unop(self, kind: UOpKind, a: int) -> int:
+        dst = self.ir.new_temp()
+        self.ir.emit(UOp(kind, dst=dst, a=a))
+        return dst
+
+    def _load(self, addr: int, width: int, signed: bool = False) -> int:
+        dst = self.ir.new_temp()
+        self.ir.emit(UOp(UOpKind.LD, dst=dst, a=addr, width=width, signed=signed))
+        return dst
+
+    def _store(self, addr: int, value: int, width: int) -> None:
+        self.ir.emit(UOp(UOpKind.ST, a=addr, b=value, width=width))
+
+    def _flags(
+        self,
+        sem: FlagSem,
+        *,
+        a: Optional[int] = None,
+        b: Optional[int] = None,
+        result: Optional[int] = None,
+        width: int = 32,
+        count: Optional[int] = None,
+    ) -> None:
+        self.ir.emit(
+            UOp(
+                UOpKind.FLAGS,
+                sem=sem,
+                mask=flag_mask(FLAG_SEM_WRITES[sem]),
+                a=a,
+                b=b,
+                result=result,
+                width=width,
+                count=count,
+            )
+        )
+
+    # -- operand access ---------------------------------------------------
+
+    def _effective_address(self, operand: MemoryOperand) -> int:
+        """Compute the EA of a memory operand into a temp."""
+        parts: List[int] = []
+        if operand.base is not None:
+            parts.append(self._get(operand.base))
+        if operand.index is not None:
+            index = self._get(operand.index)
+            if operand.scale != 1:
+                shift = self._const(operand.scale.bit_length() - 1)
+                index = self._binop(UOpKind.SHL, index, shift)
+            parts.append(index)
+        if operand.disp or not parts:
+            parts.append(self._const(operand.disp))
+        addr = parts[0]
+        for part in parts[1:]:
+            addr = self._binop(UOpKind.ADD, addr, part)
+        return addr
+
+    def _read(self, operand: Operand, width: int, signed: bool = False, ea: Optional[int] = None):
+        """Read an operand into a temp; returns (value_temp, ea_temp_or_None)."""
+        if isinstance(operand, Immediate):
+            value = operand.value & (0xFF if width == 8 else 0xFFFFFFFF)
+            if width == 8 and signed:
+                value = ((value ^ 0x80) - 0x80) & 0xFFFFFFFF
+            return self._const(value), None
+        if isinstance(operand, RegisterOperand):
+            temp = self._get(operand.reg)
+            if width == 8:
+                temp = self._unop(UOpKind.SEXT8 if signed else UOpKind.ZEXT8, temp)
+            return temp, None
+        if ea is None:
+            ea = self._effective_address(operand)
+        return self._load(ea, width, signed=signed), ea
+
+    def _write(self, operand: Operand, value: int, width: int, ea: Optional[int] = None) -> None:
+        """Write ``value`` to an operand, reusing a precomputed EA if given."""
+        if isinstance(operand, RegisterOperand):
+            if width == 8:
+                old = self._get(operand.reg)
+                merged = self._binop(UOpKind.INSERT8, old, value)
+                self._put(operand.reg, merged)
+            else:
+                self._put(operand.reg, value)
+            return
+        if isinstance(operand, Immediate):
+            raise TranslationError(self.guest.address, "store to immediate operand")
+        if ea is None:
+            ea = self._effective_address(operand)
+        self._store(ea, value, width)
+
+    # -- stack helpers ---------------------------------------------------
+
+    def _push_temp(self, value: int) -> None:
+        esp = self._get(Register.ESP)
+        four = self._const(4)
+        new_esp = self._binop(UOpKind.SUB, esp, four)
+        self._put(Register.ESP, new_esp)
+        self._store(new_esp, value, 32)
+
+    def _pop_to_temp(self) -> int:
+        esp = self._get(Register.ESP)
+        value = self._load(esp, 32)
+        four = self._const(4)
+        new_esp = self._binop(UOpKind.ADD, esp, four)
+        self._put(Register.ESP, new_esp)
+        return value
+
+    # -- per-instruction lowering ------------------------------------------
+
+    def lower(self) -> IRBlock:
+        for instr in self.guest.instructions:
+            self._lower_instruction(instr)
+        last = self.guest.instructions[-1]
+        if not last.ends_block:
+            # Block split by the length limit: continue at the next address.
+            self.ir.terminator = Terminator(ExitKind.JUMP, target=last.next_address)
+        return self.ir
+
+    def _lower_instruction(self, instr: Instruction) -> None:
+        op = instr.op
+        handler = _LOWER_DISPATCH.get(op)
+        if handler is None:
+            raise TranslationError(instr.address, f"no lowering for {op}")
+        handler(self, instr)
+
+    # two-operand ALU group ---------------------------------------------------
+
+    def _lower_alu(self, instr: Instruction) -> None:
+        op, width = instr.op, instr.width
+        writes_result = op not in (Op.CMP, Op.TEST)
+        # Read dst (also an input) computing the EA only once for RMW.
+        a, ea = self._read(instr.dst, width)
+        b, _ = self._read(instr.src, width)
+        kind = _VALUE_KIND[op]
+        result = self._binop(kind, a, b)
+        if width == 8 and op in (Op.ADD, Op.SUB):
+            masked = self._unop(UOpKind.ZEXT8, result)
+        else:
+            masked = result
+        self._flags(_FLAG_SEM[op], a=a, b=b, result=masked, width=width)
+        if op is Op.MOV:  # pragma: no cover - MOV handled separately
+            raise AssertionError
+        if writes_result:
+            self._write(instr.dst, masked, width, ea=ea)
+
+    def _lower_mov(self, instr: Instruction) -> None:
+        value, _ = self._read(instr.src, instr.width)
+        self._write(instr.dst, value, instr.width)
+
+    def _lower_shift(self, instr: Instruction) -> None:
+        width = instr.width
+        a, ea = self._read(instr.dst, width)
+        if isinstance(instr.src, Immediate):
+            count_value = instr.src.value & 31
+            if count_value == 0:
+                return  # shift by zero: no value change, flags preserved
+            count = self._const(count_value)
+            dynamic = None
+        else:
+            raw = self._get(Register.ECX)
+            mask31 = self._const(31)
+            count = self._binop(UOpKind.AND, raw, mask31)
+            dynamic = count
+        kind = _VALUE_KIND[instr.op]
+        shift_input = a
+        if instr.op is Op.SAR and width == 8:
+            shift_input = self._unop(UOpKind.SEXT8, a)
+        result = self._binop(kind, shift_input, count)
+        if width == 8:
+            masked = self._unop(UOpKind.ZEXT8, result)
+        else:
+            masked = result
+        self._flags(_FLAG_SEM[instr.op], a=a, b=count, result=masked, width=width, count=dynamic)
+        if dynamic is not None:
+            # A zero dynamic count must leave the destination readable as
+            # the original value; shifting by zero already does.
+            pass
+        self._write(instr.dst, masked, width, ea=ea)
+
+    # one-operand group ------------------------------------------------------
+
+    def _lower_inc_dec(self, instr: Instruction) -> None:
+        width = instr.width
+        a, ea = self._read(instr.dst, width)
+        one = self._const(1)
+        kind = UOpKind.ADD if instr.op is Op.INC else UOpKind.SUB
+        result = self._binop(kind, a, one)
+        masked = self._unop(UOpKind.ZEXT8, result) if width == 8 else result
+        self._flags(_FLAG_SEM[instr.op], a=a, result=masked, width=width)
+        self._write(instr.dst, masked, width, ea=ea)
+
+    def _lower_neg(self, instr: Instruction) -> None:
+        width = instr.width
+        a, ea = self._read(instr.dst, width)
+        zero = self._const(0)
+        result = self._binop(UOpKind.SUB, zero, a)
+        masked = self._unop(UOpKind.ZEXT8, result) if width == 8 else result
+        self._flags(FlagSem.NEG, a=a, result=masked, width=width)
+        self._write(instr.dst, masked, width, ea=ea)
+
+    def _lower_not(self, instr: Instruction) -> None:
+        width = instr.width
+        a, ea = self._read(instr.dst, width)
+        result = self._unop(UOpKind.NOT, a)
+        masked = self._unop(UOpKind.ZEXT8, result) if width == 8 else result
+        self._write(instr.dst, masked, width, ea=ea)
+
+    # multiply / divide ------------------------------------------------------
+
+    def _lower_imul(self, instr: Instruction) -> None:
+        a, _ = self._read(instr.dst, 32)
+        b, _ = self._read(instr.src, 32)
+        low = self._binop(UOpKind.MUL, a, b)
+        high = self._binop(UOpKind.MULHS, a, b)
+        self._flags(FlagSem.IMUL, a=a, b=high, result=low)
+        self._write(instr.dst, low, 32)
+
+    def _lower_mul(self, instr: Instruction) -> None:
+        a = self._get(Register.EAX)
+        b, _ = self._read(instr.src, 32)
+        low = self._binop(UOpKind.MUL, a, b)
+        high = self._binop(UOpKind.MULHU, a, b)
+        self._flags(FlagSem.MUL, a=a, b=high, result=low)
+        self._put(Register.EAX, low)
+        self._put(Register.EDX, high)
+
+    def _lower_div(self, instr: Instruction) -> None:
+        divisor, _ = self._read(instr.src, 32)
+        self.ir.emit(UOp(UOpKind.DIV0CHECK, a=divisor))
+        eax = self._get(Register.EAX)
+        edx = self._get(Register.EDX)
+        if instr.op is Op.DIV:
+            zero = self._const(0)
+            self.ir.emit(UOp(UOpKind.GUARD, a=edx, b=zero))
+            quotient = self._binop(UOpKind.DIVU, eax, divisor)
+            remainder = self._binop(UOpKind.REMU, eax, divisor)
+        else:
+            thirty_one = self._const(31)
+            sign = self._binop(UOpKind.SAR, eax, thirty_one)
+            self.ir.emit(UOp(UOpKind.GUARD, a=edx, b=sign))
+            quotient = self._binop(UOpKind.DIVS, eax, divisor)
+            remainder = self._binop(UOpKind.REMS, eax, divisor)
+        self._put(Register.EAX, quotient)
+        self._put(Register.EDX, remainder)
+
+    # moves / misc -------------------------------------------------------------
+
+    def _lower_lea(self, instr: Instruction) -> None:
+        assert isinstance(instr.src, MemoryOperand)
+        ea = self._effective_address(instr.src)
+        self._write(instr.dst, ea, 32)
+
+    def _lower_movzx(self, instr: Instruction) -> None:
+        value, _ = self._read(instr.src, 8, signed=False)
+        self._write(instr.dst, value, 32)
+
+    def _lower_movsx(self, instr: Instruction) -> None:
+        value, _ = self._read(instr.src, 8, signed=True)
+        self._write(instr.dst, value, 32)
+
+    def _lower_xchg(self, instr: Instruction) -> None:
+        a, ea = self._read(instr.dst, 32)
+        b, eb = self._read(instr.src, 32)
+        self._write(instr.dst, b, 32, ea=ea)
+        self._write(instr.src, a, 32, ea=eb)
+
+    def _lower_cdq(self, instr: Instruction) -> None:
+        eax = self._get(Register.EAX)
+        thirty_one = self._const(31)
+        sign = self._binop(UOpKind.SAR, eax, thirty_one)
+        self._put(Register.EDX, sign)
+
+    def _lower_push(self, instr: Instruction) -> None:
+        value, _ = self._read(instr.dst, 32)
+        self._push_temp(value)
+
+    def _lower_pop(self, instr: Instruction) -> None:
+        value = self._pop_to_temp()
+        self._write(instr.dst, value, 32)
+
+    def _lower_setcc(self, instr: Instruction) -> None:
+        dst = self.ir.new_temp()
+        self.ir.emit(UOp(UOpKind.SETCC, dst=dst, cc=instr.cc))
+        self._write(instr.dst, dst, 8)
+
+    def _lower_nop(self, instr: Instruction) -> None:
+        return None
+
+    # control flow (terminators) -------------------------------------------
+
+    def _lower_jcc(self, instr: Instruction) -> None:
+        self.ir.terminator = Terminator(
+            ExitKind.BRANCH,
+            cc=instr.cc,
+            target=instr.target,
+            fallthrough=instr.next_address,
+        )
+
+    def _lower_jmp(self, instr: Instruction) -> None:
+        if instr.target is not None:
+            self.ir.terminator = Terminator(ExitKind.JUMP, target=instr.target)
+        else:
+            temp, _ = self._read(instr.dst, 32)
+            self.ir.terminator = Terminator(ExitKind.INDIRECT, temp=temp)
+
+    def _lower_call(self, instr: Instruction) -> None:
+        self.ir.call_return_address = instr.next_address
+        if instr.target is not None:
+            return_pc = self._const(instr.next_address)
+            self._push_temp(return_pc)
+            self.ir.terminator = Terminator(ExitKind.JUMP, target=instr.target)
+        else:
+            temp, _ = self._read(instr.dst, 32)
+            return_pc = self._const(instr.next_address)
+            self._push_temp(return_pc)
+            self.ir.terminator = Terminator(ExitKind.INDIRECT, temp=temp)
+
+    def _lower_ret(self, instr: Instruction) -> None:
+        target = self._pop_to_temp()
+        if instr.imm:
+            esp = self._get(Register.ESP)
+            amount = self._const(instr.imm)
+            new_esp = self._binop(UOpKind.ADD, esp, amount)
+            self._put(Register.ESP, new_esp)
+        self.ir.terminator = Terminator(ExitKind.INDIRECT, temp=target)
+
+    def _lower_int(self, instr: Instruction) -> None:
+        if instr.imm != 0x80:
+            raise TranslationError(instr.address, f"unsupported interrupt {instr.imm:#x}")
+        self.ir.terminator = Terminator(ExitKind.SYSCALL, target=instr.next_address)
+
+    def _lower_hlt(self, instr: Instruction) -> None:
+        self.ir.terminator = Terminator(ExitKind.HALT)
+
+
+_LOWER_DISPATCH = {
+    Op.ADD: _Lowerer._lower_alu,
+    Op.SUB: _Lowerer._lower_alu,
+    Op.CMP: _Lowerer._lower_alu,
+    Op.AND: _Lowerer._lower_alu,
+    Op.OR: _Lowerer._lower_alu,
+    Op.XOR: _Lowerer._lower_alu,
+    Op.TEST: _Lowerer._lower_alu,
+    Op.MOV: _Lowerer._lower_mov,
+    Op.SHL: _Lowerer._lower_shift,
+    Op.SHR: _Lowerer._lower_shift,
+    Op.SAR: _Lowerer._lower_shift,
+    Op.INC: _Lowerer._lower_inc_dec,
+    Op.DEC: _Lowerer._lower_inc_dec,
+    Op.NEG: _Lowerer._lower_neg,
+    Op.NOT: _Lowerer._lower_not,
+    Op.IMUL: _Lowerer._lower_imul,
+    Op.MUL: _Lowerer._lower_mul,
+    Op.DIV: _Lowerer._lower_div,
+    Op.IDIV: _Lowerer._lower_div,
+    Op.LEA: _Lowerer._lower_lea,
+    Op.MOVZX: _Lowerer._lower_movzx,
+    Op.MOVSX: _Lowerer._lower_movsx,
+    Op.XCHG: _Lowerer._lower_xchg,
+    Op.CDQ: _Lowerer._lower_cdq,
+    Op.PUSH: _Lowerer._lower_push,
+    Op.POP: _Lowerer._lower_pop,
+    Op.SETCC: _Lowerer._lower_setcc,
+    Op.NOP: _Lowerer._lower_nop,
+    Op.JCC: _Lowerer._lower_jcc,
+    Op.JMP: _Lowerer._lower_jmp,
+    Op.CALL: _Lowerer._lower_call,
+    Op.RET: _Lowerer._lower_ret,
+    Op.INT: _Lowerer._lower_int,
+    Op.HLT: _Lowerer._lower_hlt,
+}
+
+
+def lower_block(guest: GuestBlock) -> IRBlock:
+    """Lower a decoded guest block into IR."""
+    if not guest.instructions:
+        raise TranslationError(guest.address, "empty basic block")
+    return _Lowerer(guest).lower()
+
+
+def build_ir(read_code: CodeReader, address: int) -> IRBlock:
+    """Scan and lower the basic block at ``address``."""
+    return lower_block(scan_block(read_code, address))

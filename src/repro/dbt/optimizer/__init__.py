@@ -1,0 +1,56 @@
+"""Translation-time optimizations.
+
+The paper leaves "full optimizations turned on for all blocks" because
+speculative parallel translation takes their cost off the critical path
+(Section 2.1); Figure 8 measures the win.  The pipeline here:
+
+1. :mod:`repro.dbt.optimizer.copyprop` — guest-register copy
+   propagation through GET/PUT and value copy propagation
+2. :mod:`repro.dbt.optimizer.constfold` — constant folding/propagation
+   and algebraic simplification
+3. :mod:`repro.dbt.optimizer.deadflags` — dead condition-code
+   elimination (prunes FLAGS micro-op masks; the paper's "extensive
+   dead flag elimination")
+4. :mod:`repro.dbt.optimizer.dce` — dead code and dead guest-register
+   store elimination
+5. list scheduling happens later, on host code, in
+   :mod:`repro.dbt.optimizer.scheduler`
+
+All passes are intra-block and preserve the architectural state seen at
+every block exit, except that flag bits *provably overwritten later in
+the same block* may hold stale values in between — invisible to the
+guest by construction.
+"""
+
+from repro.dbt.ir import ALL_FLAGS_MASK, IRBlock
+from repro.dbt.optimizer.constfold import fold_constants, reduce_strength
+from repro.dbt.optimizer.copyprop import propagate_copies
+from repro.dbt.optimizer.dce import eliminate_dead_code
+from repro.dbt.optimizer.deadflags import eliminate_dead_flags
+from repro.dbt.optimizer.flagpeek import successor_flag_liveness
+from repro.dbt.optimizer.valuenumber import number_values
+
+__all__ = [
+    "optimize_block",
+    "propagate_copies",
+    "fold_constants",
+    "reduce_strength",
+    "number_values",
+    "eliminate_dead_flags",
+    "eliminate_dead_code",
+    "successor_flag_liveness",
+]
+
+
+def optimize_block(
+    block: IRBlock, iterations: int = 2, flag_live_out: int = ALL_FLAGS_MASK
+) -> IRBlock:
+    """Run the full IR pipeline (in place); returns the block."""
+    for _ in range(iterations):
+        propagate_copies(block)
+        fold_constants(block)
+        reduce_strength(block)
+        number_values(block)
+        eliminate_dead_flags(block, live_out=flag_live_out)
+        eliminate_dead_code(block)
+    return block

@@ -1,0 +1,176 @@
+"""Constant folding, propagation and algebraic simplification.
+
+Temps are single-assignment, so a single forward pass suffices: track
+which temps are compile-time constants, evaluate foldable micro-ops,
+and apply identities (``x+0``, ``x^x``, ``x&x``, ``x|0`` ...).  A
+folded or simplified uop either becomes a ``CONST`` or is dropped with
+its destination renamed to an equivalent temp.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.bitops import sext8, to_signed32, u32
+from repro.dbt.ir import ExitKind, IRBlock, UOp, UOpKind
+
+_FOLDERS: Dict[UOpKind, Callable[[int, int], Optional[int]]] = {
+    UOpKind.ADD: lambda a, b: u32(a + b),
+    UOpKind.SUB: lambda a, b: u32(a - b),
+    UOpKind.AND: lambda a, b: a & b,
+    UOpKind.OR: lambda a, b: a | b,
+    UOpKind.XOR: lambda a, b: a ^ b,
+    UOpKind.SHL: lambda a, b: u32(a << (b & 31)),
+    UOpKind.SHR: lambda a, b: a >> (b & 31),
+    UOpKind.SAR: lambda a, b: u32(to_signed32(a) >> (b & 31)),
+    UOpKind.MUL: lambda a, b: u32(a * b),
+    UOpKind.MULHU: lambda a, b: (a * b) >> 32,
+    UOpKind.MULHS: lambda a, b: u32((to_signed32(a) * to_signed32(b)) >> 32),
+    UOpKind.DIVU: lambda a, b: a // b if b else None,
+    UOpKind.REMU: lambda a, b: a % b if b else None,
+}
+
+_UNARY_FOLDERS: Dict[UOpKind, Callable[[int], int]] = {
+    UOpKind.NOT: lambda a: u32(~a),
+    UOpKind.SEXT8: sext8,
+    UOpKind.ZEXT8: lambda a: a & 0xFF,
+}
+
+
+def fold_constants(block: IRBlock) -> None:
+    """Fold and simplify (in place)."""
+    constants: Dict[int, int] = {}
+    rename: Dict[int, int] = {}
+    new_uops = []
+
+    def emit_const(dst: int, value: int) -> None:
+        constants[dst] = value
+        new_uops.append(UOp(UOpKind.CONST, dst=dst, imm=u32(value)))
+
+    for uop in block.uops:
+        uop = uop.with_sources(rename)
+        kind = uop.kind
+
+        if kind is UOpKind.CONST:
+            constants[uop.dst] = u32(uop.imm)
+            new_uops.append(uop)
+            continue
+
+        if kind in _UNARY_FOLDERS and uop.a in constants:
+            emit_const(uop.dst, _UNARY_FOLDERS[kind](constants[uop.a]))
+            continue
+
+        if kind in _FOLDERS:
+            ca = constants.get(uop.a)
+            cb = constants.get(uop.b)
+            if ca is not None and cb is not None:
+                folded = _FOLDERS[kind](ca, cb)
+                if folded is not None:
+                    emit_const(uop.dst, folded)
+                    continue
+            simplified = _simplify(uop, ca, cb, rename, emit_const)
+            if simplified:
+                continue
+
+        new_uops.append(uop)
+
+    block.uops = new_uops
+    term = block.terminator
+    if term.kind is ExitKind.INDIRECT and term.temp in rename:
+        term.temp = rename[term.temp]
+    # An indirect terminator whose target folded to a constant becomes a
+    # direct jump — this recovers jump-table entries resolved at
+    # translation time.
+    if term.kind is ExitKind.INDIRECT and term.temp in constants:
+        term.kind = ExitKind.JUMP
+        term.target = constants[term.temp]
+        term.temp = None
+
+
+def _simplify(uop, ca, cb, rename, emit_const) -> bool:
+    """Apply algebraic identities; True when the uop was consumed."""
+    kind = uop.kind
+
+    def alias(src: int) -> bool:
+        rename[uop.dst] = src
+        return True
+
+    if kind is UOpKind.ADD:
+        if ca == 0:
+            return alias(uop.b)
+        if cb == 0:
+            return alias(uop.a)
+    elif kind is UOpKind.SUB:
+        if cb == 0:
+            return alias(uop.a)
+        if uop.a == uop.b:
+            emit_const(uop.dst, 0)
+            return True
+    elif kind is UOpKind.XOR:
+        if uop.a == uop.b:
+            emit_const(uop.dst, 0)
+            return True
+        if ca == 0:
+            return alias(uop.b)
+        if cb == 0:
+            return alias(uop.a)
+    elif kind is UOpKind.AND:
+        if uop.a == uop.b:
+            return alias(uop.a)
+        if ca == 0 or cb == 0:
+            emit_const(uop.dst, 0)
+            return True
+        if ca == 0xFFFFFFFF:
+            return alias(uop.b)
+        if cb == 0xFFFFFFFF:
+            return alias(uop.a)
+    elif kind is UOpKind.OR:
+        if uop.a == uop.b:
+            return alias(uop.a)
+        if ca == 0:
+            return alias(uop.b)
+        if cb == 0:
+            return alias(uop.a)
+    elif kind in (UOpKind.SHL, UOpKind.SHR, UOpKind.SAR):
+        if cb == 0:
+            return alias(uop.a)
+    elif kind is UOpKind.MUL:
+        if ca == 1:
+            return alias(uop.b)
+        if cb == 1:
+            return alias(uop.a)
+        if ca == 0 or cb == 0:
+            emit_const(uop.dst, 0)
+            return True
+    return False
+
+
+def reduce_strength(block) -> int:
+    """Rewrite multiplications by powers of two into shifts (in place).
+
+    Runs after constant propagation so the constant operand is visible.
+    The low 32 bits of ``x * 2**k`` equal ``x << k``, so MUL (not the
+    widening MULHU/MULHS) is always safe to rewrite.
+    """
+    from repro.common.bitops import is_power_of_two, log2_exact
+    from repro.dbt.ir import UOp
+
+    constants = {}
+    replaced = 0
+    new_uops = []
+    for uop in block.uops:
+        if uop.kind is UOpKind.CONST:
+            constants[uop.dst] = u32(uop.imm)
+        elif uop.kind is UOpKind.MUL:
+            ca = constants.get(uop.a)
+            cb = constants.get(uop.b)
+            operand, factor = (uop.b, ca) if ca is not None else (uop.a, cb)
+            if factor is not None and is_power_of_two(factor):
+                shift_temp = block.new_temp()
+                new_uops.append(UOp(UOpKind.CONST, dst=shift_temp, imm=log2_exact(factor)))
+                new_uops.append(UOp(UOpKind.SHL, dst=uop.dst, a=operand, b=shift_temp))
+                replaced += 1
+                continue
+        new_uops.append(uop)
+    block.uops = new_uops
+    return replaced

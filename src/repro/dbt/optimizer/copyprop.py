@@ -1,0 +1,55 @@
+"""Copy propagation through guest-register GET/PUT pairs.
+
+The frontend re-loads a guest register (``GET``) for every operand use,
+so a two-instruction guest sequence touching the same register produces
+redundant GETs.  This forward pass tracks which temp currently holds
+each guest register's value and which temp holds the packed flags,
+rewriting later reads to reuse them.  Redundant ``GET``/``GETF`` uops
+become unreferenced and are cleaned up by DCE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.guest.isa import Register
+from repro.dbt.ir import ExitKind, IRBlock, UOpKind
+
+
+def propagate_copies(block: IRBlock) -> None:
+    """Propagate register/flag copies (in place)."""
+    reg_value: Dict[Register, int] = {}
+    flags_value: Optional[int] = None
+    rename: Dict[int, int] = {}
+    new_uops = []
+
+    for uop in block.uops:
+        uop = uop.with_sources(rename)
+
+        if uop.kind is UOpKind.GET:
+            known = reg_value.get(uop.reg)
+            if known is not None:
+                rename[uop.dst] = known
+                continue  # drop the redundant GET
+            reg_value[uop.reg] = uop.dst
+        elif uop.kind is UOpKind.PUT:
+            reg_value[uop.reg] = uop.a
+        elif uop.kind is UOpKind.GETF:
+            if flags_value is not None:
+                rename[uop.dst] = flags_value
+                continue
+            flags_value = uop.dst
+        elif uop.kind is UOpKind.PUTF:
+            flags_value = uop.a
+        elif uop.kind is UOpKind.FLAGS:
+            # The packed word changes; any cached GETF temp is stale.
+            flags_value = None
+        elif uop.kind is UOpKind.SETCC:
+            pass  # reads flags, does not change them
+
+        new_uops.append(uop)
+
+    block.uops = new_uops
+    term = block.terminator
+    if term.kind is ExitKind.INDIRECT and term.temp in rename:
+        term.temp = rename[term.temp]

@@ -1,0 +1,61 @@
+"""Dead condition-code elimination.
+
+x86 sets flags on nearly every ALU instruction but reads them rarely,
+so most flag computation is dead.  This backward liveness pass prunes
+each ``FLAGS`` micro-op's materialization mask down to the bits some
+later consumer in the block can observe before they are overwritten.
+
+Liveness at block exit is **all flags** — the successor block is
+unknown at translation time, and VX86 flags are architectural state
+that differential tests compare.  The pass is therefore conservative
+across blocks but still removes the bulk of flag work, because a
+typical block overwrites the full flag set several times (e.g.
+``add``'s flags die at the following ``cmp``).
+
+A shift with a *dynamic* count conditionally preserves flags (count may
+be zero at runtime), so it uses but cannot kill liveness.
+"""
+
+from __future__ import annotations
+
+from repro.dbt.ir import ALL_FLAGS_MASK, ExitKind, IRBlock, UOpKind, flag_mask
+from repro.guest.isa import CONDITION_FLAG_USES
+
+
+def eliminate_dead_flags(block: IRBlock, live_out: int = ALL_FLAGS_MASK) -> int:
+    """Prune FLAGS masks (in place); returns the number of uops removed.
+
+    ``live_out`` is the mask of flags observable after the block — all
+    flags by default, or the successor-peek result from
+    :mod:`repro.dbt.optimizer.flagpeek`.  The terminator's own condition
+    reads are always added.
+    """
+    live = live_out
+    term = block.terminator
+    if term.kind is ExitKind.BRANCH and term.cc is not None:
+        live |= flag_mask(CONDITION_FLAG_USES[term.cc])
+
+    removed = 0
+    kept = []
+    for uop in reversed(block.uops):
+        kind = uop.kind
+        if kind is UOpKind.FLAGS:
+            pruned = uop.mask & live
+            if pruned == 0:
+                removed += 1
+                continue  # completely dead flag computation
+            definite = uop.count is None  # dynamic shift counts may not write
+            uop.mask = pruned
+            if definite:
+                live &= ~pruned
+        elif kind is UOpKind.SETCC:
+            live |= flag_mask(CONDITION_FLAG_USES[uop.cc])
+        elif kind is UOpKind.GETF:
+            live = ALL_FLAGS_MASK
+        elif kind is UOpKind.PUTF:
+            live = 0
+        kept.append(uop)
+
+    kept.reverse()
+    block.uops = kept
+    return removed

@@ -1,0 +1,152 @@
+"""Load-latency-aware list scheduling of host code.
+
+Runs after code generation.  The Raw tile is in-order single-issue with
+a 6-cycle load-use latency (Table 11), so hoisting loads away from
+their uses is worth real cycles.  The scheduler partitions the
+instruction sequence into straight-line segments (boundaries at
+branches, branch targets and EXITBs), builds a dependence DAG per
+segment and list-schedules by critical-path priority.
+
+Memory discipline: loads may reorder with loads; stores are ordered
+with all other memory operations (no alias analysis at host level).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.host.isa import HostInstr, HostOp, HostReg, LOAD_OPS, STORE_OPS
+from repro.dbt.cost import LOAD_LATENCY, instruction_occupancy
+
+_BRANCH_OPS = frozenset(
+    {
+        HostOp.BEQ,
+        HostOp.BNE,
+        HostOp.BLEZ,
+        HostOp.BGTZ,
+        HostOp.BLTZ,
+        HostOp.BGEZ,
+        HostOp.J,
+        HostOp.JAL,
+        HostOp.JR,
+        HostOp.JALR,
+        HostOp.EXITB,
+    }
+)
+
+_HILO_OPS = frozenset(
+    {HostOp.MULT, HostOp.MULTU, HostOp.DIV, HostOp.DIVU, HostOp.MFHI, HostOp.MFLO}
+)
+
+
+def _segment_boundaries(instrs: List[HostInstr], extra: Iterable[int]) -> List[int]:
+    """Indices that start a new segment."""
+    starts: Set[int] = {0}
+    starts.update(extra)
+    for index, instr in enumerate(instrs):
+        if instr.op in _BRANCH_OPS:
+            starts.add(index + 1)
+            if instr.op not in (HostOp.J, HostOp.JAL, HostOp.JR, HostOp.JALR, HostOp.EXITB):
+                starts.add(index + 1 + instr.imm)  # branch target
+    return sorted(s for s in starts if 0 <= s <= len(instrs))
+
+
+def schedule_block(instrs: List[HostInstr], pinned: Iterable[int] = ()) -> List[HostInstr]:
+    """Return a semantics-preserving reordering of ``instrs``.
+
+    ``pinned`` lists additional boundary indices — the code generator
+    passes its exit-stub start offsets so that chaining patch sites
+    never move.  Scheduling never moves instructions across segment
+    boundaries and branches end segments in place, so all relative
+    branch offsets remain valid (the pass permutes within segments
+    only, preserving every segment's length and position).
+    """
+    boundaries = _segment_boundaries(instrs, pinned)
+    out: List[HostInstr] = []
+    for start, end in zip(boundaries, boundaries[1:] + [len(instrs)]):
+        segment = instrs[start:end]
+        if segment and segment[-1].op in _BRANCH_OPS:
+            out.extend(_schedule_segment(segment[:-1]))
+            out.append(segment[-1])
+        else:
+            out.extend(_schedule_segment(segment))
+    return out
+
+
+def _schedule_segment(segment: List[HostInstr]) -> List[HostInstr]:
+    count = len(segment)
+    if count <= 2:
+        return list(segment)
+
+    preds: List[Set[int]] = [set() for _ in range(count)]
+    succs: List[Set[int]] = [set() for _ in range(count)]
+
+    last_writer: Dict[HostReg, int] = {}
+    readers: Dict[HostReg, List[int]] = {}
+    last_store = -1
+    last_mem: List[int] = []
+    last_hilo = -1
+
+    def add_edge(src: int, dst: int) -> None:
+        if src != dst:
+            preds[dst].add(src)
+            succs[src].add(dst)
+
+    for i, instr in enumerate(segment):
+        for reg in instr.reads():
+            if reg is HostReg.ZERO:
+                continue
+            writer = last_writer.get(reg)
+            if writer is not None:
+                add_edge(writer, i)  # RAW
+            readers.setdefault(reg, []).append(i)
+        dst = instr.writes()
+        if dst is not None and dst is not HostReg.ZERO:
+            writer = last_writer.get(dst)
+            if writer is not None:
+                add_edge(writer, i)  # WAW
+            for reader in readers.get(dst, []):
+                add_edge(reader, i)  # WAR
+            readers[dst] = []
+            last_writer[dst] = i
+        if instr.op in LOAD_OPS:
+            if last_store >= 0:
+                add_edge(last_store, i)
+            last_mem.append(i)
+        elif instr.op in STORE_OPS:
+            for mem in last_mem:
+                add_edge(mem, i)
+            last_mem = [i]
+            last_store = i
+        if instr.op in _HILO_OPS:
+            if last_hilo >= 0:
+                add_edge(last_hilo, i)
+            last_hilo = i
+
+    # critical-path priority (latency-weighted height)
+    height = [0] * count
+    for i in range(count - 1, -1, -1):
+        latency = LOAD_LATENCY if segment[i].op in LOAD_OPS else instruction_occupancy(segment[i])
+        best = 0
+        for succ in succs[i]:
+            if height[succ] > best:
+                best = height[succ]
+        height[i] = best + latency
+
+    remaining = [len(preds[i]) for i in range(count)]
+    ready = [i for i in range(count) if remaining[i] == 0]
+    order: List[int] = []
+    while ready:
+        # pick the ready instruction with the greatest height; break ties
+        # by original order for determinism
+        ready.sort(key=lambda i: (-height[i], i))
+        chosen = ready.pop(0)
+        order.append(chosen)
+        for succ in succs[chosen]:
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
+                ready.append(succ)
+
+    if len(order) != count:  # pragma: no cover - DAG by construction
+        raise RuntimeError("scheduler failed to order segment")
+    return [segment[i] for i in order]

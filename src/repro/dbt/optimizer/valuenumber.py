@@ -1,0 +1,92 @@
+"""Local value numbering (common-subexpression elimination).
+
+Guest code addresses the same operands repeatedly (``[ebp+8]`` three
+times in a row), so the frontend emits duplicate address arithmetic.
+Temps are single-assignment, which makes LVN a single forward pass:
+hash each pure uop by (kind, canonicalized sources, attributes) and
+rewrite later identical computations to reuse the first result.
+
+Loads are value-numbered too, but their table is invalidated by every
+store (no alias analysis at this level — same discipline as the
+scheduler).  Side-effecting uops (PUT/ST/FLAGS/guards) are never
+candidates; GET is excluded because copy propagation already handles
+register reuse with proper kill semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.dbt.ir import ExitKind, IRBlock, UOpKind
+
+#: Pure computations eligible for value numbering.
+_PURE_KINDS = frozenset(
+    {
+        UOpKind.CONST,
+        UOpKind.ADD,
+        UOpKind.SUB,
+        UOpKind.AND,
+        UOpKind.OR,
+        UOpKind.XOR,
+        UOpKind.NOT,
+        UOpKind.SHL,
+        UOpKind.SHR,
+        UOpKind.SAR,
+        UOpKind.MUL,
+        UOpKind.MULHU,
+        UOpKind.MULHS,
+        UOpKind.SEXT8,
+        UOpKind.ZEXT8,
+        UOpKind.INSERT8,
+    }
+)
+
+#: Commutative operations: canonicalize operand order.
+_COMMUTATIVE = frozenset(
+    {UOpKind.ADD, UOpKind.AND, UOpKind.OR, UOpKind.XOR, UOpKind.MUL,
+     UOpKind.MULHU, UOpKind.MULHS}
+)
+
+
+def number_values(block: IRBlock) -> int:
+    """Eliminate redundant computations (in place); returns removals."""
+    available: Dict[Tuple, int] = {}
+    loads: Dict[Tuple, int] = {}
+    rename: Dict[int, int] = {}
+    removed = 0
+    new_uops = []
+
+    for uop in block.uops:
+        uop = uop.with_sources(rename)
+        kind = uop.kind
+
+        if kind in _PURE_KINDS:
+            a, b = uop.a, uop.b
+            if kind in _COMMUTATIVE and a is not None and b is not None and b < a:
+                a, b = b, a
+            key = (kind, a, b, uop.imm if kind is UOpKind.CONST else 0)
+            known = available.get(key)
+            if known is not None:
+                rename[uop.dst] = known
+                removed += 1
+                continue
+            available[key] = uop.dst
+        elif kind is UOpKind.LD:
+            key = (uop.a, uop.width, uop.signed)
+            known = loads.get(key)
+            if known is not None:
+                rename[uop.dst] = known
+                removed += 1
+                continue
+            loads[key] = uop.dst
+        elif kind is UOpKind.ST:
+            # stores may alias any load address: flush the load table
+            loads.clear()
+
+        new_uops.append(uop)
+
+    block.uops = new_uops
+    term = block.terminator
+    if term.kind is ExitKind.INDIRECT and term.temp in rename:
+        term.temp = rename[term.temp]
+    return removed

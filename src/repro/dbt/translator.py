@@ -1,0 +1,108 @@
+"""The translation pipeline facade.
+
+``Translator.translate(pc)`` runs the full pipeline — scan, lower,
+optimize, codegen, schedule — and returns a :class:`TranslatedBlock`
+together with its *translation cost* in slave-tile cycles, which the
+timing simulation charges to whichever tile performed the work.
+
+The cost model is calibrated to the structure of the real system: a
+per-block dispatch overhead, a per-guest-instruction decode/lower cost
+(Valgrind-style parsing of a variable-length ISA is expensive), a
+per-uop optimization cost when optimization is on, and a per-host-
+instruction emission cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.stats import StatSet
+from repro.dbt.block import TranslatedBlock
+from repro.dbt.codegen import generate_block
+from repro.dbt.frontend import CodeReader, build_ir, lower_block, scan_block
+from repro.dbt.ir import ALL_FLAGS_MASK, ExitKind
+from repro.dbt.optimizer import optimize_block, successor_flag_liveness
+from repro.dbt.optimizer.scheduler import schedule_block
+
+#: Translation cost model (slave-tile cycles).  Valgrind-style parsing
+#: of a variable-length CISC plus IR optimization costs thousands of
+#: host cycles per guest instruction, which is why removing it from the
+#: critical path (speculative parallel translation) pays off.
+TRANSLATE_BASE_COST = 600
+TRANSLATE_PER_GUEST_INSTR = 260
+OPTIMIZE_PER_UOP = 26
+EMIT_PER_HOST_INSTR = 12
+
+
+@dataclass
+class TranslationConfig:
+    """Knobs of the translation pipeline."""
+
+    optimize: bool = True  # IR passes + list scheduling (Figure 8's knob)
+    optimizer_iterations: int = 2
+    #: load intrinsics used to price generated blocks — the software-MMU
+    #: defaults, or hardware-assisted values for the Section 5 ablation
+    load_latency: int = 6
+    load_occupancy: int = 4
+
+
+class Translator:
+    """Stateless translation pipeline over a guest code reader."""
+
+    def __init__(self, read_code: CodeReader, config: TranslationConfig = None) -> None:
+        self.read_code = read_code
+        self.config = config or TranslationConfig()
+        self.stats = StatSet("translator")
+
+    def translate(self, guest_pc: int) -> TranslatedBlock:
+        """Translate the guest basic block at ``guest_pc``."""
+        guest = scan_block(self.read_code, guest_pc)
+        ir = lower_block(guest)
+        uop_count = len(ir.uops)
+
+        cost = TRANSLATE_BASE_COST + TRANSLATE_PER_GUEST_INSTR * ir.guest_instr_count
+        if self.config.optimize:
+            live_out = self._exit_flag_liveness(ir)
+            optimize_block(
+                ir, iterations=self.config.optimizer_iterations, flag_live_out=live_out
+            )
+            cost += OPTIMIZE_PER_UOP * uop_count
+
+        block = generate_block(ir)
+        if self.config.optimize:
+            pinned = [stub.offset_words for stub in block.exit_stubs]
+            block.instrs = schedule_block(block.instrs, pinned=pinned)
+        from repro.dbt.cost import estimate_block_cost
+
+        block.cost_cycles = estimate_block_cost(
+            block.instrs,
+            load_latency=self.config.load_latency,
+            load_occupancy=self.config.load_occupancy,
+        )
+        block.optimized = self.config.optimize
+        cost += EMIT_PER_HOST_INSTR * len(block.instrs)
+        block.translation_cycles = cost
+
+        self.stats.bump("blocks_translated")
+        self.stats.bump("guest_instructions", ir.guest_instr_count)
+        self.stats.bump("host_instructions", len(block.instrs))
+        self.stats.bump("translation_cycles", cost)
+        return block
+
+    def _exit_flag_liveness(self, ir) -> int:
+        """Cross-block flag liveness at this block's exit.
+
+        Statically known successors are peeked (see
+        :mod:`repro.dbt.optimizer.flagpeek`); anything else —
+        including syscall and halt exits, whose final flag state the
+        differential tests observe — is fully live.
+        """
+        term = ir.terminator
+        if term.kind is ExitKind.JUMP:
+            return successor_flag_liveness(self.read_code, [term.target])
+        if term.kind is ExitKind.BRANCH:
+            return successor_flag_liveness(
+                self.read_code, [term.target, term.fallthrough]
+            )
+        return ALL_FLAGS_MASK

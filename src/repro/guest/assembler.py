@@ -1,0 +1,579 @@
+"""Two-pass VX86 text assembler.
+
+The assembler is the tool workload programs are written in.  Syntax is
+Intel-flavored::
+
+    .text
+    _start:
+        mov   ecx, 10
+        xor   eax, eax
+    loop:
+        add   eax, ecx
+        dec   ecx
+        jnz   loop
+        mov   ebx, eax          ; exit code
+        mov   eax, 1            ; SYS_exit
+        int   0x80
+
+Features: labels, ``name equ expr`` constants, integer expressions
+(``+ - * << >> & |`` and parentheses) in immediates and displacements,
+``.text`` / ``.data`` sections, ``db`` / ``dd`` / ``dz`` / ``.align``
+data directives, byte-width mnemonic suffix (``addb``, ``movb`` ...),
+and the full Jcc/SETcc condition alias set (``jz``, ``jne``, ``setle``,
+...).
+
+Pass 1 lays out sections and assigns label addresses using fixed-size
+(long form) branch encodings; pass 2 encodes with resolved values.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.guest.encoder import encode_instruction
+from repro.guest.isa import (
+    ALU_GROUP,
+    CONDITION_ALIASES,
+    Immediate,
+    Instruction,
+    MemoryOperand,
+    Op,
+    Operand,
+    REGISTER_NAMES,
+    Register,
+    RegisterOperand,
+)
+from repro.guest.program import GuestProgram, Section, TEXT_BASE
+
+DATA_BASE = 0x08400000
+
+#: Placeholder used in pass 1 for unresolved symbols; large enough to
+#: force 32-bit immediate/displacement forms so sizes are stable.
+_UNRESOLVED = 0x7F000000
+
+
+class AssemblyError(Exception):
+    """A syntax or semantic error in assembly source."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class _Statement:
+    """One parsed source line that emits bytes."""
+
+    line_number: int
+    section: str
+    kind: str  # "instr" | "db" | "dd" | "dz" | "align"
+    mnemonic: str = ""
+    operands: Tuple[str, ...] = ()
+    address: int = 0
+    size: int = 0
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>0x[0-9a-fA-F]+|\d+)|(?P<name>[A-Za-z_.$][\w.$]*)"
+    r"|(?P<op><<|>>|[()+\-*&|])|(?P<char>'(?:\\.|[^'\\])'))"
+)
+
+
+class _ExprParser:
+    """Recursive-descent evaluator for integer constant expressions."""
+
+    def __init__(self, text: str, symbols: Dict[str, int], line_number: int, strict: bool) -> None:
+        self._tokens = self._tokenize(text, line_number)
+        self._pos = 0
+        self._symbols = symbols
+        self._line = line_number
+        self._strict = strict
+
+    def _tokenize(self, text: str, line_number: int) -> List[str]:
+        tokens: List[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match or match.end() == pos:
+                if text[pos:].strip():
+                    raise AssemblyError(line_number, f"bad expression near {text[pos:]!r}")
+                break
+            tokens.append(match.group().strip())
+            pos = match.end()
+        return tokens
+
+    def _peek(self) -> Optional[str]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise AssemblyError(self._line, "unexpected end of expression")
+        self._pos += 1
+        return token
+
+    def parse(self) -> int:
+        value = self._or_expr()
+        if self._peek() is not None:
+            raise AssemblyError(self._line, f"trailing tokens in expression: {self._peek()!r}")
+        return value
+
+    def _or_expr(self) -> int:
+        value = self._and_expr()
+        while self._peek() == "|":
+            self._next()
+            value |= self._and_expr()
+        return value
+
+    def _and_expr(self) -> int:
+        value = self._shift_expr()
+        while self._peek() == "&":
+            self._next()
+            value &= self._shift_expr()
+        return value
+
+    def _shift_expr(self) -> int:
+        value = self._add_expr()
+        while self._peek() in ("<<", ">>"):
+            if self._next() == "<<":
+                value <<= self._add_expr()
+            else:
+                value >>= self._add_expr()
+        return value
+
+    def _add_expr(self) -> int:
+        value = self._mul_expr()
+        while self._peek() in ("+", "-"):
+            if self._next() == "+":
+                value += self._mul_expr()
+            else:
+                value -= self._mul_expr()
+        return value
+
+    def _mul_expr(self) -> int:
+        value = self._unary()
+        while self._peek() == "*":
+            self._next()
+            value *= self._unary()
+        return value
+
+    def _unary(self) -> int:
+        token = self._next()
+        if token == "-":
+            return -self._unary()
+        if token == "+":
+            return self._unary()
+        if token == "(":
+            value = self._or_expr()
+            if self._next() != ")":
+                raise AssemblyError(self._line, "missing closing parenthesis")
+            return value
+        if token.startswith("0x") or token.isdigit():
+            return int(token, 0)
+        if token.startswith("'"):
+            body = token[1:-1]
+            unescaped = body.encode().decode("unicode_escape")
+            if len(unescaped) != 1:
+                raise AssemblyError(self._line, f"bad character literal {token}")
+            return ord(unescaped)
+        if token in self._symbols:
+            return self._symbols[token]
+        if not self._strict:
+            return _UNRESOLVED
+        raise AssemblyError(self._line, f"undefined symbol {token!r}")
+
+
+def _evaluate(text: str, symbols: Dict[str, int], line_number: int, strict: bool) -> int:
+    return _ExprParser(text, symbols, line_number, strict).parse()
+
+
+_MEM_TERM_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s*\*\s*(1|2|4|8)$")
+
+
+def _parse_memory_operand(
+    body: str, symbols: Dict[str, int], line_number: int, strict: bool
+) -> MemoryOperand:
+    """Parse the inside of ``[...]`` into base/index/scale/disp."""
+    base: Optional[Register] = None
+    index: Optional[Register] = None
+    scale = 1
+    disp_terms: List[str] = []
+
+    # Split on top-level +/- while keeping signs with displacement terms.
+    terms: List[str] = []
+    depth = 0
+    current = ""
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char in "+-" and depth == 0 and current.strip():
+            terms.append(current.strip())
+            current = char if char == "-" else ""
+            continue
+        if char == "+" and depth == 0:
+            continue
+        current += char
+    if current.strip():
+        terms.append(current.strip())
+
+    for term in terms:
+        stripped = term.lstrip("-").strip()
+        negative = term.startswith("-")
+        scaled = _MEM_TERM_RE.match(stripped)
+        if scaled and scaled.group(1).lower() in REGISTER_NAMES and not negative:
+            if index is not None:
+                raise AssemblyError(line_number, "multiple index registers")
+            index = REGISTER_NAMES[scaled.group(1).lower()]
+            scale = int(scaled.group(2))
+            continue
+        if stripped.lower() in REGISTER_NAMES and not negative:
+            reg = REGISTER_NAMES[stripped.lower()]
+            if base is None:
+                base = reg
+            elif index is None:
+                index = reg
+            else:
+                raise AssemblyError(line_number, "too many registers in address")
+            continue
+        disp_terms.append(term)
+
+    disp = 0
+    for term in disp_terms:
+        disp += _evaluate(term, symbols, line_number, strict)
+    try:
+        return MemoryOperand(base, index, scale, disp)
+    except ValueError as err:
+        raise AssemblyError(line_number, str(err)) from err
+
+
+def _parse_operand(
+    text: str, symbols: Dict[str, int], line_number: int, strict: bool
+) -> Operand:
+    text = text.strip()
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise AssemblyError(line_number, f"unterminated memory operand {text!r}")
+        return _parse_memory_operand(text[1:-1], symbols, line_number, strict)
+    lowered = text.lower()
+    if lowered in REGISTER_NAMES:
+        return RegisterOperand(REGISTER_NAMES[lowered])
+    return Immediate(_evaluate(text, symbols, line_number, strict))
+
+
+def _split_operands(rest: str) -> Tuple[str, ...]:
+    """Split an operand list on commas not inside brackets/parens/strings."""
+    operands: List[str] = []
+    depth = 0
+    in_string = False
+    current = ""
+    for char in rest:
+        if char == '"':
+            in_string = not in_string
+        elif not in_string:
+            if char in "[(":
+                depth += 1
+            elif char in "])":
+                depth -= 1
+            elif char == "," and depth == 0:
+                operands.append(current.strip())
+                current = ""
+                continue
+        current += char
+    if current.strip():
+        operands.append(current.strip())
+    return tuple(operands)
+
+
+_SIMPLE_OPS = {op.value: op for op in Op if op not in (Op.JCC, Op.SETCC)}
+
+
+def _parse_mnemonic(mnemonic: str, line_number: int) -> Tuple[Op, int, Optional[int]]:
+    """Resolve a mnemonic to (op, width, condition-code)."""
+    lowered = mnemonic.lower()
+    if lowered.startswith("j") and lowered != "jmp":
+        cc = CONDITION_ALIASES.get(lowered[1:])
+        if cc is None:
+            raise AssemblyError(line_number, f"unknown branch mnemonic {mnemonic!r}")
+        return Op.JCC, 32, int(cc)
+    if lowered.startswith("set"):
+        cc = CONDITION_ALIASES.get(lowered[3:])
+        if cc is None:
+            raise AssemblyError(line_number, f"unknown setcc mnemonic {mnemonic!r}")
+        return Op.SETCC, 8, int(cc)
+    if lowered in _SIMPLE_OPS:
+        return _SIMPLE_OPS[lowered], 32, None
+    if lowered.endswith("b") and lowered[:-1] in _SIMPLE_OPS:
+        op = _SIMPLE_OPS[lowered[:-1]]
+        if op not in ALU_GROUP:
+            raise AssemblyError(line_number, f"{op.value} has no byte form")
+        return op, 8, None
+    raise AssemblyError(line_number, f"unknown mnemonic {mnemonic!r}")
+
+
+def _build_instruction(
+    stmt: _Statement, symbols: Dict[str, int], strict: bool
+) -> Instruction:
+    from repro.guest.isa import ConditionCode
+
+    op, width, cc_value = _parse_mnemonic(stmt.mnemonic, stmt.line_number)
+    cc = ConditionCode(cc_value) if cc_value is not None else None
+    operands = stmt.operands
+    line = stmt.line_number
+
+    def operand(i: int) -> Operand:
+        return _parse_operand(operands[i], symbols, line, strict)
+
+    def expect(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                line, f"{stmt.mnemonic} expects {count} operand(s), got {len(operands)}"
+            )
+
+    if op is Op.JCC:
+        expect(1)
+        target = _evaluate(operands[0], symbols, line, strict)
+        return Instruction(op, cc=cc, target=target & 0xFFFFFFFF, address=stmt.address)
+    if op is Op.SETCC:
+        expect(1)
+        return Instruction(op, width=8, dst=operand(0), cc=cc, address=stmt.address)
+    if op in (Op.JMP, Op.CALL):
+        expect(1)
+        text = operands[0].strip()
+        if text.startswith("[") or text.lower() in REGISTER_NAMES:
+            return Instruction(op, dst=operand(0), address=stmt.address)
+        target = _evaluate(text, symbols, line, strict)
+        return Instruction(op, target=target & 0xFFFFFFFF, address=stmt.address)
+    if op is Op.RET:
+        if operands:
+            return Instruction(op, imm=_evaluate(operands[0], symbols, line, strict))
+        return Instruction(op, address=stmt.address)
+    if op is Op.INT:
+        expect(1)
+        return Instruction(op, imm=_evaluate(operands[0], symbols, line, strict))
+    if op in (Op.PUSH, Op.POP):
+        expect(1)
+        return Instruction(op, dst=operand(0), address=stmt.address)
+    if op in (Op.INC, Op.DEC, Op.NEG, Op.NOT):
+        expect(1)
+        return Instruction(op, width, dst=operand(0), address=stmt.address)
+    if op in (Op.MUL, Op.DIV, Op.IDIV):
+        expect(1)
+        return Instruction(op, src=operand(0), address=stmt.address)
+    if op in (Op.CDQ, Op.NOP, Op.HLT):
+        expect(0)
+        return Instruction(op, address=stmt.address)
+    if op in (Op.SHL, Op.SHR, Op.SAR):
+        expect(2)
+        count = operand(1)
+        if isinstance(count, RegisterOperand) and count.reg is not Register.ECX:
+            raise AssemblyError(line, "register shift count must be ecx (CL)")
+        return Instruction(op, width, dst=operand(0), src=count, address=stmt.address)
+    # remaining: two-operand ALU/MOV group + IMUL/LEA/MOVZX/MOVSX/XCHG
+    expect(2)
+    return Instruction(op, width, dst=operand(0), src=operand(1), address=stmt.address)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_EQU_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)\s+equ\s+(.+)$", re.IGNORECASE)
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    for char in line:
+        if char == '"':
+            in_string = not in_string
+        if char in (";", "#") and not in_string:
+            break
+        out.append(char)
+    return "".join(out).rstrip()
+
+
+def _data_bytes(stmt: _Statement, symbols: Dict[str, int], strict: bool) -> bytes:
+    """Materialize db/dd/dz payloads."""
+    out = bytearray()
+    if stmt.kind == "dz":
+        count = _evaluate(stmt.operands[0], symbols, stmt.line_number, strict)
+        return bytes(count)
+    for item in stmt.operands:
+        item = item.strip()
+        if item.startswith('"') and item.endswith('"'):
+            out += item[1:-1].encode().decode("unicode_escape").encode("latin-1")
+            continue
+        value = _evaluate(item, symbols, stmt.line_number, strict)
+        if stmt.kind == "db":
+            out.append(value & 0xFF)
+        else:
+            out += (value & 0xFFFFFFFF).to_bytes(4, "little")
+    return bytes(out)
+
+
+@dataclass
+class _Layout:
+    """One layout iteration's result."""
+
+    statements: List[_Statement]
+    symbols: Dict[str, int]
+    bases: Dict[str, int]
+    entry_symbol: Optional[str]
+
+
+def _layout_pass(
+    source: str,
+    known_symbols: Dict[str, int],
+    text_base: int,
+    data_base: int,
+) -> _Layout:
+    """Parse and lay out the program using last iteration's symbols.
+
+    Unknown symbols evaluate to a large placeholder (forcing long
+    encodings) on the first iteration; later iterations use the real
+    values, so encodings settle to their final sizes.
+    """
+    symbols: Dict[str, int] = dict(known_symbols)
+    defined: set = set()
+    statements: List[_Statement] = []
+    location = {"text": text_base, "data": data_base}
+    bases = {"text": text_base, "data": data_base}
+    data_emitted = False
+    section = "text"
+    entry_symbol: Optional[str] = None
+
+    def define(name: str, value: int, line_number: int) -> None:
+        if name in defined:
+            raise AssemblyError(line_number, f"duplicate label {name!r}")
+        defined.add(name)
+        symbols[name] = value
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+
+        equ = _EQU_RE.match(line)
+        if equ:
+            define(
+                equ.group(1),
+                _evaluate(equ.group(2), symbols, line_number, strict=False),
+                line_number,
+            )
+            continue
+
+        while True:
+            label = _LABEL_RE.match(line)
+            if not label:
+                break
+            define(label.group(1), location[section], line_number)
+            line = line[label.end() :].strip()
+        if not line:
+            continue
+
+        parts = line.split(None, 1)
+        head = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if head == ".text":
+            section = "text"
+            continue
+        if head == ".data":
+            section = "data"
+            if rest:
+                if data_emitted:
+                    raise AssemblyError(line_number, ".data address set after data emitted")
+                location["data"] = _evaluate(rest, symbols, line_number, strict=False)
+                bases["data"] = location["data"]
+            continue
+        if head == ".entry":
+            entry_symbol = rest.strip()
+            continue
+        if head == ".align":
+            alignment = _evaluate(rest, symbols, line_number, strict=False)
+            padding = (-location[section]) % max(1, alignment)
+            stmt = _Statement(line_number, section, "dz", operands=(str(padding),))
+            stmt.address = location[section]
+            stmt.size = padding
+            statements.append(stmt)
+            location[section] += padding
+            continue
+        if head in ("db", "dd", "dz"):
+            if section == "data":
+                data_emitted = True
+            stmt = _Statement(line_number, section, head, operands=_split_operands(rest))
+            stmt.address = location[section]
+            stmt.size = len(_data_bytes(stmt, symbols, strict=False))
+            statements.append(stmt)
+            location[section] += stmt.size
+            continue
+
+        stmt = _Statement(
+            line_number, section, "instr", mnemonic=parts[0], operands=_split_operands(rest)
+        )
+        stmt.address = location[section]
+        instr = _build_instruction(stmt, symbols, strict=False)
+        instr.address = stmt.address
+        stmt.size = len(encode_instruction(instr, allow_short=False))
+        statements.append(stmt)
+        location[section] += stmt.size
+
+    return _Layout(statements, symbols, bases, entry_symbol)
+
+
+_MAX_LAYOUT_ITERATIONS = 10
+
+
+def assemble(
+    source: str,
+    text_base: int = TEXT_BASE,
+    data_base: int = DATA_BASE,
+    name: str = "a.out",
+) -> GuestProgram:
+    """Assemble VX86 source text into a loadable :class:`GuestProgram`.
+
+    Layout iterates to a fixpoint: forward references start as
+    long-form placeholders and shrink to their final encodings once
+    symbol values are known (classic assembler relaxation).
+    """
+    symbols: Dict[str, int] = {}
+    layout: Optional[_Layout] = None
+    for _ in range(_MAX_LAYOUT_ITERATIONS):
+        layout = _layout_pass(source, symbols, text_base, data_base)
+        if layout.symbols == symbols:
+            break
+        symbols = layout.symbols
+    else:
+        raise AssemblyError(0, "layout failed to converge (oscillating encodings)")
+    assert layout is not None
+
+    # ---- final pass: strict encoding at the settled layout ----------------
+    images = {"text": bytearray(), "data": bytearray()}
+    cursor = dict(layout.bases)
+    for stmt in layout.statements:
+        image = images[stmt.section]
+        if stmt.address != cursor[stmt.section]:
+            raise AssemblyError(stmt.line_number, "internal: layout drift")
+        if stmt.kind == "instr":
+            instr = _build_instruction(stmt, symbols, strict=True)
+            instr.address = stmt.address
+            encoded = encode_instruction(instr, allow_short=False)
+        else:
+            encoded = _data_bytes(stmt, symbols, strict=True)
+        if len(encoded) != stmt.size:
+            raise AssemblyError(stmt.line_number, "internal: size drift after convergence")
+        image += encoded
+        cursor[stmt.section] += len(encoded)
+
+    sections = [Section(".text", text_base, bytes(images["text"]))]
+    if images["data"]:
+        sections.append(Section(".data", layout.bases["data"], bytes(images["data"])))
+
+    if layout.entry_symbol is not None:
+        if layout.entry_symbol not in symbols:
+            raise AssemblyError(0, f"entry symbol {layout.entry_symbol!r} undefined")
+        entry = symbols[layout.entry_symbol]
+    else:
+        entry = symbols.get("_start", text_base)
+    return GuestProgram(entry=entry, sections=sections, symbols=dict(symbols), name=name)

@@ -1,0 +1,266 @@
+"""VX86 variable-length instruction decoder.
+
+The decoder is the performance-critical entry point of the translator
+frontend: it turns raw guest bytes into :class:`Instruction` records.
+It accepts every form the encoder emits plus the redundant long/short
+branch encodings, and reports malformed bytes via :class:`DecodeError`
+(the translation system surfaces these as guest faults).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.bitops import sext8, to_signed32
+from repro.guest.isa import (
+    ALU_GROUP,
+    SHIFT_GROUP,
+    ConditionCode,
+    Immediate,
+    Instruction,
+    MemoryOperand,
+    Op,
+    Operand,
+    Register,
+    RegisterOperand,
+)
+from repro.guest.encoder import PREFIX_BYTE_WIDTH, PREFIX_ESCAPE
+
+
+class DecodeError(Exception):
+    """Raised on truncated or malformed instruction bytes."""
+
+    def __init__(self, address: int, message: str) -> None:
+        super().__init__(f"at {address:#x}: {message}")
+        self.address = address
+
+
+class _Cursor:
+    """Byte reader with bounds checking over the code image."""
+
+    def __init__(self, code: bytes, offset: int, address: int) -> None:
+        self._code = code
+        self._offset = offset
+        self._start = offset
+        self.address = address
+
+    def u8(self) -> int:
+        if self._offset >= len(self._code):
+            raise DecodeError(self.address, "truncated instruction")
+        value = self._code[self._offset]
+        self._offset += 1
+        return value
+
+    def i8(self) -> int:
+        return to_signed32(sext8(self.u8()))
+
+    def u16(self) -> int:
+        return self.u8() | (self.u8() << 8)
+
+    def u32(self) -> int:
+        return self.u16() | (self.u16() << 16)
+
+    def i32(self) -> int:
+        return to_signed32(self.u32())
+
+    @property
+    def length(self) -> int:
+        return self._offset - self._start
+
+
+def _decode_modrm(cur: _Cursor) -> Tuple[int, Operand]:
+    """Decode ModRM (+SIB, +disp); returns (reg_field, rm_operand)."""
+    modrm = cur.u8()
+    mod = modrm >> 6
+    reg_field = (modrm >> 3) & 7
+    rm = modrm & 7
+
+    if mod == 3:
+        return reg_field, RegisterOperand(Register(rm))
+
+    base = index = None
+    scale = 1
+    if rm == 4:  # SIB byte follows
+        sib = cur.u8()
+        scale = 1 << (sib >> 6)
+        index_field = (sib >> 3) & 7
+        base_field = sib & 7
+        if index_field != 4:
+            index = Register(index_field)
+        if base_field == 5 and mod == 0:
+            disp = cur.i32()
+            return reg_field, MemoryOperand(None, index, scale, disp)
+        base = Register(base_field)
+    elif rm == 5 and mod == 0:  # absolute disp32
+        disp = cur.i32()
+        return reg_field, MemoryOperand(None, None, 1, disp)
+    else:
+        base = Register(rm)
+
+    if mod == 0:
+        disp = 0
+    elif mod == 1:
+        disp = cur.i8()
+    else:
+        disp = cur.i32()
+    return reg_field, MemoryOperand(base, index, scale, disp)
+
+
+def decode_instruction(code: bytes, offset: int, address: int) -> Instruction:
+    """Decode the instruction at ``code[offset:]`` located at ``address``.
+
+    ``address`` is the guest virtual address of the instruction; it is
+    used to resolve relative branch targets to absolute addresses and is
+    recorded in the returned :class:`Instruction`.
+    """
+    cur = _Cursor(code, offset, address)
+    width = 32
+    opcode = cur.u8()
+    if opcode == PREFIX_BYTE_WIDTH:
+        width = 8
+        opcode = cur.u8()
+
+    if opcode == PREFIX_ESCAPE:
+        return _decode_escape(cur, opcode, width, address)
+
+    instr = _decode_primary(cur, opcode, width, address)
+    instr.address = address
+    instr.length = cur.length
+    return instr
+
+
+def _finish(cur: _Cursor, address: int, instr: Instruction) -> Instruction:
+    instr.address = address
+    instr.length = cur.length
+    return instr
+
+
+def _decode_escape(cur: _Cursor, opcode: int, width: int, address: int) -> Instruction:
+    sub = cur.u8()
+    if 0x80 <= sub <= 0x8F:
+        cc = ConditionCode(sub - 0x80)
+        rel = cur.i32()
+        instr = Instruction(Op.JCC, cc=cc, target=(address + cur.length + rel) & 0xFFFFFFFF)
+        return _finish(cur, address, instr)
+    if 0x90 <= sub <= 0x9F:
+        cc = ConditionCode(sub - 0x90)
+        _, rm = _decode_modrm(cur)
+        instr = Instruction(Op.SETCC, width=8, dst=rm, cc=cc)
+        return _finish(cur, address, instr)
+    raise DecodeError(address, f"unknown escape opcode {sub:#04x}")
+
+
+def _decode_primary(cur: _Cursor, opcode: int, width: int, address: int) -> Instruction:
+    # --- two-operand ALU block -------------------------------------------
+    if opcode <= 0x1F:
+        op = ALU_GROUP[opcode >> 2]
+        form = opcode & 3
+        if form == 0:  # rm <- reg
+            reg_field, rm = _decode_modrm(cur)
+            return Instruction(op, width, dst=rm, src=RegisterOperand(Register(reg_field)))
+        if form == 1:  # reg <- rm
+            reg_field, rm = _decode_modrm(cur)
+            return Instruction(op, width, dst=RegisterOperand(Register(reg_field)), src=rm)
+        if form == 2:  # rm <- imm32
+            _, rm = _decode_modrm(cur)
+            return Instruction(op, width, dst=rm, src=Immediate(cur.i32()))
+        # form 3: rm <- imm8 (sign-extended at width 32, raw byte at width 8)
+        _, rm = _decode_modrm(cur)
+        raw = cur.u8()
+        value = to_signed32(sext8(raw)) if width == 32 else raw
+        return Instruction(op, width, dst=rm, src=Immediate(value))
+
+    # --- shift block -------------------------------------------------------
+    if 0x20 <= opcode <= 0x25:
+        op = SHIFT_GROUP[(opcode - 0x20) >> 1]
+        _, rm = _decode_modrm(cur)
+        if opcode & 1:
+            return Instruction(op, width, dst=rm, src=RegisterOperand(Register.ECX))
+        return Instruction(op, width, dst=rm, src=Immediate(cur.u8()))
+
+    # --- one-operand / mul / div / moves -----------------------------------
+    if opcode == 0x30:
+        _, rm = _decode_modrm(cur)
+        return Instruction(Op.INC, width, dst=rm)
+    if opcode == 0x31:
+        _, rm = _decode_modrm(cur)
+        return Instruction(Op.DEC, width, dst=rm)
+    if opcode == 0x32:
+        _, rm = _decode_modrm(cur)
+        return Instruction(Op.NEG, width, dst=rm)
+    if opcode == 0x33:
+        _, rm = _decode_modrm(cur)
+        return Instruction(Op.NOT, width, dst=rm)
+    if opcode == 0x34:
+        reg_field, rm = _decode_modrm(cur)
+        return Instruction(Op.IMUL, dst=RegisterOperand(Register(reg_field)), src=rm)
+    if opcode in (0x35, 0x36, 0x37):
+        op = {0x35: Op.MUL, 0x36: Op.DIV, 0x37: Op.IDIV}[opcode]
+        _, rm = _decode_modrm(cur)
+        return Instruction(op, src=rm)
+    if opcode == 0x38:
+        reg_field, rm = _decode_modrm(cur)
+        if not isinstance(rm, MemoryOperand):
+            raise DecodeError(address, "lea requires a memory operand")
+        return Instruction(Op.LEA, dst=RegisterOperand(Register(reg_field)), src=rm)
+    if opcode in (0x39, 0x3A):
+        op = Op.MOVZX if opcode == 0x39 else Op.MOVSX
+        reg_field, rm = _decode_modrm(cur)
+        return Instruction(op, dst=RegisterOperand(Register(reg_field)), src=rm)
+    if opcode == 0x3B:
+        reg_field, rm = _decode_modrm(cur)
+        return Instruction(Op.XCHG, dst=RegisterOperand(Register(reg_field)), src=rm)
+    if opcode == 0x3C:
+        return Instruction(Op.CDQ)
+
+    # --- push / pop ----------------------------------------------------------
+    if 0x40 <= opcode <= 0x47:
+        return Instruction(Op.PUSH, dst=RegisterOperand(Register(opcode - 0x40)))
+    if 0x48 <= opcode <= 0x4F:
+        return Instruction(Op.POP, dst=RegisterOperand(Register(opcode - 0x48)))
+    if opcode == 0x50:
+        return Instruction(Op.PUSH, dst=Immediate(cur.i32()))
+    if opcode == 0x51:
+        _, rm = _decode_modrm(cur)
+        return Instruction(Op.PUSH, dst=rm)
+    if opcode == 0x52:
+        _, rm = _decode_modrm(cur)
+        return Instruction(Op.POP, dst=rm)
+
+    # --- branches and the rest ------------------------------------------------
+    if 0x70 <= opcode <= 0x7F:
+        cc = ConditionCode(opcode - 0x70)
+        rel = cur.i8()
+        return Instruction(Op.JCC, cc=cc, target=(address + cur.length + rel) & 0xFFFFFFFF)
+    if opcode == 0x90:
+        return Instruction(Op.NOP)
+    if 0xB8 <= opcode <= 0xBF:
+        return Instruction(
+            Op.MOV, dst=RegisterOperand(Register(opcode - 0xB8)), src=Immediate(cur.i32())
+        )
+    if opcode == 0xC2:
+        return Instruction(Op.RET, imm=cur.u16())
+    if opcode == 0xC3:
+        return Instruction(Op.RET)
+    if opcode == 0xCD:
+        return Instruction(Op.INT, imm=cur.u8())
+    if opcode == 0xE8:
+        rel = cur.i32()
+        return Instruction(Op.CALL, target=(address + cur.length + rel) & 0xFFFFFFFF)
+    if opcode == 0xE9:
+        rel = cur.i32()
+        return Instruction(Op.JMP, target=(address + cur.length + rel) & 0xFFFFFFFF)
+    if opcode == 0xEB:
+        rel = cur.i8()
+        return Instruction(Op.JMP, target=(address + cur.length + rel) & 0xFFFFFFFF)
+    if opcode == 0xF4:
+        return Instruction(Op.HLT)
+    if opcode == 0xFF:
+        reg_field, rm = _decode_modrm(cur)
+        if reg_field == 2:
+            return Instruction(Op.CALL, dst=rm)
+        if reg_field == 4:
+            return Instruction(Op.JMP, dst=rm)
+        raise DecodeError(address, f"unknown 0xFF group member /{reg_field}")
+
+    raise DecodeError(address, f"unknown opcode {opcode:#04x}")

@@ -1,0 +1,209 @@
+"""VX86 condition-code semantics.
+
+The flag-update rules live here in one place so the reference
+interpreter and the translator's generated code are guaranteed to agree.
+Every operation returns ``(result, flags)`` where ``flags`` is the new
+packed flags word derived from the old one (some ops preserve bits —
+INC/DEC preserve CF, shifts by zero preserve everything).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.bitops import MASK32, parity8, u32
+from repro.guest.isa import ConditionCode, Flag
+
+_WIDTH_MASK = {8: 0xFF, 32: MASK32}
+_WIDTH_SIGN = {8: 0x80, 32: 0x80000000}
+
+
+def _set(flags: int, flag: Flag, value: bool) -> int:
+    bit = 1 << flag
+    return (flags | bit) if value else (flags & ~bit)
+
+
+def _szp(flags: int, result: int, width: int) -> int:
+    """Update SF/ZF/PF from ``result`` at ``width``."""
+    flags = _set(flags, Flag.ZF, result == 0)
+    flags = _set(flags, Flag.SF, bool(result & _WIDTH_SIGN[width]))
+    return _set(flags, Flag.PF, parity8(result))
+
+
+def flag_is_set(flags: int, flag: Flag) -> bool:
+    """Test one flag bit of the packed flags word."""
+    return bool(flags & (1 << flag))
+
+
+def alu_add(a: int, b: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """ADD: result and full CF/OF/SF/ZF/PF update."""
+    mask, sign = _WIDTH_MASK[width], _WIDTH_SIGN[width]
+    raw = (a & mask) + (b & mask)
+    result = raw & mask
+    flags = _set(flags, Flag.CF, raw > mask)
+    flags = _set(flags, Flag.OF, bool((~(a ^ b)) & (a ^ result) & sign))
+    return result, _szp(flags, result, width)
+
+
+def alu_sub(a: int, b: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """SUB/CMP: result and full flag update (CF = borrow)."""
+    mask, sign = _WIDTH_MASK[width], _WIDTH_SIGN[width]
+    a &= mask
+    b &= mask
+    result = (a - b) & mask
+    flags = _set(flags, Flag.CF, b > a)
+    flags = _set(flags, Flag.OF, bool((a ^ b) & (a ^ result) & sign))
+    return result, _szp(flags, result, width)
+
+
+def alu_logic(op: str, a: int, b: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """AND/OR/XOR/TEST: CF=OF=0, SF/ZF/PF from result."""
+    mask = _WIDTH_MASK[width]
+    a &= mask
+    b &= mask
+    if op == "and":
+        result = a & b
+    elif op == "or":
+        result = a | b
+    elif op == "xor":
+        result = a ^ b
+    else:
+        raise ValueError(f"unknown logic op {op!r}")
+    flags = _set(flags, Flag.CF, False)
+    flags = _set(flags, Flag.OF, False)
+    return result, _szp(flags, result, width)
+
+
+def alu_inc(a: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """INC: like ADD 1 but CF is preserved."""
+    carry_in = flags & (1 << Flag.CF)
+    result, flags = alu_add(a, 1, flags, width)
+    flags = (flags & ~(1 << Flag.CF)) | carry_in
+    return result, flags
+
+
+def alu_dec(a: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """DEC: like SUB 1 but CF is preserved."""
+    carry_in = flags & (1 << Flag.CF)
+    result, flags = alu_sub(a, 1, flags, width)
+    flags = (flags & ~(1 << Flag.CF)) | carry_in
+    return result, flags
+
+
+def alu_neg(a: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """NEG: subtract from zero; CF set when the operand was non-zero."""
+    result, flags = alu_sub(0, a, flags, width)
+    flags = _set(flags, Flag.CF, (a & _WIDTH_MASK[width]) != 0)
+    return result, flags
+
+
+def alu_shl(a: int, count: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """SHL: CF = last bit shifted out; count 0 leaves flags untouched."""
+    mask, sign = _WIDTH_MASK[width], _WIDTH_SIGN[width]
+    count &= 31
+    if count == 0:
+        return a & mask, flags
+    a &= mask
+    result = (a << count) & mask
+    carry = bool((a << count) & (mask + 1))
+    flags = _set(flags, Flag.CF, carry)
+    flags = _set(flags, Flag.OF, bool(result & sign) != carry)
+    return result, _szp(flags, result, width)
+
+
+def alu_shr(a: int, count: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """SHR (logical right): CF = last bit shifted out; OF = original MSB."""
+    mask, sign = _WIDTH_MASK[width], _WIDTH_SIGN[width]
+    count &= 31
+    if count == 0:
+        return a & mask, flags
+    a &= mask
+    result = a >> count
+    flags = _set(flags, Flag.CF, bool((a >> (count - 1)) & 1))
+    flags = _set(flags, Flag.OF, bool(a & sign))
+    return result, _szp(flags, result, width)
+
+
+def alu_sar(a: int, count: int, flags: int, width: int = 32) -> Tuple[int, int]:
+    """SAR (arithmetic right): CF = last bit shifted out; OF = 0."""
+    mask, sign = _WIDTH_MASK[width], _WIDTH_SIGN[width]
+    count &= 31
+    if count == 0:
+        return a & mask, flags
+    a &= mask
+    signed = a - (mask + 1) if a & sign else a
+    result = (signed >> count) & mask
+    flags = _set(flags, Flag.CF, bool((signed >> (count - 1)) & 1))
+    flags = _set(flags, Flag.OF, False)
+    return result, _szp(flags, result, width)
+
+
+def alu_imul(a: int, b: int, flags: int) -> Tuple[int, int]:
+    """Two-operand IMUL: truncating 32-bit product.
+
+    CF=OF set when the signed product does not fit in 32 bits; VX86
+    additionally defines SF/ZF/PF from the truncated result (IA-32
+    leaves them undefined).
+    """
+    sa = a - 0x100000000 if a & 0x80000000 else a
+    sb = b - 0x100000000 if b & 0x80000000 else b
+    product = sa * sb
+    result = u32(product)
+    overflow = not (-0x80000000 <= product <= 0x7FFFFFFF)
+    flags = _set(flags, Flag.CF, overflow)
+    flags = _set(flags, Flag.OF, overflow)
+    return result, _szp(flags, result, 32)
+
+
+def alu_mul_wide(a: int, b: int, flags: int) -> Tuple[int, int, int]:
+    """Widening unsigned MUL: returns (low, high, flags).
+
+    CF=OF set when the high half is non-zero; SF/ZF/PF defined from the
+    low half (VX86 determinism rule).
+    """
+    product = (a & MASK32) * (b & MASK32)
+    low = product & MASK32
+    high = (product >> 32) & MASK32
+    flags = _set(flags, Flag.CF, high != 0)
+    flags = _set(flags, Flag.OF, high != 0)
+    return low, high, _szp(flags, low, 32)
+
+
+def evaluate_condition(cc: ConditionCode, flags: int) -> bool:
+    """Evaluate an IA-32 condition code against the packed flags word."""
+    cf = flag_is_set(flags, Flag.CF)
+    pf = flag_is_set(flags, Flag.PF)
+    zf = flag_is_set(flags, Flag.ZF)
+    sf = flag_is_set(flags, Flag.SF)
+    of = flag_is_set(flags, Flag.OF)
+    if cc is ConditionCode.O:
+        return of
+    if cc is ConditionCode.NO:
+        return not of
+    if cc is ConditionCode.B:
+        return cf
+    if cc is ConditionCode.AE:
+        return not cf
+    if cc is ConditionCode.E:
+        return zf
+    if cc is ConditionCode.NE:
+        return not zf
+    if cc is ConditionCode.BE:
+        return cf or zf
+    if cc is ConditionCode.A:
+        return not (cf or zf)
+    if cc is ConditionCode.S:
+        return sf
+    if cc is ConditionCode.NS:
+        return not sf
+    if cc is ConditionCode.P:
+        return pf
+    if cc is ConditionCode.NP:
+        return not pf
+    if cc is ConditionCode.L:
+        return sf != of
+    if cc is ConditionCode.GE:
+        return sf == of
+    if cc is ConditionCode.LE:
+        return zf or (sf != of)
+    return not zf and sf == of  # G

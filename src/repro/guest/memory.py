@@ -1,0 +1,112 @@
+"""Sparse byte-addressed guest memory.
+
+Backed by 4KB pages allocated on demand.  This is the *functional*
+memory shared by the reference interpreter and the virtual machine; the
+timing side (caches, MMU, DRAM) lives in :mod:`repro.tiled` and
+:mod:`repro.memsys` and observes accesses without storing data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryFault(Exception):
+    """Raised on access to an unmapped guest address."""
+
+    def __init__(self, address: int, kind: str) -> None:
+        super().__init__(f"{kind} fault at {address:#010x}")
+        self.address = address
+        self.kind = kind
+
+
+class GuestMemory:
+    """Demand-paged flat 32-bit memory.
+
+    Pages must be mapped (via :meth:`map_region` or the loader) before
+    use; access to unmapped pages raises :class:`MemoryFault`, which the
+    VM surfaces as a guest segmentation fault.
+    """
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    # -- mapping -----------------------------------------------------------
+
+    def map_region(self, start: int, size: int) -> None:
+        """Make ``[start, start+size)`` accessible (zero-filled)."""
+        first = start >> PAGE_SHIFT
+        last = (start + size - 1) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            if page not in self._pages:
+                self._pages[page] = bytearray(PAGE_SIZE)
+
+    def is_mapped(self, address: int) -> bool:
+        """True when the page holding ``address`` is mapped."""
+        return (address >> PAGE_SHIFT) in self._pages
+
+    def mapped_pages(self) -> Iterable[int]:
+        """Page numbers currently mapped (for inspection/tests)."""
+        return self._pages.keys()
+
+    def _page(self, address: int, kind: str) -> Tuple[bytearray, int]:
+        page = self._pages.get(address >> PAGE_SHIFT)
+        if page is None:
+            raise MemoryFault(address, kind)
+        return page, address & PAGE_MASK
+
+    # -- scalar access -----------------------------------------------------
+
+    def read_u8(self, address: int) -> int:
+        page, offset = self._page(address, "read")
+        return page[offset]
+
+    def write_u8(self, address: int, value: int) -> None:
+        page, offset = self._page(address, "write")
+        page[offset] = value & 0xFF
+
+    def read_u32(self, address: int) -> int:
+        if (address & PAGE_MASK) <= PAGE_SIZE - 4:
+            page, offset = self._page(address, "read")
+            return int.from_bytes(page[offset : offset + 4], "little")
+        return int.from_bytes(self.read_bytes(address, 4), "little")
+
+    def write_u32(self, address: int, value: int) -> None:
+        if (address & PAGE_MASK) <= PAGE_SIZE - 4:
+            page, offset = self._page(address, "write")
+            page[offset : offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+        else:
+            self.write_bytes(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    # -- bulk access -------------------------------------------------------
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        """Read ``count`` bytes, possibly spanning pages."""
+        out = bytearray()
+        while count > 0:
+            page, offset = self._page(address, "read")
+            chunk = min(count, PAGE_SIZE - offset)
+            out += page[offset : offset + chunk]
+            address += chunk
+            count -= chunk
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data``, possibly spanning pages."""
+        view = memoryview(data)
+        while view:
+            page, offset = self._page(address, "write")
+            chunk = min(len(view), PAGE_SIZE - offset)
+            page[offset : offset + chunk] = view[:chunk]
+            address += chunk
+            view = view[chunk:]
+
+    def load_image(self, address: int, data: bytes) -> None:
+        """Map and populate a region in one step (used by the loader)."""
+        if data:
+            self.map_region(address, len(data))
+            self.write_bytes(address, data)

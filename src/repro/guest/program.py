@@ -1,0 +1,81 @@
+"""Guest program images and the loader.
+
+A :class:`GuestProgram` is the ELF-lite container the assembler
+produces: named sections of bytes at fixed guest virtual addresses, an
+entry point and a symbol table.  The loader maps it into a
+:class:`~repro.guest.memory.GuestMemory` and sets up the stack the way
+the paper's userland environment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.guest.memory import GuestMemory
+
+#: Default layout constants (x86 Linux flavored).
+TEXT_BASE = 0x08048000
+STACK_TOP = 0xBFFF0000
+STACK_SIZE = 256 * 1024
+HEAP_ALIGN = 0x1000
+
+
+@dataclass
+class Section:
+    """A contiguous chunk of the program image."""
+
+    name: str
+    address: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.address + len(self.data)
+
+    def contains(self, address: int) -> bool:
+        return self.address <= address < self.end
+
+
+@dataclass
+class GuestProgram:
+    """A loadable guest program: sections + entry + symbols."""
+
+    entry: int
+    sections: List[Section] = field(default_factory=list)
+    symbols: Dict[str, int] = field(default_factory=dict)
+    name: str = "a.out"
+
+    @property
+    def text(self) -> Section:
+        """The (first) executable section."""
+        for section in self.sections:
+            if section.name == ".text":
+                return section
+        raise ValueError("program has no .text section")
+
+    @property
+    def code_size(self) -> int:
+        """Bytes of code in the .text section (the instruction footprint)."""
+        return len(self.text.data)
+
+    def section_holding(self, address: int) -> Optional[Section]:
+        """The section containing ``address``, or ``None``."""
+        for section in self.sections:
+            if section.contains(address):
+                return section
+        return None
+
+    @property
+    def brk_base(self) -> int:
+        """Initial program break: just past the highest section."""
+        top = max((section.end for section in self.sections), default=TEXT_BASE)
+        return (top + HEAP_ALIGN - 1) & ~(HEAP_ALIGN - 1)
+
+    def load(self, memory: GuestMemory) -> int:
+        """Map all sections plus the stack; returns the initial ESP."""
+        for section in self.sections:
+            memory.load_image(section.address, section.data)
+        memory.map_region(STACK_TOP - STACK_SIZE, STACK_SIZE)
+        # Leave a small red zone below the top for the syscall proxy.
+        return STACK_TOP - 64

@@ -1,0 +1,111 @@
+"""Proxy system-call interface.
+
+The paper's prototype supports userland binaries via a proxy syscall
+tile; we model the same narrow interface.  Calls arrive as ``INT 0x80``
+with the Linux i386 convention: number in EAX, arguments in
+EBX/ECX/EDX; the result is returned in EAX.
+
+Supported calls (i386 numbers): exit(1), read(3), write(4), brk(45),
+plus gettimeofday-like ``times`` stubbed to a deterministic counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.bitops import u32
+from repro.guest.memory import GuestMemory
+
+SYSCALL_VECTOR = 0x80
+
+SYS_EXIT = 1
+SYS_READ = 3
+SYS_WRITE = 4
+SYS_BRK = 45
+SYS_TIMES = 43
+
+_ENOSYS = u32(-38)
+_EBADF = u32(-9)
+
+STDIN = 0
+STDOUT = 1
+STDERR = 2
+
+
+@dataclass
+class SyscallResult:
+    """Outcome of one proxied system call."""
+
+    return_value: int = 0
+    exited: bool = False
+    exit_code: int = 0
+
+
+@dataclass
+class SyscallProxy:
+    """Deterministic userland syscall emulation.
+
+    Output written to stdout/stderr is captured in :attr:`output`;
+    :attr:`stdin` supplies bytes for reads.  ``brk`` manages a linear
+    heap starting at the program break.
+    """
+
+    brk_base: int = 0
+    stdin: bytes = b""
+    output: bytearray = field(default_factory=bytearray)
+    errors: bytearray = field(default_factory=bytearray)
+    call_count: int = 0
+    _stdin_pos: int = 0
+    _brk_current: Optional[int] = None
+    _tick: int = 0
+
+    def __post_init__(self) -> None:
+        self._brk_current = self.brk_base
+
+    @property
+    def stdout_text(self) -> str:
+        """Captured stdout decoded as latin-1 (lossless for bytes)."""
+        return self.output.decode("latin-1")
+
+    def dispatch(self, number: int, args: List[int], memory: GuestMemory) -> SyscallResult:
+        """Execute syscall ``number`` with i386-convention ``args``."""
+        self.call_count += 1
+        if number == SYS_EXIT:
+            return SyscallResult(return_value=0, exited=True, exit_code=args[0] & 0xFF)
+        if number == SYS_WRITE:
+            return self._write(args[0], args[1], args[2], memory)
+        if number == SYS_READ:
+            return self._read(args[0], args[1], args[2], memory)
+        if number == SYS_BRK:
+            return self._brk(args[0], memory)
+        if number == SYS_TIMES:
+            self._tick += 100
+            return SyscallResult(return_value=u32(self._tick))
+        return SyscallResult(return_value=_ENOSYS)
+
+    def _write(self, fd: int, buf: int, count: int, memory: GuestMemory) -> SyscallResult:
+        if fd not in (STDOUT, STDERR):
+            return SyscallResult(return_value=_EBADF)
+        data = memory.read_bytes(buf, count)
+        target = self.output if fd == STDOUT else self.errors
+        target += data
+        return SyscallResult(return_value=count)
+
+    def _read(self, fd: int, buf: int, count: int, memory: GuestMemory) -> SyscallResult:
+        if fd != STDIN:
+            return SyscallResult(return_value=_EBADF)
+        chunk = self.stdin[self._stdin_pos : self._stdin_pos + count]
+        self._stdin_pos += len(chunk)
+        if chunk:
+            memory.write_bytes(buf, chunk)
+        return SyscallResult(return_value=len(chunk))
+
+    def _brk(self, requested: int, memory: GuestMemory) -> SyscallResult:
+        if requested == 0 or requested < self.brk_base:
+            return SyscallResult(return_value=u32(self._brk_current))
+        grow_from = self._brk_current
+        self._brk_current = requested
+        if requested > grow_from:
+            memory.map_region(grow_from, requested - grow_from)
+        return SyscallResult(return_value=u32(self._brk_current))

@@ -1,0 +1,36 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each runner executes the required (workload, configuration) grid on the
+timing VM and formats rows the way the paper's figure reports them.
+Results are cached per-process so figures sharing runs (5, 6 and 7 use
+the same sweep) don't recompute.
+"""
+
+from repro.harness.runner import RunGrid, run_one
+from repro.harness.figures import (
+    FigureResult,
+    figure1_timeline,
+    figure4_l15_cache,
+    figure5_translators,
+    figure6_l2_accesses,
+    figure7_l2_miss_rate,
+    figure8_optimization,
+    figure9_reconfiguration,
+    figure10_relative,
+    table11_intrinsics,
+)
+
+__all__ = [
+    "RunGrid",
+    "run_one",
+    "FigureResult",
+    "figure1_timeline",
+    "figure4_l15_cache",
+    "figure5_translators",
+    "figure6_l2_accesses",
+    "figure7_l2_miss_rate",
+    "figure8_optimization",
+    "figure9_reconfiguration",
+    "figure10_relative",
+    "table11_intrinsics",
+]

@@ -1,0 +1,298 @@
+"""Per-figure experiment runners.
+
+Every function regenerates one table or figure of the paper's
+evaluation section and returns a :class:`FigureResult` whose rows match
+the paper's series.  ``scale`` shrinks the workloads for quick runs
+(benchmarks use 0.5; the full EXPERIMENTS.md regeneration uses 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis import decompose, expected_slowdown_floor, memory_slowdown_factor
+from repro.harness.runner import RunGrid, run_one
+from repro.refmachine.intrinsics import (
+    EMULATOR_INTRINSICS,
+    FLAG_OVERHEAD_FACTOR,
+    PIII_EFFECTIVE_ILP,
+    PIII_INTRINSICS,
+)
+from repro.workloads import SPECINT_NAMES
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: header + per-benchmark rows."""
+
+    figure: str
+    title: str
+    columns: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(col)), *(len(str(row[i])) for row in self.rows)) if self.rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(self.columns, widths)))
+        for row in self.rows:
+            lines.append("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: float, places: int = 1) -> str:
+    return f"{value:.{places}f}"
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — speculative parallel translation timeline (delta-T)
+# ---------------------------------------------------------------------------
+
+
+def figure1_timeline(workload: str = "197.parser", scale: float = 1.0) -> FigureResult:
+    """Sequential-style vs. speculative parallel translation: the same
+    program finishes earlier when translation leaves the critical path."""
+    sequential = run_one(workload, "conservative_1", scale)
+    parallel = run_one(workload, "speculative_4", scale)
+    delta = sequential.cycles - parallel.cycles
+    result = FigureResult(
+        "Figure 1",
+        "Speculative parallel translation removes translation from the critical path",
+        ["configuration", "cycles", "slowdown"],
+    )
+    result.rows.append(["sequential (1 conservative)", str(sequential.cycles),
+                        _fmt(sequential.slowdown)])
+    result.rows.append(["speculative (4 cores)", str(parallel.cycles), _fmt(parallel.slowdown)])
+    result.notes.append(f"deltaT = {delta} cycles "
+                        f"({100.0 * delta / sequential.cycles:.1f}% of the sequential run)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — L1.5 code cache sizes
+# ---------------------------------------------------------------------------
+
+_FIG4_CONFIGS = ["no_l15", "l15_64k", "l15_128k"]
+_FIG4_LABELS = ["no L1.5", "64K 1-bank", "128K 2-bank"]
+
+
+def figure4_l15_cache(
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+) -> FigureResult:
+    """Slowdown under the three L1.5 code cache configurations."""
+    grid = RunGrid(workloads, _FIG4_CONFIGS, scale)
+    result = FigureResult(
+        "Figure 4", "Comparison of L1.5 code cache sizes (slowdown vs PIII)",
+        ["benchmark"] + _FIG4_LABELS,
+    )
+    for workload in workloads:
+        result.rows.append(
+            [workload] + [_fmt(r.slowdown) for r in grid.row(workload)]
+        )
+    result.notes.append(
+        "large-code benchmarks (vpr, gcc, crafty, perlbmk, gap, vortex, twolf) "
+        "benefit most from the L1.5"
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 5/6/7 — translation-tile sweep and L2 code cache statistics
+# ---------------------------------------------------------------------------
+
+_FIG5_CONFIGS = [
+    "conservative_1",
+    "speculative_1",
+    "speculative_2",
+    "speculative_4",
+    "speculative_6",
+    "speculative_9",
+]
+_FIG5_LABELS = ["1 cons", "1 spec", "2 spec", "4 spec", "6 spec", "9 spec"]
+
+
+def figure5_translators(
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+) -> FigureResult:
+    """Slowdown with differing numbers of translation tiles."""
+    grid = RunGrid(workloads, _FIG5_CONFIGS, scale)
+    result = FigureResult(
+        "Figure 5", "Comparison with differing numbers of translation tiles",
+        ["benchmark"] + _FIG5_LABELS,
+    )
+    for workload in workloads:
+        result.rows.append([workload] + [_fmt(r.slowdown) for r in grid.row(workload)])
+    result.notes.append("more translation resources -> faster, saturating; "
+                        "9-translator trades 3 L2 data banks (memory-bound apps regress)")
+    return result
+
+
+def figure6_l2_accesses(
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+) -> FigureResult:
+    """L2 code cache accesses per cycle (shares Figure 5's runs)."""
+    grid = RunGrid(workloads, _FIG5_CONFIGS, scale)
+    result = FigureResult(
+        "Figure 6", "L2 code cache accesses per cycle",
+        ["benchmark"] + _FIG5_LABELS,
+    )
+    for workload in workloads:
+        result.rows.append(
+            [workload] + [f"{r.l2_accesses_per_cycle:.2e}" for r in grid.row(workload)]
+        )
+    result.notes.append("gcc/crafty/vortex access the L2 code cache most often — "
+                        "the congestion behind their slowdowns")
+    return result
+
+
+def figure7_l2_miss_rate(
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+) -> FigureResult:
+    """L2 code cache misses per access (shares Figure 5's runs)."""
+    grid = RunGrid(workloads, _FIG5_CONFIGS, scale)
+    result = FigureResult(
+        "Figure 7", "L2 code cache misses per L2 code cache access",
+        ["benchmark"] + _FIG5_LABELS,
+    )
+    for workload in workloads:
+        result.rows.append(
+            [workload] + [f"{r.l2_miss_rate:.3f}" for r in grid.row(workload)]
+        )
+    result.notes.append("miss rate falls as speculative translators are added")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — code optimization ablation
+# ---------------------------------------------------------------------------
+
+
+def figure8_optimization(
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+) -> FigureResult:
+    """Runtime with and without translation-time optimization."""
+    grid = RunGrid(workloads, ["morph_noopt", "morph_opt"], scale)
+    result = FigureResult(
+        "Figure 8", "No code optimization vs code optimization (6->9 morphing config)",
+        ["benchmark", "without opt", "with opt", "ratio"],
+    )
+    for workload in workloads:
+        noopt, opt = grid.row(workload)
+        result.rows.append(
+            [workload, _fmt(noopt.slowdown), _fmt(opt.slowdown),
+             _fmt(noopt.slowdown / opt.slowdown, 2)]
+        )
+    result.notes.append("optimization wins on every benchmark: its cost is off the "
+                        "critical path (speculative parallel translation)")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 9/10 — static vs dynamic reconfiguration
+# ---------------------------------------------------------------------------
+
+_FIG9_CONFIGS = [
+    "static_1mem_9trans",
+    "static_4mem_6trans",
+    "morph_threshold_15",
+    "morph_threshold_0",
+    "morph_threshold_5",
+]
+_FIG9_LABELS = ["1M/9T", "4M/6T", "morph15", "morph0", "morph5"]
+
+
+def figure9_reconfiguration(
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+) -> FigureResult:
+    """Trading silicon between L2 data cache and translation."""
+    grid = RunGrid(workloads, _FIG9_CONFIGS, scale)
+    result = FigureResult(
+        "Figure 9", "Trading silicon resources between L2 data cache and translation",
+        ["benchmark"] + _FIG9_LABELS + ["reconfigs(15/0/5)"],
+    )
+    for workload in workloads:
+        runs = grid.row(workload)
+        reconfigs = "/".join(str(r.reconfigurations) for r in runs[2:])
+        result.rows.append(
+            [workload] + [_fmt(r.slowdown, 2) for r in runs] + [reconfigs]
+        )
+    return result
+
+
+def figure10_relative(
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+) -> FigureResult:
+    """Figure 9 normalized to the 1-mem/9-trans configuration (higher =
+    faster, in percent)."""
+    grid = RunGrid(workloads, _FIG9_CONFIGS, scale)
+    result = FigureResult(
+        "Figure 10",
+        "Relative performance vs 1 Mem / 9 Trans configuration (% faster)",
+        ["benchmark"] + _FIG9_LABELS[1:],
+    )
+    for workload in workloads:
+        runs = grid.row(workload)
+        base = runs[0].cycles
+        row = [workload]
+        for run in runs[1:]:
+            row.append(_fmt(100.0 * (base - run.cycles) / base, 2))
+        result.rows.append(row)
+    result.notes.append("positive = faster than the 1M/9T static; morphing can beat "
+                        "the best static configuration on phase-heavy benchmarks")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 (table) — architecture intrinsics + CPI accounting
+# ---------------------------------------------------------------------------
+
+
+def table11_intrinsics(measured_low_end: float = None, scale: float = 1.0) -> FigureResult:
+    """Architecture intrinsics and the Section 4.5 slowdown accounting."""
+    result = FigureResult(
+        "Figure 11 (table)", "Architecture intrinsics (latency, occupancy)",
+        ["intrinsic", "Raw Emulator", "PIII"],
+    )
+    for (name, lat_e, occ_e), (_, lat_p, occ_p) in zip(
+        EMULATOR_INTRINSICS.rows(), PIII_INTRINSICS.rows()
+    ):
+        if name == "Exec. Units":
+            result.rows.append([name, str(lat_e), str(lat_p)])
+        else:
+            result.rows.append([name, f"lat {lat_e}, occ {occ_e}", f"lat {lat_p}, occ {occ_p}"])
+
+    memory = memory_slowdown_factor()
+    floor = expected_slowdown_floor()
+    result.notes.append(
+        f"Section 4.5 accounting: memory {memory:.1f}x * ILP {PIII_EFFECTIVE_ILP}x * "
+        f"flags {FLAG_OVERHEAD_FACTOR}x = {floor:.1f}x expected floor (paper: 5.5x)"
+    )
+    if measured_low_end is None:
+        measured_low_end = run_one("181.mcf", "speculative_6", scale).slowdown
+    decomp = decompose(measured_low_end)
+    result.notes.append(
+        f"measured low-end slowdown {measured_low_end:.1f}x -> residual "
+        f"{decomp.residual_factor:.2f}x for translation/caching/codegen "
+        "(paper: ~1.3x at the low end)"
+    )
+    return result
+
+
+#: Everything, in paper order — used by benchmarks/run_all.py.
+ALL_FIGURES = {
+    "figure1": figure1_timeline,
+    "figure4": figure4_l15_cache,
+    "figure5": figure5_translators,
+    "figure6": figure6_l2_accesses,
+    "figure7": figure7_l2_miss_rate,
+    "figure8": figure8_optimization,
+    "figure9": figure9_reconfiguration,
+    "figure10": figure10_relative,
+    "table11": table11_intrinsics,
+}

@@ -1,0 +1,52 @@
+"""Run-grid execution with per-process memoization."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.morph.config import PRESETS, VirtualArchConfig
+from repro.vm.timing import TimingRunResult, run_timing
+from repro.workloads import build_workload
+
+#: (workload, config name, scale) -> result
+_CACHE: Dict[Tuple[str, str, float], TimingRunResult] = {}
+
+
+def run_one(workload: str, config_name: str, scale: float = 1.0) -> TimingRunResult:
+    """Run ``workload`` under preset ``config_name`` (memoized)."""
+    key = (workload, config_name, scale)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    config: VirtualArchConfig = PRESETS[config_name]
+    result = run_timing(build_workload(workload, scale=scale), config)
+    _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    """Forget memoized runs (tests use this)."""
+    _CACHE.clear()
+
+
+class RunGrid:
+    """A (workloads x configs) grid of timing runs."""
+
+    def __init__(
+        self,
+        workloads: Iterable[str],
+        config_names: Iterable[str],
+        scale: float = 1.0,
+    ) -> None:
+        self.workloads: List[str] = list(workloads)
+        self.config_names: List[str] = list(config_names)
+        self.scale = scale
+
+    def result(self, workload: str, config_name: str) -> TimingRunResult:
+        return run_one(workload, config_name, self.scale)
+
+    def column(self, config_name: str) -> List[TimingRunResult]:
+        return [self.result(w, config_name) for w in self.workloads]
+
+    def row(self, workload: str) -> List[TimingRunResult]:
+        return [self.result(workload, c) for c in self.config_names]

@@ -1,0 +1,36 @@
+"""R32: the host instruction set of a Raw tile.
+
+A MIPS-like 32-bit RISC: 32 general registers (``$zero`` hardwired),
+HI/LO multiply/divide results, sign/zero-extending immediates, and
+classic R/I/J 32-bit encodings.  Two deliberate simplifications versus
+MIPS-I are documented here: there are **no branch delay slots**, and a
+reserved primary opcode (``EXITB``) implements the translated-code ->
+runtime handoff that real Raw accomplishes with a jump through a
+dispatch-loop register.
+
+The package mirrors :mod:`repro.guest`: ISA model, binary
+encoder/decoder, a small text assembler for tests, and a functional
+interpreter used to execute translated code in functional mode.
+"""
+
+from repro.host.isa import ExitReason, HostInstr, HostOp, HostReg
+from repro.host.assembler import HostAssemblyError, assemble_host
+from repro.host.decoder import HostDecodeError, decode_host_instruction
+from repro.host.encoder import HostEncodeError, encode_host_instruction
+from repro.host.interpreter import BlockExit, HostFault, HostInterpreter
+
+__all__ = [
+    "ExitReason",
+    "HostInstr",
+    "HostOp",
+    "HostReg",
+    "HostAssemblyError",
+    "assemble_host",
+    "HostDecodeError",
+    "decode_host_instruction",
+    "HostEncodeError",
+    "encode_host_instruction",
+    "BlockExit",
+    "HostFault",
+    "HostInterpreter",
+]

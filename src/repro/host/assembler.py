@@ -1,0 +1,171 @@
+"""Minimal R32 text assembler (used by tests and examples).
+
+Supports labels, all R32 mnemonics, decimal/hex immediates and the
+``offset($base)`` memory syntax::
+
+        lui   $t0, 0x1234
+        ori   $t0, $t0, 0x5678
+    loop:
+        addiu $t1, $t1, 1
+        bne   $t1, $t0, loop
+        exitb branch
+
+Every instruction is 4 bytes, so label resolution is a simple two-pass
+scan.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.host.isa import (
+    BRANCH1_OPS,
+    BRANCH2_OPS,
+    ExitReason,
+    HOST_REGISTER_NAMES,
+    HostInstr,
+    HostOp,
+    HostReg,
+    I_ALU_OPS,
+    MEMORY_OPS,
+    R_TYPE_OPS,
+)
+
+
+class HostAssemblyError(Exception):
+    """Syntax/semantic error in host assembly source."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_MNEMONICS = {op.value: op for op in HostOp}
+_MEM_RE = re.compile(r"^(-?\w+)\((\$\w+)\)$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*):")
+
+
+def _reg(token: str, line: int) -> HostReg:
+    reg = HOST_REGISTER_NAMES.get(token.strip().lower())
+    if reg is None:
+        raise HostAssemblyError(line, f"unknown register {token!r}")
+    return reg
+
+
+def _value(token: str, symbols: Dict[str, int], line: int) -> int:
+    token = token.strip()
+    try:
+        return int(token, 0)
+    except ValueError:
+        if token in symbols:
+            return symbols[token]
+        raise HostAssemblyError(line, f"undefined symbol {token!r}") from None
+
+
+def _parse_line(line: str) -> Tuple[str, List[str]]:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = [chunk.strip() for chunk in parts[1].split(",")] if len(parts) > 1 else []
+    return mnemonic, operands
+
+
+def assemble_host(source: str, base: int = 0) -> Tuple[List[HostInstr], Dict[str, int]]:
+    """Assemble host source; returns (instructions, symbol table)."""
+    lines: List[Tuple[int, str]] = []
+    symbols: Dict[str, int] = {}
+    address = base
+
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = raw.split("#")[0].split(";")[0].strip()
+        if not text:
+            continue
+        while True:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            symbols[match.group(1)] = address
+            text = text[match.end() :].strip()
+        if not text:
+            continue
+        lines.append((line_number, text))
+        address += 4
+
+    instrs: List[HostInstr] = []
+    address = base
+    for line_number, text in lines:
+        instrs.append(_assemble_one(text, address, symbols, line_number))
+        address += 4
+    return instrs, symbols
+
+
+def _assemble_one(
+    text: str, address: int, symbols: Dict[str, int], line: int
+) -> HostInstr:
+    mnemonic, ops = _parse_line(text)
+    if mnemonic == "nop":
+        return HostInstr(HostOp.SLL)
+    if mnemonic == "move":  # pseudo: move $d, $s -> or $d, $s, $zero
+        return HostInstr(HostOp.OR, rd=_reg(ops[0], line), rs=_reg(ops[1], line))
+    if mnemonic == "li":  # pseudo: load 16-bit immediate
+        value = _value(ops[1], symbols, line)
+        if not -0x8000 <= value <= 0x7FFF:
+            raise HostAssemblyError(line, "li immediate out of 16-bit range; use lui/ori")
+        return HostInstr(HostOp.ADDIU, rt=_reg(ops[0], line), rs=HostReg.ZERO, imm=value)
+
+    op = _MNEMONICS.get(mnemonic)
+    if op is None:
+        raise HostAssemblyError(line, f"unknown mnemonic {mnemonic!r}")
+
+    if op in R_TYPE_OPS:
+        return HostInstr(op, rd=_reg(ops[0], line), rs=_reg(ops[1], line), rt=_reg(ops[2], line))
+    if op in (HostOp.SLL, HostOp.SRL, HostOp.SRA):
+        return HostInstr(
+            op, rd=_reg(ops[0], line), rt=_reg(ops[1], line), shamt=_value(ops[2], symbols, line)
+        )
+    if op in (HostOp.MULT, HostOp.MULTU, HostOp.DIV, HostOp.DIVU):
+        return HostInstr(op, rs=_reg(ops[0], line), rt=_reg(ops[1], line))
+    if op in (HostOp.MFHI, HostOp.MFLO):
+        return HostInstr(op, rd=_reg(ops[0], line))
+    if op in I_ALU_OPS:
+        return HostInstr(
+            op, rt=_reg(ops[0], line), rs=_reg(ops[1], line), imm=_value(ops[2], symbols, line)
+        )
+    if op is HostOp.LUI:
+        return HostInstr(op, rt=_reg(ops[0], line), imm=_value(ops[1], symbols, line))
+    if op in MEMORY_OPS:
+        match = _MEM_RE.match(ops[1].replace(" ", ""))
+        if not match:
+            raise HostAssemblyError(line, f"bad memory operand {ops[1]!r}")
+        return HostInstr(
+            op,
+            rt=_reg(ops[0], line),
+            rs=_reg(match.group(2), line),
+            imm=_value(match.group(1), symbols, line),
+        )
+    if op in BRANCH2_OPS:
+        target = _value(ops[2], symbols, line)
+        return HostInstr(
+            op,
+            rs=_reg(ops[0], line),
+            rt=_reg(ops[1], line),
+            imm=(target - (address + 4)) >> 2,
+        )
+    if op in BRANCH1_OPS:
+        target = _value(ops[1], symbols, line)
+        return HostInstr(op, rs=_reg(ops[0], line), imm=(target - (address + 4)) >> 2)
+    if op in (HostOp.J, HostOp.JAL):
+        return HostInstr(op, target=_value(ops[0], symbols, line))
+    if op is HostOp.JR:
+        return HostInstr(op, rs=_reg(ops[0], line))
+    if op is HostOp.JALR:
+        if len(ops) == 1:
+            return HostInstr(op, rd=HostReg.RA, rs=_reg(ops[0], line))
+        return HostInstr(op, rd=_reg(ops[0], line), rs=_reg(ops[1], line))
+    if op is HostOp.EXITB:
+        reason = ops[0].upper() if ops else "BRANCH"
+        try:
+            return HostInstr(op, imm=int(ExitReason[reason]))
+        except KeyError:
+            raise HostAssemblyError(line, f"unknown exit reason {ops[0]!r}") from None
+    raise HostAssemblyError(line, f"cannot assemble {mnemonic!r}")  # pragma: no cover

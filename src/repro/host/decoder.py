@@ -1,0 +1,59 @@
+"""R32 binary decoder: 32-bit words -> :class:`HostInstr`."""
+
+from __future__ import annotations
+
+from repro.common.bitops import sext16, to_signed32
+from repro.host.encoder import FUNCT_CODES, PRIMARY_CODES, REGIMM_CODES, ZERO_EXTEND_IMM_OPS
+from repro.host.isa import HostInstr, HostOp, HostReg
+
+_FUNCT_TO_OP = {code: op for op, code in FUNCT_CODES.items()}
+_PRIMARY_TO_OP = {code: op for op, code in PRIMARY_CODES.items()}
+_REGIMM_TO_OP = {code: op for op, code in REGIMM_CODES.items()}
+
+
+class HostDecodeError(Exception):
+    """Raised on a word that is not a valid R32 instruction."""
+
+    def __init__(self, word: int, message: str) -> None:
+        super().__init__(f"word {word:#010x}: {message}")
+        self.word = word
+
+
+def decode_host_instruction(word: int, address: int = 0) -> HostInstr:
+    """Decode one 32-bit word fetched from host address ``address``.
+
+    ``address`` is used to materialize absolute J/JAL targets from the
+    26-bit region index.
+    """
+    primary = (word >> 26) & 0x3F
+    rs = HostReg((word >> 21) & 0x1F)
+    rt = HostReg((word >> 16) & 0x1F)
+
+    if primary == 0x00:  # SPECIAL
+        funct = word & 0x3F
+        op = _FUNCT_TO_OP.get(funct)
+        if op is None:
+            raise HostDecodeError(word, f"unknown funct {funct:#04x}")
+        rd = HostReg((word >> 11) & 0x1F)
+        shamt = (word >> 6) & 0x1F
+        return HostInstr(op, rd=rd, rs=rs, rt=rt, shamt=shamt)
+
+    if primary == 0x01:  # REGIMM
+        op = _REGIMM_TO_OP.get(int(rt))
+        if op is None:
+            raise HostDecodeError(word, f"unknown regimm selector {int(rt)}")
+        return HostInstr(op, rs=rs, imm=to_signed32(sext16(word & 0xFFFF)))
+
+    op = _PRIMARY_TO_OP.get(primary)
+    if op is None:
+        raise HostDecodeError(word, f"unknown primary opcode {primary:#04x}")
+    if op in (HostOp.J, HostOp.JAL):
+        index = word & 0x03FFFFFF
+        target = ((address + 4) & 0xF0000000) | (index << 2)
+        return HostInstr(op, target=target)
+    raw_imm = word & 0xFFFF
+    if op in ZERO_EXTEND_IMM_OPS or op is HostOp.LUI or op is HostOp.EXITB:
+        imm = raw_imm
+    else:
+        imm = to_signed32(sext16(raw_imm))
+    return HostInstr(op, rs=rs, rt=rt, imm=imm)

@@ -1,0 +1,280 @@
+"""R32 functional interpreter and host code space.
+
+Used in *functional* fidelity mode: translated blocks are installed
+into a :class:`HostCodeSpace` and executed here instruction by
+instruction, so the whole translation pipeline (decode -> IR ->
+optimize -> codegen -> chaining) is exercised for real and can be
+differentially tested against the guest reference interpreter.
+
+Deviations from MIPS-I, both documented in :mod:`repro.host`:
+
+* no branch delay slots;
+* ``LW``/``SW`` tolerate unaligned addresses (guest x86 code performs
+  unaligned accesses; real Raw handles them with a multi-instruction
+  sequence whose cost the timing model charges separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from repro.common.bitops import MASK32, sext8, to_signed32, u32
+from repro.host.encoder import encode_host_instruction
+from repro.host.isa import ExitReason, HostInstr, HostOp, HostReg
+
+
+class HostFault(Exception):
+    """Raised on invalid host execution (bad fetch, div-by-zero, ...)."""
+
+    def __init__(self, pc: int, message: str) -> None:
+        super().__init__(f"host fault at {pc:#010x}: {message}")
+        self.pc = pc
+
+
+class DataPort(Protocol):
+    """Memory interface translated code loads/stores through."""
+
+    def load_u32(self, address: int) -> int: ...
+
+    def load_u8(self, address: int) -> int: ...
+
+    def store_u32(self, address: int, value: int) -> None: ...
+
+    def store_u8(self, address: int, value: int) -> None: ...
+
+
+@dataclass
+class BlockExit:
+    """Result of running translated code until an ``EXITB``."""
+
+    reason: ExitReason
+    next_guest_pc: int
+    exit_pc: int  # host address of the EXITB (chaining patch site)
+    instructions: int  # host instructions executed
+
+
+class HostCodeSpace:
+    """Host instruction memory.
+
+    Instructions are stored both encoded (so every emitted instruction
+    is validated and sized honestly) and decoded (so execution does not
+    re-decode).  ``patch`` supports branch chaining: overwriting a
+    single instruction word in place.
+    """
+
+    def __init__(self) -> None:
+        self._instrs: Dict[int, HostInstr] = {}
+        self._words: Dict[int, int] = {}
+
+    def write_block(self, address: int, instrs: List[HostInstr]) -> int:
+        """Install ``instrs`` contiguously at ``address``; returns end address."""
+        if address & 3:
+            raise ValueError(f"block address {address:#x} not word aligned")
+        for i, instr in enumerate(instrs):
+            word_address = address + 4 * i
+            self._words[word_address] = encode_host_instruction(instr)
+            self._instrs[word_address] = instr
+        return address + 4 * len(instrs)
+
+    def patch(self, address: int, instr: HostInstr) -> None:
+        """Overwrite the single instruction at ``address`` (chaining)."""
+        if address not in self._instrs:
+            raise ValueError(f"patch target {address:#x} holds no instruction")
+        self._words[address] = encode_host_instruction(instr)
+        self._instrs[address] = instr
+
+    def fetch(self, address: int) -> Optional[HostInstr]:
+        """The instruction at ``address`` or ``None``."""
+        return self._instrs.get(address)
+
+    def erase(self, address: int, length_bytes: int) -> None:
+        """Remove instructions in ``[address, address+length)`` (cache flush)."""
+        for word_address in range(address, address + length_bytes, 4):
+            self._instrs.pop(word_address, None)
+            self._words.pop(word_address, None)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._instrs
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self._instrs)
+
+
+class HostInterpreter:
+    """Executes host code from a code space against a data port."""
+
+    def __init__(self, code: HostCodeSpace, data: DataPort) -> None:
+        self.code = code
+        self.data = data
+        self.regs: List[int] = [0] * 32
+        self.hi = 0
+        self.lo = 0
+        self.instructions_executed = 0
+        #: When set, queried before following a chained jump (``J``); a
+        #: truthy result severs the chain for this transit and returns
+        #: control to the dispatch loop with the guest target in $v0.
+        #: Used by self-modifying-code handling: pending invalidations
+        #: must not let execution chain into stale translations.
+        self.chain_barrier = None
+
+    def __getitem__(self, reg: HostReg) -> int:
+        return self.regs[reg]
+
+    def __setitem__(self, reg: HostReg, value: int) -> None:
+        if reg is not HostReg.ZERO:
+            self.regs[reg] = u32(value)
+
+    def run_block(self, entry: int, max_instructions: int = 5_000_000) -> BlockExit:
+        """Execute from ``entry`` until an ``EXITB`` is reached.
+
+        Chained direct jumps (``J``) between blocks are followed, so a
+        single call can traverse many chained blocks — exactly the
+        behaviour that makes chaining profitable on the real system.
+        """
+        pc = entry
+        executed = 0
+        regs = self.regs
+        while True:
+            instr = self.code.fetch(pc)
+            if instr is None:
+                raise HostFault(pc, "fetch from empty code space")
+            if executed >= max_instructions:
+                raise HostFault(pc, f"exceeded {max_instructions} host instructions")
+            executed += 1
+            op = instr.op
+
+            if op is HostOp.EXITB:
+                self.instructions_executed += executed
+                return BlockExit(
+                    reason=ExitReason(instr.imm),
+                    next_guest_pc=regs[HostReg.V0],
+                    exit_pc=pc,
+                    instructions=executed,
+                )
+
+            next_pc = pc + 4
+            if op is HostOp.ADDU:
+                regs[instr.rd] = (regs[instr.rs] + regs[instr.rt]) & MASK32
+            elif op is HostOp.SUBU:
+                regs[instr.rd] = (regs[instr.rs] - regs[instr.rt]) & MASK32
+            elif op is HostOp.AND:
+                regs[instr.rd] = regs[instr.rs] & regs[instr.rt]
+            elif op is HostOp.OR:
+                regs[instr.rd] = regs[instr.rs] | regs[instr.rt]
+            elif op is HostOp.XOR:
+                regs[instr.rd] = regs[instr.rs] ^ regs[instr.rt]
+            elif op is HostOp.NOR:
+                regs[instr.rd] = ~(regs[instr.rs] | regs[instr.rt]) & MASK32
+            elif op is HostOp.SLT:
+                regs[instr.rd] = int(to_signed32(regs[instr.rs]) < to_signed32(regs[instr.rt]))
+            elif op is HostOp.SLTU:
+                regs[instr.rd] = int(regs[instr.rs] < regs[instr.rt])
+            elif op is HostOp.SLL:
+                regs[instr.rd] = (regs[instr.rt] << instr.shamt) & MASK32
+            elif op is HostOp.SRL:
+                regs[instr.rd] = regs[instr.rt] >> instr.shamt
+            elif op is HostOp.SRA:
+                regs[instr.rd] = to_signed32(regs[instr.rt]) >> instr.shamt & MASK32
+            elif op is HostOp.SLLV:
+                regs[instr.rd] = (regs[instr.rt] << (regs[instr.rs] & 31)) & MASK32
+            elif op is HostOp.SRLV:
+                regs[instr.rd] = regs[instr.rt] >> (regs[instr.rs] & 31)
+            elif op is HostOp.SRAV:
+                regs[instr.rd] = (to_signed32(regs[instr.rt]) >> (regs[instr.rs] & 31)) & MASK32
+            elif op is HostOp.ADDIU:
+                regs[instr.rt] = (regs[instr.rs] + instr.imm) & MASK32
+            elif op is HostOp.SLTI:
+                regs[instr.rt] = int(to_signed32(regs[instr.rs]) < instr.imm)
+            elif op is HostOp.SLTIU:
+                regs[instr.rt] = int(regs[instr.rs] < u32(instr.imm))
+            elif op is HostOp.ANDI:
+                regs[instr.rt] = regs[instr.rs] & instr.imm
+            elif op is HostOp.ORI:
+                regs[instr.rt] = regs[instr.rs] | instr.imm
+            elif op is HostOp.XORI:
+                regs[instr.rt] = regs[instr.rs] ^ instr.imm
+            elif op is HostOp.LUI:
+                regs[instr.rt] = (instr.imm << 16) & MASK32
+            elif op is HostOp.LW:
+                regs[instr.rt] = self.data.load_u32((regs[instr.rs] + instr.imm) & MASK32)
+            elif op is HostOp.LBU:
+                regs[instr.rt] = self.data.load_u8((regs[instr.rs] + instr.imm) & MASK32)
+            elif op is HostOp.LB:
+                regs[instr.rt] = sext8(self.data.load_u8((regs[instr.rs] + instr.imm) & MASK32))
+            elif op is HostOp.SW:
+                self.data.store_u32((regs[instr.rs] + instr.imm) & MASK32, regs[instr.rt])
+            elif op is HostOp.SB:
+                self.data.store_u8((regs[instr.rs] + instr.imm) & MASK32, regs[instr.rt] & 0xFF)
+            elif op is HostOp.MULT:
+                product = to_signed32(regs[instr.rs]) * to_signed32(regs[instr.rt])
+                self.lo = product & MASK32
+                self.hi = (product >> 32) & MASK32
+            elif op is HostOp.MULTU:
+                product = regs[instr.rs] * regs[instr.rt]
+                self.lo = product & MASK32
+                self.hi = (product >> 32) & MASK32
+            elif op is HostOp.DIV:
+                divisor = to_signed32(regs[instr.rt])
+                if divisor == 0:
+                    raise HostFault(pc, "signed divide by zero")
+                dividend = to_signed32(regs[instr.rs])
+                quotient = abs(dividend) // abs(divisor)
+                if (dividend < 0) != (divisor < 0):
+                    quotient = -quotient
+                self.lo = u32(quotient)
+                self.hi = u32(dividend - quotient * divisor)
+            elif op is HostOp.DIVU:
+                if regs[instr.rt] == 0:
+                    raise HostFault(pc, "unsigned divide by zero")
+                self.lo = regs[instr.rs] // regs[instr.rt]
+                self.hi = regs[instr.rs] % regs[instr.rt]
+            elif op is HostOp.MFHI:
+                regs[instr.rd] = self.hi
+            elif op is HostOp.MFLO:
+                regs[instr.rd] = self.lo
+            elif op is HostOp.BEQ:
+                if regs[instr.rs] == regs[instr.rt]:
+                    next_pc = pc + 4 + (instr.imm << 2)
+            elif op is HostOp.BNE:
+                if regs[instr.rs] != regs[instr.rt]:
+                    next_pc = pc + 4 + (instr.imm << 2)
+            elif op is HostOp.BLEZ:
+                if to_signed32(regs[instr.rs]) <= 0:
+                    next_pc = pc + 4 + (instr.imm << 2)
+            elif op is HostOp.BGTZ:
+                if to_signed32(regs[instr.rs]) > 0:
+                    next_pc = pc + 4 + (instr.imm << 2)
+            elif op is HostOp.BLTZ:
+                if to_signed32(regs[instr.rs]) < 0:
+                    next_pc = pc + 4 + (instr.imm << 2)
+            elif op is HostOp.BGEZ:
+                if to_signed32(regs[instr.rs]) >= 0:
+                    next_pc = pc + 4 + (instr.imm << 2)
+            elif op is HostOp.J:
+                if self.chain_barrier is not None and self.chain_barrier():
+                    # chained transit suppressed: exit to the dispatch
+                    # loop with the guest target already in $v0 (the
+                    # stub's lui/ori executed just before this J)
+                    self.instructions_executed += executed
+                    return BlockExit(
+                        reason=ExitReason.BRANCH,
+                        next_guest_pc=regs[HostReg.V0],
+                        exit_pc=pc,
+                        instructions=executed,
+                    )
+                next_pc = instr.target
+            elif op is HostOp.JAL:
+                regs[HostReg.RA] = pc + 4
+                next_pc = instr.target
+            elif op is HostOp.JR:
+                next_pc = regs[instr.rs]
+            elif op is HostOp.JALR:
+                regs[instr.rd] = pc + 4
+                next_pc = regs[instr.rs]
+            else:  # pragma: no cover - exhaustive over HostOp
+                raise HostFault(pc, f"unimplemented host op {op}")
+
+            regs[HostReg.ZERO] = 0
+            pc = next_pc

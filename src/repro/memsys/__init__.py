@@ -1,0 +1,19 @@
+"""The emulator's pipelined memory system (Figure 2).
+
+An access that misses the execution tile's L1 data cache is sent over
+the network to the **MMU tile**, which translates guest-virtual ->
+guest-physical -> host-physical through a TLB backed by a real
+two-level page table, then forwards the request to the **L2 data-cache
+bank tile** owning that line ("transactor style ... fractions of the
+physical address space").  A bank miss goes to off-chip DRAM.
+
+Timing composes network hops, MMU occupancy, bank occupancy and DRAM
+latency so that the defaults land on the paper's Table 11 intrinsics:
+L1 hit latency 6 / occupancy 4, L2 hit ~87, L2 miss ~151.
+"""
+
+from repro.memsys.pagetable import PageTable
+from repro.memsys.tlb import Tlb
+from repro.memsys.memsystem import MemoryAccessOutcome, PipelinedMemorySystem
+
+__all__ = ["PageTable", "Tlb", "PipelinedMemorySystem", "MemoryAccessOutcome"]

@@ -1,0 +1,40 @@
+"""Software TLB kept on the MMU tile."""
+
+from __future__ import annotations
+
+from repro.common.lru import LruDict
+from repro.common.stats import StatSet
+from repro.memsys.pagetable import PAGE_SHIFT, PAGE_SIZE, PageTable
+
+DEFAULT_TLB_ENTRIES = 64
+
+
+class Tlb:
+    """Fully-associative LRU TLB over the two-level page table."""
+
+    def __init__(self, page_table: PageTable, entries: int = DEFAULT_TLB_ENTRIES) -> None:
+        self.page_table = page_table
+        self._entries = LruDict(entries)
+        self.stats = StatSet("tlb")
+
+    def translate(self, address: int) -> tuple:
+        """Translate; returns (host_address, walk_touches) — touches is 0 on a hit."""
+        page = address >> PAGE_SHIFT
+        frame = self._entries.get(page)
+        self.stats.bump("lookups")
+        if frame is not None:
+            self.stats.bump("hits")
+            return (frame << PAGE_SHIFT) | (address & (PAGE_SIZE - 1)), 0
+        self.stats.bump("misses")
+        host_address, touches = self.page_table.walk(address)
+        self._entries.put(page, host_address >> PAGE_SHIFT)
+        return host_address, touches
+
+    def flush(self) -> None:
+        """Drop all entries (e.g. after remapping)."""
+        self._entries.clear()
+        self.stats.bump("flushes")
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.ratio("misses", "lookups")

@@ -1,0 +1,17 @@
+"""Static and dynamic virtual architecture reconfiguration (Section 2.3).
+
+A :class:`VirtualArchConfig` is one point in the design space the
+virtual architecture can occupy — how many tiles are translation
+slaves, L2 data-cache banks and L1.5 code-cache banks, and whether the
+translator optimizes.  *Static* reconfiguration is picking one per
+application; *dynamic* reconfiguration ("morphing") trades L2
+data-cache tiles against translation tiles at runtime, driven by the
+translation work-queue length with hysteresis, paying the cache-flush
+cost the paper describes.
+"""
+
+from repro.morph.config import PRESETS, VirtualArchConfig
+from repro.morph.policy import QueueLengthPolicy
+from repro.morph.controller import MorphController
+
+__all__ = ["VirtualArchConfig", "PRESETS", "QueueLengthPolicy", "MorphController"]

@@ -1,0 +1,97 @@
+"""Virtual architecture configurations.
+
+The 16 tiles split into fixed roles (execution, MMU, manager, syscall)
+plus a configurable budget shared by translation slaves, L2 data-cache
+banks and L1.5 code-cache banks.  The presets reproduce every
+configuration the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+#: Tiles not available to the configurable budget.
+FIXED_TILES = 4  # execution, MMU, manager, syscall
+
+TOTAL_TILES = 16
+
+
+@dataclass(frozen=True)
+class VirtualArchConfig:
+    """One allocation of the tiled fabric to emulator functions."""
+
+    name: str
+    translator_tiles: int = 6
+    l2_bank_tiles: int = 4
+    l15_banks: int = 2
+    speculative: bool = True
+    optimize: bool = True
+    #: dynamic reconfiguration between (9 trans / 1 mem) and
+    #: (6 trans / 4 mem); ``morph_threshold`` is the queue length above
+    #: which the translation-heavy shape is chosen
+    morphing: bool = False
+    morph_threshold: int = 5
+    #: Section 5 hardware-assist ablations: TLB-backed guest loads and
+    #: stores (drops the L1 hit to PIII-class latency), and a hardware
+    #: instruction cache (a large virtual L1 code cache with chaining
+    #: across the whole instruction working set)
+    hardware_mmu: bool = False
+    hardware_icache: bool = False
+
+    def __post_init__(self) -> None:
+        used = FIXED_TILES + self.translator_tiles + self.l2_bank_tiles + self.l15_banks
+        if used > TOTAL_TILES:
+            raise ValueError(
+                f"{self.name}: {used} tiles needed but the fabric has {TOTAL_TILES}"
+            )
+        if self.translator_tiles < 1:
+            raise ValueError(f"{self.name}: at least one translation tile required")
+
+    def with_(self, **changes) -> "VirtualArchConfig":
+        """A copy with fields replaced (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+def _presets() -> Dict[str, VirtualArchConfig]:
+    presets = {}
+
+    def add(config: VirtualArchConfig) -> None:
+        presets[config.name] = config
+
+    # the workhorse configuration (Figures 4, 6, 7 baseline)
+    add(VirtualArchConfig("default"))
+
+    # Figure 4: L1.5 code cache sweep
+    add(VirtualArchConfig("no_l15", l15_banks=0))
+    add(VirtualArchConfig("l15_64k", l15_banks=1))
+    add(VirtualArchConfig("l15_128k", l15_banks=2))
+
+    # Figure 5: translation tile sweep (9 translators trade 3 L2 banks)
+    add(VirtualArchConfig("conservative_1", translator_tiles=1, speculative=False))
+    add(VirtualArchConfig("speculative_1", translator_tiles=1))
+    add(VirtualArchConfig("speculative_2", translator_tiles=2))
+    add(VirtualArchConfig("speculative_4", translator_tiles=4))
+    add(VirtualArchConfig("speculative_6", translator_tiles=6))
+    add(VirtualArchConfig("speculative_9", translator_tiles=9, l2_bank_tiles=1))
+
+    # Figure 8: optimization ablation (on the 6<->9 morphing config)
+    add(VirtualArchConfig("morph_noopt", morphing=True, optimize=False))
+    add(VirtualArchConfig("morph_opt", morphing=True))
+
+    # Figure 9/10: static extremes and morphing thresholds
+    add(VirtualArchConfig("static_1mem_9trans", translator_tiles=9, l2_bank_tiles=1))
+    add(VirtualArchConfig("static_4mem_6trans", translator_tiles=6, l2_bank_tiles=4))
+    add(VirtualArchConfig("morph_threshold_15", morphing=True, morph_threshold=15))
+    add(VirtualArchConfig("morph_threshold_0", morphing=True, morph_threshold=0))
+    add(VirtualArchConfig("morph_threshold_5", morphing=True, morph_threshold=5))
+
+    # Section 5 hardware-assist ablations (projection, not measurement)
+    add(VirtualArchConfig("hw_mmu", hardware_mmu=True))
+    add(VirtualArchConfig("hw_icache", hardware_icache=True))
+    add(VirtualArchConfig("hw_full", hardware_mmu=True, hardware_icache=True))
+    return presets
+
+
+#: Every configuration the paper's evaluation uses, by name.
+PRESETS: Dict[str, VirtualArchConfig] = _presets()

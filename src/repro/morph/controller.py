@@ -1,0 +1,101 @@
+"""The dynamic reconfiguration manager.
+
+"Some centralized manager ... introspectively analyzes the current
+configuration of the virtual machine, the dynamic instruction stream,
+and the needs of the dynamic instruction stream" — here, a sampled
+check of the translation queue length that flips the fabric between a
+translation-heavy shape (9 slaves / 1 L2 data bank) and a memory-heavy
+shape (6 slaves / 4 L2 data banks), charging the cache-flush and drain
+costs on every flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.common.stats import StatSet
+from repro.dbt.speculative import TranslationSubsystem
+from repro.memsys.memsystem import PipelinedMemorySystem
+from repro.morph.policy import (
+    QueueLengthPolicy,
+    SHAPE_MEMORY_HEAVY,
+    SHAPE_TRANSLATION_HEAVY,
+)
+
+#: Check the queue length every N block executions (sampling keeps the
+#: monitoring cost inconsequential, as the paper prescribes).
+SAMPLE_INTERVAL_BLOCKS = 64
+
+
+@dataclass
+class MorphShape:
+    """One of the two fabric shapes morphing flips between."""
+
+    name: str
+    translator_tiles: int
+    bank_coords: List[tuple]
+
+
+class MorphController:
+    """Applies :class:`QueueLengthPolicy` decisions to the machine."""
+
+    def __init__(
+        self,
+        memsys: PipelinedMemorySystem,
+        subsystem: TranslationSubsystem,
+        policy: QueueLengthPolicy,
+        all_bank_coords: List[tuple],
+    ) -> None:
+        if len(all_bank_coords) < 4:
+            raise ValueError("morphing needs the 4-bank floorplan to trade from")
+        self.memsys = memsys
+        self.subsystem = subsystem
+        self.policy = policy
+        self.shapes = {
+            SHAPE_TRANSLATION_HEAVY: MorphShape(
+                SHAPE_TRANSLATION_HEAVY, translator_tiles=9, bank_coords=all_bank_coords[:1]
+            ),
+            SHAPE_MEMORY_HEAVY: MorphShape(
+                SHAPE_MEMORY_HEAVY, translator_tiles=6, bank_coords=list(all_bank_coords)
+            ),
+        }
+        # programs start with everything untranslated: translation-heavy
+        self.current_shape = SHAPE_TRANSLATION_HEAVY
+        self._apply(self.shapes[self.current_shape], now=0, charge=False)
+        self.stats = StatSet("morph")
+        self._blocks_since_sample = 0
+
+    def on_block_executed(self, now: int) -> int:
+        """Sampled policy check; returns reconfiguration cost in cycles."""
+        self._blocks_since_sample += 1
+        if self._blocks_since_sample < SAMPLE_INTERVAL_BLOCKS:
+            return 0
+        self._blocks_since_sample = 0
+        return self.sample(now)
+
+    def sample(self, now: int) -> int:
+        """Run the policy once; returns the cycles spent reconfiguring."""
+        self.stats.bump("samples")
+        queue_length = self.subsystem.take_queue_high_water()
+        decision = self.policy.decide(now, queue_length, self.current_shape)
+        if decision is None:
+            return 0
+        cost = self._apply(self.shapes[decision], now, charge=True)
+        self.current_shape = decision
+        self.stats.bump("reconfigurations")
+        self.stats.bump("reconfiguration_cycles", cost)
+        return cost
+
+    def _apply(self, shape: MorphShape, now: int, charge: bool) -> int:
+        cost = 0
+        if charge:
+            cost = self.memsys.reconfigure_banks(shape.bank_coords, now)
+        else:
+            self.memsys.reconfigure_banks(shape.bank_coords, now)
+        self.subsystem.set_slave_count(shape.translator_tiles, now)
+        return cost
+
+    @property
+    def reconfiguration_count(self) -> int:
+        return self.stats["reconfigurations"]

@@ -1,0 +1,46 @@
+"""Reconfiguration policy.
+
+The prototype's heuristic (Section 4.4): watch "the length of the work
+queues of blocks to be translated".  Above the threshold the program is
+translation-bound, so take tiles from the L2 data cache; at or below it
+give them back.  Hysteresis (a minimum interval between
+reconfigurations) prevents thrash — "any type of reconfiguration
+system should have hysteresis built into the system".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Minimum cycles between reconfigurations.
+DEFAULT_HYSTERESIS = 15_000
+
+#: Architecture shapes the controller flips between.
+SHAPE_TRANSLATION_HEAVY = "trans"  # 9 translators / 1 L2 data bank
+SHAPE_MEMORY_HEAVY = "mem"  # 6 translators / 4 L2 data banks
+
+
+@dataclass
+class QueueLengthPolicy:
+    """Threshold policy over the translation queue length."""
+
+    threshold: int = 5
+    hysteresis_cycles: int = DEFAULT_HYSTERESIS
+    _last_change: int = -(10**9)
+
+    def desired_shape(self, queue_length: int) -> str:
+        """Which shape the current queue length calls for."""
+        if queue_length > self.threshold:
+            return SHAPE_TRANSLATION_HEAVY
+        return SHAPE_MEMORY_HEAVY
+
+    def decide(self, now: int, queue_length: int, current_shape: str) -> Optional[str]:
+        """Return the new shape, or ``None`` to stay put."""
+        if now - self._last_change < self.hysteresis_cycles:
+            return None
+        desired = self.desired_shape(queue_length)
+        if desired == current_shape:
+            return None
+        self._last_change = now
+        return desired

@@ -1,0 +1,23 @@
+"""The reference machine: a Pentium III timing model.
+
+The paper's metric is ``CyclesOnTranslator / CyclesOnPentiumIII`` under
+a clock-for-clock comparison.  :mod:`repro.refmachine.pentium3` models
+the PIII side — a 3-wide out-of-order core with the effective SpecInt
+ILP of 1.3 the paper adopts from Bhandarkar & Ding, and the cache
+intrinsics of Table 11 — over the same dynamic instruction and memory
+trace the emulator executes.
+"""
+
+from repro.refmachine.intrinsics import (
+    EMULATOR_INTRINSICS,
+    PIII_INTRINSICS,
+    ArchitectureIntrinsics,
+)
+from repro.refmachine.pentium3 import PentiumIIIModel
+
+__all__ = [
+    "ArchitectureIntrinsics",
+    "EMULATOR_INTRINSICS",
+    "PIII_INTRINSICS",
+    "PentiumIIIModel",
+]

@@ -1,0 +1,61 @@
+"""Architecture intrinsics — the paper's Table (Figure) 11."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArchitectureIntrinsics:
+    """Load-path latencies/occupancies and issue width of one machine."""
+
+    name: str
+    l1_hit_latency: int
+    l1_hit_occupancy: int
+    l2_hit_latency: int
+    l2_hit_occupancy: int
+    l2_miss_latency: int
+    l2_miss_occupancy: int
+    execution_units: int
+
+    def rows(self):
+        """(intrinsic, latency, occupancy) rows as printed in the paper."""
+        return [
+            ("L1 Cache Hit", self.l1_hit_latency, self.l1_hit_occupancy),
+            ("L2 Cache Hit", self.l2_hit_latency, self.l2_hit_occupancy),
+            ("L2 Cache Miss", self.l2_miss_latency, self.l2_miss_occupancy),
+            ("Exec. Units", self.execution_units, self.execution_units),
+        ]
+
+
+#: "Raw Emulator" column of Figure 11.
+EMULATOR_INTRINSICS = ArchitectureIntrinsics(
+    name="Raw Emulator",
+    l1_hit_latency=6,
+    l1_hit_occupancy=4,
+    l2_hit_latency=87,
+    l2_hit_occupancy=87,
+    l2_miss_latency=151,
+    l2_miss_occupancy=87,
+    execution_units=1,
+)
+
+#: "PIII" column of Figure 11.
+PIII_INTRINSICS = ArchitectureIntrinsics(
+    name="PIII",
+    l1_hit_latency=3,
+    l1_hit_occupancy=1,
+    l2_hit_latency=7,
+    l2_hit_occupancy=1,
+    l2_miss_latency=79,
+    l2_miss_occupancy=1,
+    execution_units=3,
+)
+
+#: Effective SpecInt ILP on a P6-class core (Bhandarkar & Ding 1997),
+#: which the paper adopts for its Section 4.5 accounting.
+PIII_EFFECTIVE_ILP = 1.3
+
+#: Flag-emulation overhead: conditional branches become two host
+#: instructions; with a branch every ~10 instructions that is 1.1x.
+FLAG_OVERHEAD_FACTOR = 1.1

@@ -1,0 +1,51 @@
+"""Pentium III cycle model.
+
+Charges the reference machine's cycles for the *same* dynamic guest
+instruction stream the emulator executes: non-memory work retires at
+the effective SpecInt ILP of 1.3, and each data access walks a
+16KB-L1 / 256KB-L2 hierarchy with Table 11's PIII latencies.  Because
+both machines see the identical trace, the resulting ratio is exactly
+the paper's clock-for-clock slowdown metric.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatSet
+from repro.refmachine.intrinsics import PIII_EFFECTIVE_ILP, PIII_INTRINSICS
+from repro.tiled.datacache import DataCacheModel
+
+#: Coppermine cache geometry.
+PIII_L1D_BYTES = 16 * 1024
+PIII_L2_BYTES = 256 * 1024
+
+
+class PentiumIIIModel:
+    """Accumulates PIII cycles for an observed guest execution."""
+
+    def __init__(self) -> None:
+        self.l1 = DataCacheModel("piii_l1d", size_bytes=PIII_L1D_BYTES, ways=4)
+        self.l2 = DataCacheModel("piii_l2", size_bytes=PIII_L2_BYTES, ways=8)
+        self.instructions = 0
+        self.memory_stall_cycles = 0
+        self.stats = StatSet("piii")
+
+    def on_instruction(self) -> None:
+        self.instructions += 1
+
+    def on_access(self, address: int, is_write: bool) -> None:
+        """One data access; charges hierarchy stalls beyond the L1 hit."""
+        l1_result = self.l1.access(address, is_write)
+        if l1_result.hit:
+            return
+        l2_result = self.l2.access(address, is_write)
+        intr = PIII_INTRINSICS
+        if l2_result.hit:
+            self.memory_stall_cycles += intr.l2_hit_latency - intr.l1_hit_latency
+        else:
+            self.memory_stall_cycles += intr.l2_miss_latency - intr.l1_hit_latency
+
+    @property
+    def cycles(self) -> int:
+        """Total PIII cycles: issue-limited work plus memory stalls."""
+        compute = int(self.instructions / PIII_EFFECTIVE_ILP)
+        return compute + self.memory_stall_cycles

@@ -1,0 +1,29 @@
+"""The Raw-like tiled host machine (timing model).
+
+A 4x4 grid of identical tiles connected by a dimension-ordered dynamic
+network.  Each tile has a 32KB hardware data cache, 32KB of software-
+managed instruction memory, and an 8-stage in-order pipeline (costed by
+:mod:`repro.dbt.cost`).  There is no hardware MMU, no instruction
+cache, and no cache-coherent shared memory — exactly the mismatches the
+paper's all-software translation system has to absorb.
+
+The timing model is resource-based: every shared structure (a manager
+tile, an L1.5 code-cache bank, an L2 data-cache bank, the MMU tile) is
+a :class:`Resource` with a busy-until timeline; requests queue FCFS, so
+congestion — e.g. at the L2 code-cache manager, the effect behind the
+vpr/gcc/crafty anomaly in Figure 5 — emerges naturally.
+"""
+
+from repro.tiled.machine import TileGrid, TileRole, default_placement
+from repro.tiled.network import Network
+from repro.tiled.resource import Resource
+from repro.tiled.datacache import DataCacheModel
+
+__all__ = [
+    "TileGrid",
+    "TileRole",
+    "default_placement",
+    "Network",
+    "Resource",
+    "DataCacheModel",
+]

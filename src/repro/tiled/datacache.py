@@ -1,0 +1,71 @@
+"""Per-tile data cache timing model.
+
+Tag-only (functional data lives in :class:`repro.guest.memory.GuestMemory`).
+Used both for the execution tile's L1 D-cache and, with a different
+geometry, for the L2 data-cache bank tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.lru import SetAssociativeIndex
+from repro.common.stats import StatSet
+
+DEFAULT_LINE_BYTES = 32
+DEFAULT_WAYS = 2
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a cache lookup+fill."""
+
+    hit: bool
+    writeback: bool  # a dirty victim was displaced
+
+
+class DataCacheModel:
+    """Set-associative tag array with allocate-on-miss and write-back."""
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int = DEFAULT_LINE_BYTES,
+        ways: int = DEFAULT_WAYS,
+    ) -> None:
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self._index = SetAssociativeIndex(size_bytes, line_bytes, ways)
+        self.stats = StatSet(name)
+
+    def access(self, address: int, is_write: bool) -> AccessResult:
+        """Look up ``address``; fills on miss (allocate-on-write too)."""
+        self.stats.bump("accesses")
+        if self._index.lookup(address):
+            if is_write:
+                self._index.mark_dirty(address)
+            self.stats.bump("hits")
+            return AccessResult(hit=True, writeback=False)
+        self.stats.bump("misses")
+        victim = self._index.fill(address, dirty=is_write)
+        if victim is not None:
+            self.stats.bump("writebacks")
+        return AccessResult(hit=False, writeback=victim is not None)
+
+    def flush(self) -> int:
+        """Invalidate everything; returns dirty lines written back.
+
+        This is the reconfiguration cost the paper calls out: "when the
+        L2 cache physically changes size, the contents ... need to be
+        flushed and written back to main memory".
+        """
+        dirty = self._index.flush()
+        self.stats.bump("flushes")
+        self.stats.bump("flush_writebacks", dirty)
+        return dirty
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.ratio("misses", "accesses")

@@ -1,0 +1,128 @@
+"""Tile grid, roles, and spatially-aware placement.
+
+The paper treats the tiled processor "as an ASIC or FPGA ... we
+explicitly manage on-chip layout and communication distance", so
+placement matters: the MMU sits next to the execution tile, L1.5 code
+cache banks next to it on the other side, the manager one hop further,
+and L2 data banks fill the ring around the memory path (Figures 2/3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+Coord = Tuple[int, int]
+
+#: Raw's dimensions.
+GRID_WIDTH = 4
+GRID_HEIGHT = 4
+
+#: Per-tile memories (bytes).
+TILE_DCACHE_BYTES = 32 * 1024
+TILE_IMEM_BYTES = 32 * 1024
+TILE_SWITCH_IMEM_BYTES = 64 * 1024
+
+
+class TileRole(enum.Enum):
+    """What function a tile performs in the current virtual architecture."""
+
+    EXECUTION = "execution"  # runtime engine + L1 code cache + L1 D-cache
+    MMU = "mmu"  # address translation + TLB
+    L2_BANK = "l2_bank"  # L2 data-cache transactor bank
+    L15_BANK = "l15_bank"  # L1.5 code-cache bank
+    MANAGER = "manager"  # L2 code cache manager + translation coordinator
+    TRANSLATOR = "translator"  # speculative translation slave
+    SYSCALL = "syscall"  # proxy system-call servicing
+    IDLE = "idle"
+
+
+@dataclass
+class TileGrid:
+    """A ``width x height`` grid with role assignments."""
+
+    width: int = GRID_WIDTH
+    height: int = GRID_HEIGHT
+    roles: Dict[Coord, TileRole] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for coord in self.coords():
+            self.roles.setdefault(coord, TileRole.IDLE)
+
+    def coords(self) -> List[Coord]:
+        return [(x, y) for y in range(self.height) for x in range(self.width)]
+
+    @property
+    def tile_count(self) -> int:
+        return self.width * self.height
+
+    def assign(self, coord: Coord, role: TileRole) -> None:
+        if coord not in self.roles:
+            raise ValueError(f"coordinate {coord} outside the grid")
+        self.roles[coord] = role
+
+    def tiles_with_role(self, role: TileRole) -> List[Coord]:
+        return [coord for coord in self.coords() if self.roles[coord] is role]
+
+    def find_one(self, role: TileRole) -> Optional[Coord]:
+        tiles = self.tiles_with_role(role)
+        return tiles[0] if tiles else None
+
+    def hops(self, src: Coord, dst: Coord) -> int:
+        """Manhattan distance (dimension-ordered routing path length)."""
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+    def role_summary(self) -> Dict[str, int]:
+        summary: Dict[str, int] = {}
+        for role in self.roles.values():
+            summary[role.value] = summary.get(role.value, 0) + 1
+        return summary
+
+
+def default_placement(
+    translator_tiles: int,
+    l2_bank_tiles: int,
+    l15_bank_tiles: int = 2,
+) -> TileGrid:
+    """Build the Figure 3 floorplan for a given tile budget.
+
+    Fixed tiles: execution at (1,1), MMU at (0,1) (one hop), manager at
+    (2,1), L1.5 banks above the execution tile, the syscall tile in the
+    far corner.  L2 data banks are placed nearest the MMU; translation
+    slaves fill the remaining tiles nearest the manager.
+    """
+    grid = TileGrid()
+    execution = (1, 1)
+    mmu = (0, 1)
+    manager = (2, 1)
+    syscall = (3, 3)
+
+    grid.assign(execution, TileRole.EXECUTION)
+    grid.assign(mmu, TileRole.MMU)
+    grid.assign(manager, TileRole.MANAGER)
+    grid.assign(syscall, TileRole.SYSCALL)
+
+    l15_spots = [(1, 0), (2, 0)]
+    for coord in l15_spots[:l15_bank_tiles]:
+        grid.assign(coord, TileRole.L15_BANK)
+
+    free = [c for c in grid.coords() if grid.roles[c] is TileRole.IDLE]
+    # L2 banks closest to the MMU (the pipelined memory path).
+    free.sort(key=lambda c: (grid.hops(mmu, c), c))
+    banks = free[:l2_bank_tiles]
+    for coord in banks:
+        grid.assign(coord, TileRole.L2_BANK)
+
+    free = [c for c in grid.coords() if grid.roles[c] is TileRole.IDLE]
+    free.sort(key=lambda c: (grid.hops(manager, c), c))
+    slaves = free[:translator_tiles]
+    for coord in slaves:
+        grid.assign(coord, TileRole.TRANSLATOR)
+
+    if len(banks) < l2_bank_tiles or len(slaves) < translator_tiles:
+        raise ValueError(
+            f"tile budget exceeded: wanted {l2_bank_tiles} banks + "
+            f"{translator_tiles} translators on a {grid.tile_count}-tile grid"
+        )
+    return grid

@@ -1,0 +1,43 @@
+"""Dynamic network latency model.
+
+Raw's dynamic networks are dimension-ordered wormhole routers with
+register-mapped injection.  The model charges an injection/extraction
+overhead plus a per-hop wire cost plus payload serialization — enough
+to make spatial placement (hop counts) matter the way the paper's
+"spatial pipelining takes into account wire delays" remark demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+Coord = Tuple[int, int]
+
+#: Cycles to inject and extract a message at the endpoints.
+ENDPOINT_OVERHEAD = 4
+
+#: Cycles per network hop (router + wire).
+PER_HOP = 2
+
+#: Cycles per 32-bit payload word beyond the first (serialization).
+PER_WORD = 1
+
+
+@dataclass
+class Network:
+    """Latency oracle over a grid (stateless; congestion is modeled at
+    the endpoint resources, not in the fabric)."""
+
+    per_hop: int = PER_HOP
+    endpoint_overhead: int = ENDPOINT_OVERHEAD
+    per_word: int = PER_WORD
+
+    def latency(self, hops: int, payload_words: int = 1) -> int:
+        """One-way latency for a message of ``payload_words``."""
+        extra_words = max(0, payload_words - 1)
+        return self.endpoint_overhead + self.per_hop * hops + self.per_word * extra_words
+
+    def round_trip(self, hops: int, request_words: int = 1, reply_words: int = 1) -> int:
+        """Request/reply latency excluding service occupancy."""
+        return self.latency(hops, request_words) + self.latency(hops, reply_words)

@@ -1,0 +1,45 @@
+"""FCFS resource timelines.
+
+Every shared tile (manager, L1.5 bank, MMU, L2 bank, translation slave)
+is a :class:`Resource`: requests arrive at some cycle, wait until the
+resource frees, hold it for an occupancy, and depart.  Queueing delay
+is therefore implicit in the busy-until timestamp — the cheap,
+deterministic congestion model the whole timing simulation is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.stats import RunningMean
+
+
+@dataclass
+class Resource:
+    """A single-server FCFS resource."""
+
+    name: str
+    next_free: int = 0
+    busy_cycles: int = 0
+    requests: int = 0
+    queue_delay: RunningMean = field(default_factory=RunningMean)
+
+    def service(self, now: int, occupancy: int) -> int:
+        """Occupy the resource; returns the service *completion* time."""
+        start = now if now > self.next_free else self.next_free
+        self.queue_delay.observe(start - now)
+        self.next_free = start + occupancy
+        self.busy_cycles += occupancy
+        self.requests += 1
+        return self.next_free
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of ``elapsed`` cycles spent busy."""
+        return self.busy_cycles / elapsed if elapsed else 0.0
+
+    def reset(self, now: int = 0) -> None:
+        """Clear the timeline (used when a tile is re-purposed by morphing)."""
+        self.next_free = now
+        self.busy_cycles = 0
+        self.requests = 0
+        self.queue_delay = RunningMean()

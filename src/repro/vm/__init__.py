@@ -1,0 +1,15 @@
+"""Virtual machine runtimes.
+
+* :mod:`repro.vm.functional` — functional fidelity: translated host
+  code actually executes on the host interpreter, with chaining.  Used
+  for differential testing against the guest reference interpreter and
+  by the examples.
+* :mod:`repro.vm.timing` — timing fidelity: the full virtual
+  architecture (runtime-execution tile, code caches, manager, slaves,
+  pipelined memory system, morphing) with cycles charged from the
+  translated blocks' cost model.  Used by the benchmark harness.
+"""
+
+from repro.vm.functional import FunctionalVM, FunctionalRunResult
+
+__all__ = ["FunctionalVM", "FunctionalRunResult"]

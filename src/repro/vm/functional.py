@@ -1,0 +1,318 @@
+"""Functional-fidelity virtual machine.
+
+Runs a guest program *through the translator*: every executed basic
+block is translated to R32 host code, installed in a host code space,
+chained to its neighbors, and executed by the host interpreter.  Guest
+architectural state lives where the translated code expects it — the
+pinned host registers ``$s0..$s7`` and the packed flags in ``$t8``.
+
+This is the fidelity level differential tests use: for any program,
+``FunctionalVM.run()`` must produce exactly the same registers, flags,
+memory and output as :class:`repro.guest.interpreter.GuestInterpreter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.stats import StatSet
+from repro.guest.interpreter import GuestFault
+from repro.guest.isa import Register
+from repro.guest.memory import GuestMemory, MemoryFault
+from repro.guest.program import GuestProgram
+from repro.guest.syscalls import SyscallProxy
+from repro.host.interpreter import HostCodeSpace, HostFault, HostInterpreter
+from repro.host.isa import ExitReason, FLAGS_HOME, GUEST_REG_HOME, HostInstr, HostOp, HostReg
+from repro.dbt.block import TranslatedBlock
+from repro.dbt.codegen import PARITY_TABLE_BASE, SCRATCH_BASE, parity_table
+from repro.dbt.frontend import TranslationError
+from repro.dbt.translator import TranslationConfig, Translator
+
+#: Where translated blocks are placed in host memory (functional mode).
+CODE_CACHE_BASE = 0x10000000
+
+#: Size of the spill scratch area.
+SCRATCH_SIZE = 0x1000
+
+
+class _MemoryPort:
+    """Adapts :class:`GuestMemory` to the host interpreter's data port.
+
+    Raises :class:`GuestFault` on unmapped accesses so VM callers see
+    guest-level errors regardless of fidelity mode.  Stores are watched
+    for self-modifying code: a write into a page holding translated
+    guest code triggers the VM's invalidation hook (the paper's
+    "detecting writes to memory pages which contain code that has been
+    translated").
+    """
+
+    def __init__(self, memory: GuestMemory, smc_hook=None) -> None:
+        self.memory = memory
+        self.smc_hook = smc_hook
+
+    def load_u32(self, address: int) -> int:
+        try:
+            return self.memory.read_u32(address)
+        except MemoryFault as fault:
+            raise GuestFault(address, str(fault)) from fault
+
+    def load_u8(self, address: int) -> int:
+        try:
+            return self.memory.read_u8(address)
+        except MemoryFault as fault:
+            raise GuestFault(address, str(fault)) from fault
+
+    def store_u32(self, address: int, value: int) -> None:
+        try:
+            self.memory.write_u32(address, value)
+        except MemoryFault as fault:
+            raise GuestFault(address, str(fault)) from fault
+        if self.smc_hook is not None:
+            self.smc_hook(address, 4)
+
+    def store_u8(self, address: int, value: int) -> None:
+        try:
+            self.memory.write_u8(address, value)
+        except MemoryFault as fault:
+            raise GuestFault(address, str(fault)) from fault
+        if self.smc_hook is not None:
+            self.smc_hook(address, 1)
+
+
+def install_runtime_tables(memory: GuestMemory) -> None:
+    """Map the translator's private scratch and parity-table regions."""
+    memory.map_region(SCRATCH_BASE, SCRATCH_SIZE)
+    memory.load_image(PARITY_TABLE_BASE, parity_table())
+
+
+@dataclass
+class FunctionalRunResult:
+    """Outcome of a functional-mode run."""
+
+    exit_code: int
+    stdout: str
+    blocks_translated: int
+    blocks_executed: int
+    host_instructions: int
+    chains_patched: int
+
+
+class FunctionalVM:
+    """Translate-and-execute virtual machine with block chaining."""
+
+    def __init__(
+        self,
+        program: GuestProgram,
+        stdin: bytes = b"",
+        config: Optional[TranslationConfig] = None,
+    ) -> None:
+        self.program = program
+        self.memory = GuestMemory()
+        initial_esp = program.load(self.memory)
+        install_runtime_tables(self.memory)
+        self.syscalls = SyscallProxy(brk_base=program.brk_base, stdin=stdin)
+        self.translator = Translator(self._read_code, config)
+        self.code = HostCodeSpace()
+        self.host = HostInterpreter(self.code, _MemoryPort(self.memory, self._on_guest_store))
+        self.host.chain_barrier = lambda: bool(self._pending_smc)
+        self.host[GUEST_REG_HOME[Register.ESP]] = initial_esp
+        self.stats = StatSet("functional_vm")
+        self.exit_code: Optional[int] = None
+
+        self._blocks: Dict[int, TranslatedBlock] = {}  # guest -> block
+        self._host_entry: Dict[int, int] = {}  # guest -> host address
+        self._pending_chains: Dict[int, List[int]] = {}  # guest target -> patch sites
+        self._next_host_address = CODE_CACHE_BASE
+        # self-modifying code bookkeeping: which guest pages hold
+        # translated code, and how to undo chains into a block
+        self._code_pages: Dict[int, set] = {}  # page number -> guest block addrs
+        self._incoming_chains: Dict[int, List[tuple]] = {}  # guest -> (site, original)
+        self._pending_smc: set = set()  # pages written, awaiting invalidation
+
+    # -- guest code access ---------------------------------------------------
+
+    def _read_code(self, address: int, length: int) -> bytes:
+        try:
+            return self.memory.read_bytes(address, length)
+        except MemoryFault as fault:
+            raise GuestFault(address, f"code fetch: {fault}") from fault
+
+    # -- state access (mirrors GuestState for comparisons) ------------------
+
+    def guest_reg(self, reg: Register) -> int:
+        return self.host[GUEST_REG_HOME[reg]]
+
+    def set_guest_reg(self, reg: Register, value: int) -> None:
+        self.host[GUEST_REG_HOME[reg]] = value
+
+    @property
+    def guest_flags(self) -> int:
+        return self.host[FLAGS_HOME]
+
+    def snapshot(self, eip: int = 0) -> Dict[str, int]:
+        """Architectural state dict comparable to ``GuestState.snapshot``."""
+        state = {reg.name: self.guest_reg(reg) for reg in Register}
+        state["FLAGS"] = self.guest_flags
+        state["EIP"] = eip
+        return state
+
+    # -- block management -------------------------------------------------------
+
+    def _install(self, guest_pc: int) -> int:
+        """Translate (if needed) and install the block at ``guest_pc``."""
+        host_address = self._host_entry.get(guest_pc)
+        if host_address is not None:
+            return host_address
+        try:
+            block = self.translator.translate(guest_pc)
+        except TranslationError as err:
+            raise GuestFault(guest_pc, str(err)) from err
+        host_address = self._next_host_address
+        self._next_host_address = self.code.write_block(host_address, block.instrs)
+        block.host_address = host_address
+        self._blocks[guest_pc] = block
+        self._host_entry[guest_pc] = host_address
+        first_page = block.guest_address >> 12
+        last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
+        for page in range(first_page, last_page + 1):
+            self._code_pages.setdefault(page, set()).add(guest_pc)
+        self.stats.bump("blocks_translated")
+
+        # chain stubs of this block to already-installed targets, or
+        # record them for future chaining
+        for offset, target in block.stub_patch_offsets():
+            patch_site = host_address + 4 * offset
+            target_host = self._host_entry.get(target)
+            if target_host is not None:
+                self._chain(patch_site, target_host)
+            else:
+                self._pending_chains.setdefault(target, []).append(patch_site)
+
+        # chain older blocks waiting for this one
+        for patch_site in self._pending_chains.pop(guest_pc, []):
+            self._chain(patch_site, host_address)
+        return host_address
+
+    def _chain(self, patch_site: int, target_host: int) -> None:
+        original = self.code.fetch(patch_site)
+        self.code.patch(patch_site, HostInstr(HostOp.J, target=target_host))
+        # remember how to unchain if the target is ever invalidated (SMC)
+        target_guest = self._guest_of_host(target_host)
+        if target_guest is not None:
+            self._incoming_chains.setdefault(target_guest, []).append(
+                (patch_site, original)
+            )
+        self.stats.bump("chains_patched")
+
+    def _guest_of_host(self, host_address: int) -> Optional[int]:
+        for guest, host in self._host_entry.items():
+            if host == host_address:
+                return guest
+        return None
+
+    # -- self-modifying code --------------------------------------------------
+
+    def _on_guest_store(self, address: int, size: int) -> None:
+        """Record writes into translated-code pages.
+
+        Invalidation is deferred to the next block boundary: the store
+        may come from the very block being invalidated, whose remaining
+        host instructions must finish executing (the same discipline
+        code-cache DBTs use for same-block self-modification).
+        """
+        first = address >> 12
+        last = (address + size - 1) >> 12
+        for page in range(first, last + 1):
+            if page in self._code_pages:
+                self._pending_smc.add(page)
+
+    def _process_pending_smc(self) -> None:
+        if not self._pending_smc:
+            return
+        for page in sorted(self._pending_smc):
+            victims = self._code_pages.pop(page, None)
+            if not victims:
+                continue
+            self.stats.bump("smc_invalidations")
+            for guest_pc in list(victims):
+                self._invalidate_block(guest_pc)
+        self._pending_smc.clear()
+
+    def _invalidate_block(self, guest_pc: int) -> None:
+        block = self._blocks.pop(guest_pc, None)
+        host_address = self._host_entry.pop(guest_pc, None)
+        if block is None or host_address is None:
+            return
+        # undo chains that jump into the stale code
+        for patch_site, original in self._incoming_chains.pop(guest_pc, []):
+            if patch_site in self.code:
+                self.code.patch(patch_site, original)
+        # drop the stale block's own unresolved chain requests
+        low, high = host_address, host_address + block.host_size_bytes
+        for sites in self._pending_chains.values():
+            sites[:] = [site for site in sites if not low <= site < high]
+        self.code.erase(host_address, block.host_size_bytes)
+        # drop the block from other pages' residency sets
+        first_page = block.guest_address >> 12
+        last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
+        for page in range(first_page, last_page + 1):
+            members = self._code_pages.get(page)
+            if members is not None:
+                members.discard(guest_pc)
+        self.stats.bump("blocks_invalidated")
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, max_blocks: int = 2_000_000) -> int:
+        """Run to guest exit; returns the exit code."""
+        pc = self.program.entry
+        for _ in range(max_blocks):
+            host_entry = self._install(pc)
+            try:
+                exit_info = self.host.run_block(host_entry)
+            except HostFault as fault:
+                raise GuestFault(pc, f"host execution failed: {fault}") from fault
+            self.stats.bump("blocks_executed")
+            self._process_pending_smc()
+
+            if exit_info.reason is ExitReason.BRANCH:
+                pc = exit_info.next_guest_pc
+            elif exit_info.reason is ExitReason.SYSCALL:
+                pc = self._do_syscall(exit_info.next_guest_pc)
+                if self.exit_code is not None:
+                    return self.exit_code
+            elif exit_info.reason is ExitReason.HALT:
+                self.exit_code = 0
+                return 0
+            else:  # FAULT
+                raise GuestFault(exit_info.next_guest_pc, "translated code raised a guest fault")
+        raise GuestFault(pc, f"exceeded {max_blocks} executed blocks")
+
+    def _do_syscall(self, resume_pc: int) -> int:
+        self.stats.bump("syscalls")
+        result = self.syscalls.dispatch(
+            self.guest_reg(Register.EAX),
+            [
+                self.guest_reg(Register.EBX),
+                self.guest_reg(Register.ECX),
+                self.guest_reg(Register.EDX),
+            ],
+            self.memory,
+        )
+        if result.exited:
+            self.exit_code = result.exit_code
+        else:
+            self.set_guest_reg(Register.EAX, result.return_value)
+        return resume_pc
+
+    def result(self) -> FunctionalRunResult:
+        """Summary of the finished run."""
+        return FunctionalRunResult(
+            exit_code=self.exit_code if self.exit_code is not None else -1,
+            stdout=self.syscalls.stdout_text,
+            blocks_translated=self.stats["blocks_translated"],
+            blocks_executed=self.stats["blocks_executed"],
+            host_instructions=self.host.instructions_executed,
+            chains_patched=self.stats["chains_patched"],
+        )

@@ -1,0 +1,302 @@
+"""Timing-fidelity virtual machine: the complete virtual architecture.
+
+Wires every subsystem together the way Figure 3 draws it — the
+runtime-execution tile (this driver), the L1 / banked L1.5 / L2 code
+caches, the manager and its speculative translation slaves, the
+MMU + banked-L2 pipelined data memory system, the syscall tile, and
+(optionally) the dynamic reconfiguration controller.
+
+Execution is *timing-directed functional simulation*: the guest
+program runs functionally at basic-block granularity on the reference
+interpreter while cycles are charged from the translated blocks' cost
+model plus the resource timelines.  A Pentium III model observes the
+same trace, so every run directly yields the paper's clock-for-clock
+slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.stats import StatSet
+from repro.guest.interpreter import AccessObserver, GuestInterpreter, StepEvent
+from repro.guest.memory import PAGE_SIZE
+from repro.guest.program import GuestProgram
+from repro.dbt.codecache import CodeCacheHierarchy, L1_CODE_CAPACITY
+from repro.dbt.speculative import TranslationSubsystem
+from repro.dbt.translator import TranslationConfig, Translator
+from repro.memsys.memsystem import PipelinedMemorySystem
+from repro.morph import MorphController, QueueLengthPolicy, VirtualArchConfig
+from repro.refmachine.pentium3 import PentiumIIIModel
+from repro.tiled.machine import TileGrid, TileRole, default_placement
+from repro.tiled.network import Network
+from repro.tiled.resource import Resource
+
+#: Proxy syscall cost on the dedicated tile (network + service).
+SYSCALL_TILE_OCCUPANCY = 160
+
+#: Cost of a self-modifying-code invalidation (page scan + cache drops).
+SMC_INVALIDATION_COST = 600
+
+
+class _TimingObserver(AccessObserver):
+    """Feeds each data access to the emulator memsys and the PIII model."""
+
+    def __init__(self, vm: "TimingVM") -> None:
+        self.vm = vm
+
+    def on_read(self, address: int, size: int) -> None:
+        self._access(address, False)
+
+    def on_write(self, address: int, size: int) -> None:
+        self._access(address, True)
+
+    def _access(self, address: int, is_write: bool) -> None:
+        vm = self.vm
+        outcome = vm.memsys.access(vm.now + vm.pending_stall, address, is_write)
+        vm.pending_stall += outcome.stall_cycles
+        vm.piii.on_access(address, is_write)
+        if is_write and (address >> 12) in vm.code_pages:
+            vm.pending_smc.add(address >> 12)
+
+
+@dataclass
+class TimingRunResult:
+    """Everything the experiment harness needs from one run."""
+
+    config_name: str
+    workload: str
+    exit_code: int
+    guest_instructions: int
+    cycles: int
+    piii_cycles: int
+    l2_code_accesses: int
+    l2_code_misses: int
+    blocks_executed: int
+    blocks_translated: int
+    reconfigurations: int
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        """CyclesOnTranslator / CyclesOnPentiumIII (the paper's metric)."""
+        return self.cycles / self.piii_cycles if self.piii_cycles else float("inf")
+
+    @property
+    def l2_accesses_per_cycle(self) -> float:
+        """Figure 6's metric."""
+        return self.l2_code_accesses / self.cycles if self.cycles else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Figure 7's metric."""
+        if not self.l2_code_accesses:
+            return 0.0
+        return self.l2_code_misses / self.l2_code_accesses
+
+
+class TimingVM:
+    """The virtual architecture, ready to run one workload."""
+
+    def __init__(
+        self,
+        program: GuestProgram,
+        config: VirtualArchConfig,
+        stdin: bytes = b"",
+    ) -> None:
+        self.program = program
+        self.config = config
+
+        # floorplan: morphing needs the 4-bank layout to trade from
+        banks_to_place = 4 if config.morphing else config.l2_bank_tiles
+        slaves_to_place = 6 if config.morphing else config.translator_tiles
+        self.grid: TileGrid = default_placement(
+            translator_tiles=slaves_to_place,
+            l2_bank_tiles=banks_to_place,
+            l15_bank_tiles=config.l15_banks,
+        )
+        self.network = Network()
+        self.memsys = PipelinedMemorySystem(
+            self.grid, self.network, hardware_mmu=config.hardware_mmu
+        )
+
+        self.observer = _TimingObserver(self)
+        self.interp = GuestInterpreter.for_program(program, stdin=stdin, observer=self.observer)
+        for section in program.sections:
+            self.memsys.page_table.map_region(section.address, len(section.data))
+        self.memsys.page_table.map_region(0xBFF00000, 0x100000)  # stack top region
+        self.memsys.page_table.map_region(program.brk_base, 1 << 24)  # heap headroom
+
+        translation_config = TranslationConfig(optimize=config.optimize)
+        if config.hardware_mmu:
+            # TLB-backed loads: PIII-class L1 hit (Table 11's fix)
+            translation_config.load_latency = 3
+            translation_config.load_occupancy = 1
+        translator = Translator(self._read_code, translation_config)
+        self.manager = Resource("manager")
+        self.subsystem = TranslationSubsystem(
+            translator,
+            slave_count=config.translator_tiles,
+            manager=self.manager,
+            speculative=config.speculative,
+        )
+        # a hardware instruction cache acts as a large virtual L1 code
+        # cache with chaining across the whole instruction working set
+        # (Section 4.5's prescription for the high-slowdown benchmarks)
+        l1_code_capacity = (1 << 21) if config.hardware_icache else L1_CODE_CAPACITY
+        self.hierarchy = CodeCacheHierarchy(
+            self.grid,
+            self.network,
+            self.subsystem,
+            l15_banks=config.l15_banks,
+            l1_capacity=l1_code_capacity,
+        )
+        self.syscall_tile = Resource("syscall_tile")
+        self.piii = PentiumIIIModel()
+
+        self.morph: Optional[MorphController] = None
+        if config.morphing:
+            policy = QueueLengthPolicy(threshold=config.morph_threshold)
+            bank_coords = self.grid.tiles_with_role(TileRole.L2_BANK)
+            self.morph = MorphController(self.memsys, self.subsystem, policy, bank_coords)
+
+        self.now = 0
+        self.pending_stall = 0
+        self.stats = StatSet("timing_vm")
+        # self-modifying code bookkeeping
+        self.code_pages: Dict[int, set] = {}  # page -> guest block addresses
+        self.pending_smc: set = set()
+
+    def _read_code(self, address: int, length: int) -> bytes:
+        return self.interp.memory.read_bytes(address, length)
+
+    # -- the runtime-execution tile's main loop ------------------------------
+
+    def start(self) -> None:
+        """Initialize the stepping state (implicit on first :meth:`step`)."""
+        self._pc = self.interp.state.eip
+        self._prev_pc: Optional[int] = None
+        self._arrived_indirect = False
+        self._executed_instructions = 0
+        self.last_exit_kind: Optional[str] = None
+        self._started = True
+
+    @property
+    def finished(self) -> bool:
+        return self.interp.exit_code is not None
+
+    def step(self) -> bool:
+        """Execute one basic block; returns False when the guest exited.
+
+        The stepping API exists so several virtual machines can share
+        one fabric (see :mod:`repro.vm.multivm`): an external scheduler
+        interleaves VMs by their cycle counters.
+        """
+        if not getattr(self, "_started", False):
+            self.start()
+        interp = self.interp
+        if interp.exit_code is not None:
+            return False
+
+        pc = self._pc
+        lookup = self.hierarchy.fetch(self.now, pc, self._prev_pc, self._arrived_indirect)
+        self.now = lookup.ready_time
+        block = lookup.block
+        self.stats.bump("blocks_executed")
+        self.stats.bump(f"fetch_{lookup.level.replace('.', '_')}")
+        first_page = block.guest_address >> 12
+        last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
+        for page in range(first_page, last_page + 1):
+            self.code_pages.setdefault(page, set()).add(pc)
+
+        # functional execution of the block's guest instructions,
+        # with memory stalls accumulating into pending_stall
+        self.pending_stall = 0
+        for _ in range(block.guest_instr_count):
+            self.piii.on_instruction()
+            self._executed_instructions += 1
+            if interp.step() is StepEvent.EXITED:
+                break
+        self.now += block.cost_cycles + self.pending_stall
+
+        if block.exit_kind == "syscall" and interp.exit_code is None:
+            hops = self.grid.hops(
+                self.hierarchy.execution, self.grid.find_one(TileRole.SYSCALL)
+            )
+            self.now += self.network.round_trip(hops)
+            self.now = self.syscall_tile.service(self.now, SYSCALL_TILE_OCCUPANCY)
+            self.stats.bump("syscalls")
+
+        if self.morph is not None:
+            self.now += self.morph.on_block_executed(self.now)
+
+        if self.pending_smc:
+            self._invalidate_smc_pages()
+
+        self._prev_pc = pc
+        self._pc = interp.state.eip
+        self._arrived_indirect = block.exit_kind == "indirect"
+        self.last_exit_kind = block.exit_kind
+        return interp.exit_code is None
+
+    def run(self, max_guest_instructions: int = 10_000_000) -> TimingRunResult:
+        """Run the workload to completion; returns the timing result."""
+        self.start()
+        while self.step():
+            if self._executed_instructions > max_guest_instructions:
+                raise RuntimeError(
+                    f"workload exceeded {max_guest_instructions} guest instructions"
+                )
+        return self._result(self._executed_instructions)
+
+    def result(self) -> TimingRunResult:
+        """Result of a finished (or interrupted) stepping run."""
+        return self._result(self._executed_instructions)
+
+    def _invalidate_smc_pages(self) -> None:
+        """Invalidate translations for written code pages (at a block
+        boundary), charging the invalidation cost."""
+        from repro.guest.memory import PAGE_SIZE as _PAGE
+
+        for page in sorted(self.pending_smc):
+            victims = self.code_pages.pop(page, set())
+            self.subsystem.invalidate_range(page << 12, _PAGE)
+            self.hierarchy.l15.invalidate(victims)
+            self.hierarchy.l1.flush()
+            self.now += SMC_INVALIDATION_COST
+            self.stats.bump("smc_invalidations")
+        self.pending_smc.clear()
+
+    def _result(self, executed_instructions: int) -> TimingRunResult:
+        cache_stats = self.hierarchy.stats
+        return TimingRunResult(
+            config_name=self.config.name,
+            workload=self.program.name,
+            exit_code=self.interp.exit_code if self.interp.exit_code is not None else -1,
+            guest_instructions=executed_instructions,
+            cycles=self.now,
+            piii_cycles=self.piii.cycles,
+            l2_code_accesses=cache_stats["l2_accesses"],
+            l2_code_misses=cache_stats["l2_misses"],
+            blocks_executed=self.stats["blocks_executed"],
+            blocks_translated=self.subsystem.stats["blocks_translated"],
+            reconfigurations=self.morph.reconfiguration_count if self.morph else 0,
+            stats={
+                **{f"vm.{k}": v for k, v in self.stats.as_dict().items()},
+                **{f"code.{k}": v for k, v in cache_stats.as_dict().items()},
+                **{f"l1code.{k}": v for k, v in self.hierarchy.l1.stats.as_dict().items()},
+                **{f"l15.{k}": v for k, v in self.hierarchy.l15.stats.as_dict().items()},
+                **{f"mem.{k}": v for k, v in self.memsys.stats.as_dict().items()},
+                **{f"spec.{k}": v for k, v in self.subsystem.stats.as_dict().items()},
+            },
+        )
+
+
+def run_timing(
+    program: GuestProgram,
+    config: VirtualArchConfig,
+    stdin: bytes = b"",
+) -> TimingRunResult:
+    """Convenience wrapper: build a :class:`TimingVM` and run it."""
+    return TimingVM(program, config, stdin=stdin).run()

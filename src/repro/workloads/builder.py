@@ -1,0 +1,274 @@
+"""Program-builder utilities for the synthetic workloads.
+
+Generates VX86 assembly text: a *function farm* (many small generated
+functions called through a jump table, controlling code footprint and
+instruction locality) plus data-table emission helpers for the
+hand-written kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.prng import DeterministicPrng
+
+#: Registers farm bodies may clobber (edi/ebp/esp/ebx are reserved by
+#: the driver loop and calling convention).
+_FARM_REGS = ("eax", "ecx", "edx")
+
+
+def emit_dd_table(label: str, values: Sequence[int], per_line: int = 16) -> List[str]:
+    """``dd`` lines for a word table."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v & 0xFFFFFFFF) for v in values[start : start + per_line])
+        lines.append(f"    dd {chunk}")
+    if not values:
+        lines.append("    dd 0")
+    return lines
+
+
+def emit_db_table(label: str, values: Sequence[int], per_line: int = 32) -> List[str]:
+    """``db`` lines for a byte table."""
+    lines = [f"{label}:"]
+    for start in range(0, len(values), per_line):
+        chunk = ", ".join(str(v & 0xFF) for v in values[start : start + per_line])
+        lines.append(f"    db {chunk}")
+    if not values:
+        lines.append("    db 0")
+    return lines
+
+
+@dataclass
+class FarmConfig:
+    """Shape of a function farm."""
+
+    functions: int = 20
+    body_instructions: int = 22  # approximate guest instrs per function
+    data_words: int = 1024  # shared farm data window (4-byte words)
+    memory_op_rate: float = 0.25  # fraction of body instrs touching memory
+    branch_rate: float = 0.15  # fraction of bodies that fork internally
+    seed: int = 0x5EED
+
+    #: Visit sequence: how many farm calls one sweep makes, and how
+    #: concentrated they are.  ``hot_functions`` < ``functions`` models
+    #: good instruction locality (gzip); equal models gcc-style sweeps.
+    sequence_length: int = 64
+    hot_functions: Optional[int] = None  # None = uniform over all
+    hot_bias: float = 0.9  # probability a visit goes to the hot set
+
+    #: Fraction of sweep calls made through the function-pointer table
+    #: (register-indirect; speculation cannot follow them).  Compiled C
+    #: is mostly direct calls, so the default is low.
+    indirect_call_rate: float = 0.1
+
+    #: When non-zero, each *hot* function walks the data window with a
+    #: line-granular cyclic stride for this many iterations per call —
+    #: a guaranteed-coverage access pattern that makes the L2 data-cache
+    #: bank capacity matter (``data_words`` must be a power of two).
+    walker_iterations: int = 0
+
+    #: When non-zero, the farm is *phased*: one sweep subroutine per
+    #: round, each visiting a fresh (never-before-executed) group of
+    #: functions ``fresh_visits`` times plus the hot set.  This is the
+    #: paper's Section 2.3 phase structure: bursts of untranslated code
+    #: (translation-bound) alternate with warm memory-bound stretches —
+    #: the regime where dynamic reconfiguration can beat every static
+    #: configuration.
+    phased_rounds: int = 0
+    fresh_visits: int = 3
+
+
+@dataclass
+class FarmCode:
+    """Generated farm: text lines, data lines and sweep entry labels.
+
+    Non-phased farms have one sweep subroutine (called every round);
+    phased farms have one per round.
+    """
+
+    text_lines: List[str] = field(default_factory=list)
+    data_lines: List[str] = field(default_factory=list)
+    sweep_labels: List[str] = field(default_factory=lambda: ["farm_sweep"])
+
+    @property
+    def sweep_label(self) -> str:
+        return self.sweep_labels[0]
+
+    def sweep_for_round(self, round_index: int) -> str:
+        return self.sweep_labels[round_index % len(self.sweep_labels)]
+
+
+def build_farm(config: FarmConfig, prefix: str = "farm") -> FarmCode:
+    """Generate the farm's functions, tables and sweep subroutine.
+
+    The sweep subroutine walks a generated visit sequence, calling each
+    function through the jump table (register-indirect calls — the
+    translation system cannot speculate past them, matching the paper's
+    indirect-branch discussion).  It clobbers eax/ecx/edx and edi and
+    accumulates into esi.
+    """
+    prng = DeterministicPrng(config.seed)
+    farm = FarmCode(sweep_labels=[f"{prefix}_sweep"])
+    data_label = f"{prefix}_data"
+    table_label = f"{prefix}_table"
+
+    cursors_label = f"{prefix}_cursors"
+    hot_count = config.hot_functions or 0
+    for index in range(config.functions):
+        walker = config.walker_iterations if index < hot_count else 0
+        farm.text_lines.extend(
+            _generate_function(
+                f"{prefix}_fn{index}", data_label, config, prng,
+                walker_iterations=walker,
+                cursor_ref=f"{cursors_label} + {4 * index}",
+            )
+        )
+
+    # function-pointer table (used by the indirect fraction of calls)
+    farm.data_lines.extend(
+        [f"{table_label}:"]
+        + [f"    dd {prefix}_fn{i}" for i in range(config.functions)]
+    )
+    farm.data_lines.append(f"{data_label}:")
+    farm.data_lines.append(f"    dz {config.data_words * 4}")
+    # walker cursors start evenly spread so the walkers tile the window
+    # instead of marching over the same prefix
+    window_bytes = config.data_words * 4
+    spread = max(1, hot_count)
+    cursor_values = [
+        ((i * window_bytes) // spread) & ~31 for i in range(max(1, config.functions))
+    ]
+    farm.data_lines.extend(emit_dd_table(cursors_label, cursor_values))
+
+    # Sweeps are *unrolled* visit sequences: mostly direct calls (which
+    # speculative translation can follow), with a configurable indirect
+    # fraction through the pointer table (which it cannot).
+    def emit_sweep(label: str, sequence: List[int]) -> None:
+        farm.text_lines.append(f"{label}:")
+        for target in sequence:
+            if prng.chance(config.indirect_call_rate):
+                farm.text_lines.append(f"    mov eax, {target}")
+                farm.text_lines.append(f"    call [{table_label} + eax*4]")
+            else:
+                farm.text_lines.append(f"    call {prefix}_fn{target}")
+        farm.text_lines.append("    ret")
+
+    if config.phased_rounds > 0:
+        farm.sweep_labels = []
+        hot = config.hot_functions or 1
+        fresh_pool = list(range(hot, config.functions))
+        group_size = max(1, len(fresh_pool) // config.phased_rounds)
+        for round_index in range(config.phased_rounds):
+            group = fresh_pool[round_index * group_size : (round_index + 1) * group_size]
+            # phase A: the burst of never-seen code (translation-bound),
+            # then phase B: the warm, memory-bound hot set
+            sequence: List[int] = []
+            for fresh in group * config.fresh_visits:
+                sequence.append(fresh)
+            for _ in range(config.sequence_length):
+                sequence.append(prng.below(hot))
+            label = f"{prefix}_sweep_r{round_index}"
+            farm.sweep_labels.append(label)
+            emit_sweep(label, sequence)
+    else:
+        emit_sweep(farm.sweep_labels[0], _generate_sequence(config, prng))
+    return farm
+
+
+def _generate_sequence(config: FarmConfig, prng: DeterministicPrng) -> List[int]:
+    hot = config.hot_functions
+    sequence = []
+    for _ in range(config.sequence_length):
+        if hot is not None and hot < config.functions and prng.chance(config.hot_bias):
+            sequence.append(prng.below(hot))
+        else:
+            sequence.append(prng.below(config.functions))
+    return sequence
+
+
+def _generate_function(
+    name: str,
+    data_label: str,
+    config: FarmConfig,
+    prng: DeterministicPrng,
+    walker_iterations: int = 0,
+    cursor_ref: str = "",
+) -> List[str]:
+    """One farm function: a deterministic mix of ALU/memory/branch work."""
+    lines = [f"{name}:"]
+    body = max(4, config.body_instructions - 4)
+
+    if walker_iterations > 0:
+        line_mask = (config.data_words * 4 - 1) & ~31
+        lines += [
+            f"    mov ecx, [{cursor_ref}]",
+            f"    mov edx, {walker_iterations}",
+            f"{name}_walk:",
+            f"    and ecx, {line_mask}",
+            f"    add eax, [{data_label} + ecx]",
+            "    add ecx, 32",
+            "    dec edx",
+            f"    jnz {name}_walk",
+            f"    mov [{cursor_ref}], ecx",
+        ]
+
+    emitted = 0
+    fork_done = False
+    while emitted < body:
+        roll = prng.next_u32() % 1000
+        if roll < config.memory_op_rate * 1000:
+            if prng.chance(0.5):
+                # dynamically indexed access: spreads the data window so
+                # the L2 data-cache bank capacity actually matters
+                lines.append(f"    and eax, {config.data_words - 1}")
+                if prng.chance(0.5):
+                    lines.append(f"    mov ecx, [{data_label} + eax*4]")
+                else:
+                    lines.append(f"    add [{data_label} + eax*4], ecx")
+                emitted += 2
+            else:
+                offset = prng.below(config.data_words) * 4
+                if prng.chance(0.5):
+                    lines.append(f"    mov {prng.choice(_FARM_REGS)}, [{data_label} + {offset}]")
+                else:
+                    lines.append(f"    add [{data_label} + {offset}], eax")
+                emitted += 1
+        elif not fork_done and roll < (config.memory_op_rate + config.branch_rate) * 1000:
+            skip = f"{name}_s{emitted}"
+            lines.append("    test eax, 3")
+            lines.append(f"    jz {skip}")
+            lines.append(f"    add ecx, {prng.in_range(1, 97)}")
+            lines.append(f"{skip}:")
+            emitted += 3
+            fork_done = True
+        else:
+            lines.append(_alu_line(prng))
+            emitted += 1
+
+    # fold work into the global accumulator and return
+    lines.append("    add esi, eax")
+    lines.append("    ret")
+    return lines
+
+
+def _alu_line(prng: DeterministicPrng) -> str:
+    kind = prng.below(8)
+    reg = prng.choice(_FARM_REGS)
+    other = prng.choice(_FARM_REGS)
+    if kind == 0:
+        return f"    add {reg}, {prng.in_range(1, 4096)}"
+    if kind == 1:
+        return f"    xor {reg}, {other}"
+    if kind == 2:
+        return f"    shl {reg}, {prng.in_range(1, 8)}"
+    if kind == 3:
+        return f"    shr {reg}, {prng.in_range(1, 8)}"
+    if kind == 4:
+        return f"    imul {reg}, {other}"
+    if kind == 5:
+        return f"    sub {reg}, {prng.in_range(1, 2048)}"
+    if kind == 6:
+        return f"    or {reg}, {prng.in_range(1, 255)}"
+    return f"    and {reg}, {prng.in_range(255, 65535)}"

@@ -1,0 +1,470 @@
+"""Hand-written algorithmic kernels, one per SpecInt character.
+
+Each kernel is a VX86 subroutine: it may clobber eax/ecx/edx/edi, must
+preserve ebp/ebx/esp, accumulates a checksum into esi, and returns with
+``ret``.  Kernels and their data tables are generated deterministically
+so runs are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.common.prng import DeterministicPrng
+from repro.workloads.builder import emit_db_table, emit_dd_table
+
+
+@dataclass
+class KernelCode:
+    """A kernel's code, data and entry label."""
+
+    entry: str
+    text_lines: List[str] = field(default_factory=list)
+    data_lines: List[str] = field(default_factory=list)
+
+
+def gzip_kernel(scale: float = 1.0) -> KernelCode:
+    """164.gzip: run-length compression over a byte buffer.
+
+    Streaming byte loads/stores and short data-dependent inner loops —
+    compact code, modest memory footprint.
+    """
+    length = max(256, int(2048 * scale))
+    prng = DeterministicPrng(0x6212)
+    data: List[int] = []
+    while len(data) < length:
+        value = prng.below(7)
+        run = 1 + prng.below(9)
+        data.extend([value] * run)
+    data = data[:length]
+
+    k = KernelCode("gzip_kernel")
+    k.text_lines = [
+        "gzip_kernel:",
+        "    xor edi, edi",
+        "    xor edx, edx",
+        "gz_outer:",
+        "    movzx eax, [gz_in + edi]",
+        "    xor ecx, ecx",
+        "gz_run:",
+        "    inc edi",
+        "    inc ecx",
+        f"    cmp edi, {length}",
+        "    jge gz_flush",
+        "    cmpb [gz_in + edi], eax",
+        "    je gz_run",
+        "gz_flush:",
+        "    movb [gz_out + edx], eax",
+        "    inc edx",
+        "    movb [gz_out + edx], ecx",
+        "    inc edx",
+        "    add esi, ecx",
+        f"    cmp edi, {length}",
+        "    jl gz_outer",
+        "    ret",
+    ]
+    k.data_lines = emit_db_table("gz_in", data)
+    k.data_lines.append("gz_out:")
+    k.data_lines.append(f"    dz {2 * length + 8}")
+    return k
+
+
+def mcf_kernel(scale: float = 1.0) -> KernelCode:
+    """181.mcf: pointer chasing over a large permutation cycle.
+
+    Memory-bound with no locality — the emulator's software memory
+    system hurts, but so does the PIII's hierarchy, which is why mcf
+    sits at the *low* end of the slowdown spectrum.
+    """
+    entries = 16384  # 64KB table: blows the 32KB L1 D-cache
+    steps = max(64, int(900 * scale))
+    prng = DeterministicPrng(0x3C0F)
+    # single-cycle permutation: follow a shuffled ring
+    order = prng.shuffled(range(entries))
+    nxt = [0] * entries
+    for i in range(entries):
+        nxt[order[i]] = order[(i + 1) % entries]
+
+    k = KernelCode("mcf_kernel")
+    k.text_lines = [
+        "mcf_kernel:",
+        "    mov eax, [mcf_pos]",
+        f"    mov ecx, {steps}",
+        "mcf_loop:",
+        "    mov eax, [mcf_next + eax*4]",
+        "    add esi, eax",
+        "    dec ecx",
+        "    jnz mcf_loop",
+        "    mov [mcf_pos], eax",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("mcf_next", nxt)
+    k.data_lines += ["mcf_pos:", "    dd 0"]
+    return k
+
+
+def bzip2_kernel(scale: float = 1.0) -> KernelCode:
+    """256.bzip2: block copy + insertion sort (sorting phases)."""
+    count = max(24, int(96 * scale))
+    prng = DeterministicPrng(0xB217)
+    source = [prng.below(100000) for _ in range(count)]
+
+    k = KernelCode("bz_kernel")
+    k.text_lines = [
+        "bz_kernel:",
+        "    xor edi, edi",
+        "bz_copy:",
+        "    mov eax, [bz_src + edi*4]",
+        "    mov [bz_work + edi*4], eax",
+        "    inc edi",
+        f"    cmp edi, {count}",
+        "    jne bz_copy",
+        "    mov edi, 1",
+        "bz_outer:",
+        "    mov eax, [bz_work + edi*4]",
+        "    mov ecx, edi",
+        "bz_inner:",
+        "    cmp ecx, 0",
+        "    je bz_place",
+        "    mov edx, [bz_work + ecx*4 - 4]",
+        "    cmp edx, eax",
+        "    jle bz_place",
+        "    mov [bz_work + ecx*4], edx",
+        "    dec ecx",
+        "    jmp bz_inner",
+        "bz_place:",
+        "    mov [bz_work + ecx*4], eax",
+        "    inc edi",
+        f"    cmp edi, {count}",
+        "    jne bz_outer",
+        "    add esi, [bz_work]",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("bz_src", source)
+    k.data_lines.append("bz_work:")
+    k.data_lines.append(f"    dz {4 * count}")
+    return k
+
+
+def parser_kernel(scale: float = 1.0) -> KernelCode:
+    """197.parser: dictionary lookups in an open-addressed hash table."""
+    table_size = 1024
+    mask = table_size - 1
+    prng = DeterministicPrng(0x9A25)
+    words = [prng.in_range(1, 1 << 30) for _ in range(700)]
+    table = [0] * table_size
+    multiplier = 2654435761
+    for word in words:
+        slot = ((word * multiplier) >> 20) & mask
+        while table[slot]:
+            slot = (slot + 1) & mask
+        table[slot] = word
+    queries = [prng.choice(words) if prng.chance(0.7) else prng.in_range(1, 1 << 30)
+               for _ in range(max(16, int(96 * scale)))]
+
+    k = KernelCode("pa_kernel")
+    k.text_lines = [
+        "pa_kernel:",
+        "    xor edi, edi",
+        "pa_loop:",
+        "    mov eax, [pa_queries + edi*4]",
+        f"    mov ecx, {multiplier}",
+        "    imul eax, ecx",
+        "    shr eax, 20",
+        f"    and eax, {mask}",
+        "pa_probe:",
+        "    mov edx, [pa_table + eax*4]",
+        "    cmp edx, 0",
+        "    je pa_miss",
+        "    cmp edx, [pa_queries + edi*4]",
+        "    je pa_found",
+        "    inc eax",
+        f"    and eax, {mask}",
+        "    jmp pa_probe",
+        "pa_miss:",
+        "    inc esi",
+        "    jmp pa_next",
+        "pa_found:",
+        "    add esi, 2",
+        "pa_next:",
+        "    inc edi",
+        f"    cmp edi, {len(queries)}",
+        "    jne pa_loop",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("pa_table", table)
+    k.data_lines += emit_dd_table("pa_queries", queries)
+    return k
+
+
+def crafty_kernel(scale: float = 1.0) -> KernelCode:
+    """186.crafty: bitboard scrambling + software popcounts."""
+    boards = max(8, int(24 * scale))
+    prng = DeterministicPrng(0xC4AF)
+    values = [prng.next_u32() for _ in range(boards)]
+
+    k = KernelCode("cr_kernel")
+    k.text_lines = [
+        "cr_kernel:",
+        "    xor edi, edi",
+        "cr_loop:",
+        "    mov eax, [cr_boards + edi*4]",
+        "    mov ecx, eax",
+        "    shl ecx, 13",
+        "    xor eax, ecx",
+        "    mov ecx, eax",
+        "    shr ecx, 17",
+        "    xor eax, ecx",
+        "    mov [cr_boards + edi*4], eax",
+        "    xor edx, edx",
+        "cr_pop:",
+        "    cmp eax, 0",
+        "    je cr_done",
+        "    mov ecx, eax",
+        "    and ecx, 1",
+        "    add edx, ecx",
+        "    shr eax, 1",
+        "    jmp cr_pop",
+        "cr_done:",
+        "    add esi, edx",
+        "    inc edi",
+        f"    cmp edi, {boards}",
+        "    jne cr_loop",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("cr_boards", values)
+    return k
+
+
+def perlbmk_kernel(scale: float = 1.0) -> KernelCode:
+    """253.perlbmk: a bytecode interpreter with jump-table dispatch.
+
+    Every bytecode executes an indirect branch through the handler
+    table — the control-flow shape the paper's speculation explicitly
+    cannot follow.
+    """
+    ops = max(64, int(400 * scale))
+    prng = DeterministicPrng(0x9E51)
+    code = [prng.below(8) for _ in range(ops)]
+
+    k = KernelCode("pl_kernel")
+    k.text_lines = [
+        "pl_kernel:",
+        "    xor edi, edi",
+        "    mov eax, 1",
+        "pl_fetch:",
+        f"    cmp edi, {ops}",
+        "    jge pl_done",
+        "    movzx ecx, [pl_code + edi]",
+        "    inc edi",
+        "    jmp [pl_handlers + ecx*4]",
+        "pl_op0:",
+        "    add eax, 7",
+        "    jmp pl_fetch",
+        "pl_op1:",
+        "    xor eax, 23130",
+        "    jmp pl_fetch",
+        "pl_op2:",
+        "    shl eax, 1",
+        "    jmp pl_fetch",
+        "pl_op3:",
+        "    add eax, [pl_mem + 16]",
+        "    jmp pl_fetch",
+        "pl_op4:",
+        "    mov [pl_mem + 32], eax",
+        "    jmp pl_fetch",
+        "pl_op5:",
+        "    sub eax, 3",
+        "    jmp pl_fetch",
+        "pl_op6:",
+        "    shr eax, 1",
+        "    jmp pl_fetch",
+        "pl_op7:",
+        "    inc eax",
+        "    jmp pl_fetch",
+        "pl_done:",
+        "    add esi, eax",
+        "    ret",
+    ]
+    k.data_lines = emit_db_table("pl_code", code)
+    k.data_lines += [
+        ".align 4",
+        "pl_handlers:",
+        "    dd pl_op0, pl_op1, pl_op2, pl_op3, pl_op4, pl_op5, pl_op6, pl_op7",
+        "pl_mem:",
+        "    dz 64",
+    ]
+    return k
+
+
+def gap_kernel(scale: float = 1.0) -> KernelCode:
+    """254.gap: multi-precision addition with explicit carry chains."""
+    limbs = max(16, int(48 * scale))
+    prng = DeterministicPrng(0x6A90)
+    a = [prng.next_u32() for _ in range(limbs)]
+    b = [prng.next_u32() for _ in range(limbs)]
+
+    k = KernelCode("ga_kernel")
+    k.text_lines = [
+        "ga_kernel:",
+        "    xor edi, edi",
+        "    xor edx, edx",
+        "ga_loop:",
+        "    mov eax, [ga_a + edi*4]",
+        "    xor ecx, ecx",
+        "    add eax, [ga_b + edi*4]",
+        "    setb ecx",
+        "    add eax, edx",
+        "    jnc ga_nc",
+        "    mov ecx, 1",
+        "ga_nc:",
+        "    mov [ga_r + edi*4], eax",
+        "    mov edx, ecx",
+        "    inc edi",
+        f"    cmp edi, {limbs}",
+        "    jne ga_loop",
+        "    add esi, eax",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("ga_a", a)
+    k.data_lines += emit_dd_table("ga_b", b)
+    k.data_lines.append("ga_r:")
+    k.data_lines.append(f"    dz {4 * limbs}")
+    return k
+
+
+def vpr_kernel(scale: float = 1.0) -> KernelCode:
+    """175.vpr: grid relaxation sweeps (routing-cost propagation)."""
+    width = 32
+    rows = max(4, int(10 * scale))
+    prng = DeterministicPrng(0x7B31)
+    cells = [prng.below(4096) for _ in range(width * (rows + 2))]
+    first = width + 1
+    last = width * (rows + 1) - 1
+
+    k = KernelCode("vp_kernel")
+    k.text_lines = [
+        "vp_kernel:",
+        f"    mov edi, {first}",
+        "vp_loop:",
+        "    mov eax, [vp_grid + edi*4 - 4]",
+        "    add eax, [vp_grid + edi*4 + 4]",
+        f"    add eax, [vp_grid + edi*4 - {width * 4}]",
+        f"    add eax, [vp_grid + edi*4 + {width * 4}]",
+        "    shr eax, 2",
+        "    mov [vp_grid + edi*4], eax",
+        "    add esi, eax",
+        "    inc edi",
+        f"    cmp edi, {last}",
+        "    jne vp_loop",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("vp_grid", cells)
+    return k
+
+
+def twolf_kernel(scale: float = 1.0) -> KernelCode:
+    """300.twolf: annealing-style random cell swaps (xorshift in-guest)."""
+    mask = 255  # 258-cell array, random index in [0, 255]
+    swaps = max(8, int(40 * scale))
+    prng = DeterministicPrng(0x2F01)
+    cells = [prng.below(10000) for _ in range(mask + 2)]
+
+    k = KernelCode("tw_kernel")
+    k.text_lines = [
+        "tw_kernel:",
+        f"    mov ecx, {swaps}",
+        "tw_loop:",
+        "    mov eax, [tw_seed]",
+        "    mov edi, eax",
+        "    shl edi, 13",
+        "    xor eax, edi",
+        "    mov edi, eax",
+        "    shr edi, 17",
+        "    xor eax, edi",
+        "    mov edi, eax",
+        "    shl edi, 5",
+        "    xor eax, edi",
+        "    mov [tw_seed], eax",
+        "    mov edi, eax",
+        f"    and edi, {mask}",
+        "    mov eax, [tw_cells + edi*4]",
+        "    mov edx, [tw_cells + edi*4 + 4]",
+        "    mov [tw_cells + edi*4], edx",
+        "    mov [tw_cells + edi*4 + 4], eax",
+        "    sub eax, edx",
+        "    add esi, eax",
+        "    dec ecx",
+        "    jnz tw_loop",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("tw_cells", cells)
+    k.data_lines += ["tw_seed:", "    dd 2463534242"]
+    return k
+
+
+def vortex_kernel(scale: float = 1.0) -> KernelCode:
+    """255.vortex: object-store lookups via binary search + field reads."""
+    queries = max(8, int(48 * scale))
+    prng = DeterministicPrng(0x0B9E)
+    ids = sorted(set(prng.in_range(1, 1 << 28) for _ in range(512)))[:256]
+    records = len(ids)
+    fields = [prng.next_u32() for _ in range(records * 4)]
+    query_list = [
+        prng.choice(ids) if prng.chance(0.75) else prng.in_range(1, 1 << 28)
+        for _ in range(queries)
+    ]
+
+    k = KernelCode("vx_kernel")
+    k.text_lines = [
+        "vx_kernel:",
+        "    xor edi, edi",
+        "vx_loop:",
+        "    mov eax, [vx_queries + edi*4]",
+        "    mov [vx_key], eax",
+        "    xor ecx, ecx",
+        f"    mov edx, {records}",
+        "vx_bs:",
+        "    cmp ecx, edx",
+        "    jge vx_absent",
+        "    mov eax, ecx",
+        "    add eax, edx",
+        "    shr eax, 1",
+        "    push eax",
+        "    mov eax, [vx_ids + eax*4]",
+        "    cmp eax, [vx_key]",
+        "    pop eax",
+        "    je vx_found",
+        "    jb vx_golo",
+        "    mov edx, eax",
+        "    jmp vx_bs",
+        "vx_golo:",
+        "    mov ecx, eax",
+        "    inc ecx",
+        "    jmp vx_bs",
+        "vx_found:",
+        "    shl eax, 4",
+        "    add esi, [vx_fields + eax]",
+        "    jmp vx_next",
+        "vx_absent:",
+        "    inc esi",
+        "vx_next:",
+        "    inc edi",
+        f"    cmp edi, {queries}",
+        "    jne vx_loop",
+        "    ret",
+    ]
+    k.data_lines = emit_dd_table("vx_ids", ids)
+    k.data_lines += emit_dd_table("vx_fields", fields)
+    k.data_lines += emit_dd_table("vx_queries", query_list)
+    k.data_lines += ["vx_key:", "    dd 0"]
+    return k
+
+
+def gcc_kernel(scale: float = 1.0) -> KernelCode:
+    """176.gcc: no algorithmic kernel — its character *is* the enormous,
+    poorly-localized code footprint, supplied by the function farm."""
+    k = KernelCode("gc_kernel")
+    k.text_lines = ["gc_kernel:", "    add esi, 1", "    ret"]
+    return k

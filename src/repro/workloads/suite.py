@@ -1,0 +1,192 @@
+"""The eleven SpecInt-like workloads and their build harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List
+
+from repro.guest.assembler import assemble
+from repro.guest.program import GuestProgram
+from repro.workloads import kernels
+from repro.workloads.builder import FarmConfig, build_farm
+from repro.workloads.kernels import KernelCode
+
+#: Benchmark order as printed in every figure of the paper.
+SPECINT_NAMES = [
+    "164.gzip",
+    "175.vpr",
+    "176.gcc",
+    "181.mcf",
+    "186.crafty",
+    "197.parser",
+    "253.perlbmk",
+    "254.gap",
+    "255.vortex",
+    "256.bzip2",
+    "300.twolf",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One synthetic benchmark: kernel + farm shape + iteration count."""
+
+    name: str
+    kernel: Callable[[float], KernelCode]
+    farm: FarmConfig
+    rounds: int
+    description: str
+    #: number of farm sweeps per round (0 = kernel-only rounds)
+    sweeps_per_round: int = 1
+
+
+def _specs() -> Dict[str, WorkloadSpec]:
+    specs = [
+        WorkloadSpec(
+            "164.gzip",
+            kernels.gzip_kernel,
+            FarmConfig(functions=60, sequence_length=40, hot_functions=6, data_words=16384,
+                       walker_iterations=8, phased_rounds=1, fresh_visits=3, seed=1),
+            rounds=6,
+            description="streaming run-length compression; compact hot loops",
+        ),
+        WorkloadSpec(
+            "175.vpr",
+            kernels.vpr_kernel,
+            FarmConfig(functions=170, body_instructions=26, sequence_length=200, hot_functions=None, seed=2),
+            rounds=5,
+            description="grid routing sweeps; code working set exceeds L1 code cache",
+        ),
+        WorkloadSpec(
+            "176.gcc",
+            kernels.gcc_kernel,
+            FarmConfig(functions=650, body_instructions=32, sequence_length=650, hot_functions=None, seed=3),
+            rounds=3,
+            description="huge, poorly-localized code footprint (function farm only)",
+        ),
+        WorkloadSpec(
+            "181.mcf",
+            kernels.mcf_kernel,
+            FarmConfig(functions=50, sequence_length=24, hot_functions=4, data_words=8192,
+                       phased_rounds=1, fresh_visits=3, seed=4),
+            rounds=14,
+            description="pointer chasing over a 64KB permutation; memory-bound",
+        ),
+        WorkloadSpec(
+            "186.crafty",
+            kernels.crafty_kernel,
+            FarmConfig(functions=390, body_instructions=28, sequence_length=400, hot_functions=None, seed=5),
+            rounds=4,
+            description="bitboard work + large code footprint",
+        ),
+        WorkloadSpec(
+            "197.parser",
+            kernels.parser_kernel,
+            FarmConfig(functions=70, sequence_length=44, hot_functions=8, data_words=16384,
+                       walker_iterations=8, phased_rounds=1, fresh_visits=3, seed=6),
+            rounds=8,
+            description="open-addressed dictionary lookups; modest code",
+        ),
+        WorkloadSpec(
+            "253.perlbmk",
+            kernels.perlbmk_kernel,
+            FarmConfig(functions=150, body_instructions=26, sequence_length=160, hot_functions=None, seed=7),
+            rounds=5,
+            description="bytecode interpreter (indirect dispatch) + large code",
+        ),
+        WorkloadSpec(
+            "254.gap",
+            kernels.gap_kernel,
+            FarmConfig(functions=140, body_instructions=26, sequence_length=140, hot_functions=None, seed=8),
+            rounds=5,
+            description="multi-precision arithmetic + large code",
+        ),
+        WorkloadSpec(
+            "255.vortex",
+            kernels.vortex_kernel,
+            FarmConfig(functions=540, body_instructions=30, sequence_length=520, hot_functions=None, seed=9),
+            rounds=3,
+            description="object-store lookups; very large code footprint",
+        ),
+        WorkloadSpec(
+            "256.bzip2",
+            kernels.bzip2_kernel,
+            FarmConfig(functions=60, sequence_length=36, hot_functions=5, data_words=16384,
+                       walker_iterations=8, phased_rounds=1, fresh_visits=3, seed=10),
+            rounds=8,
+            description="block copy + insertion sort; compact code",
+        ),
+        WorkloadSpec(
+            "300.twolf",
+            kernels.twolf_kernel,
+            FarmConfig(functions=180, body_instructions=26, sequence_length=180, hot_functions=None, seed=11),
+            rounds=5,
+            description="annealing-style random swaps + large code",
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+_SPECS = _specs()
+
+
+def workload_specs() -> Dict[str, WorkloadSpec]:
+    """All workload specs keyed by benchmark name."""
+    return dict(_SPECS)
+
+
+def build_source(name: str, scale: float = 1.0) -> str:
+    """Generate the assembly source of workload ``name``."""
+    spec = _SPECS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown workload {name!r}; choose from {SPECINT_NAMES}")
+
+    farm_config = spec.farm
+    rounds = max(1, int(spec.rounds * scale))
+    if farm_config.phased_rounds:
+        farm_config = replace(farm_config, phased_rounds=rounds)
+    kernel = spec.kernel(scale)
+    farm = build_farm(farm_config, prefix=name.split(".")[-1])
+
+    lines: List[str] = [
+        f"; synthetic workload {spec.name}: {spec.description}",
+        "_start:",
+        "    xor esi, esi",
+    ]
+    if farm_config.phased_rounds:
+        # phased: unrolled rounds, each with its own fresh-code sweep
+        for round_index in range(rounds):
+            lines.append(f"    call {kernel.entry}")
+            for _ in range(spec.sweeps_per_round):
+                lines.append(f"    call {farm.sweep_for_round(round_index)}")
+    else:
+        lines += [
+            f"    mov ebp, {rounds}",
+            "main_round:",
+            f"    call {kernel.entry}",
+        ]
+        for _ in range(spec.sweeps_per_round):
+            lines.append(f"    call {farm.sweep_label}")
+        lines += [
+            "    dec ebp",
+            "    jnz main_round",
+        ]
+    lines += [
+        "    mov eax, esi",
+        "    and eax, 255",
+        "    mov ebx, eax",
+        "    mov eax, 1",
+        "    int 0x80",
+    ]
+    lines += kernel.text_lines
+    lines += farm.text_lines
+    lines.append(".data")
+    lines += kernel.data_lines
+    lines += farm.data_lines
+    return "\n".join(lines) + "\n"
+
+
+def build_workload(name: str, scale: float = 1.0) -> GuestProgram:
+    """Assemble workload ``name`` into a loadable program."""
+    program = assemble(build_source(name, scale), name=name)
+    return program

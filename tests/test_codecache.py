@@ -1,0 +1,272 @@
+"""Tests for the code cache hierarchy and the speculative translation
+subsystem."""
+
+import pytest
+
+from repro.guest.assembler import assemble
+from repro.guest.interpreter import GuestFault
+from repro.dbt.codecache import (
+    CodeCacheHierarchy,
+    DISPATCH_OVERHEAD,
+    L1CodeCache,
+)
+from repro.dbt.predictor import Prediction, predict_successors
+from repro.dbt.speculative import TranslationSubsystem
+from repro.dbt.translator import TranslationConfig, Translator
+from repro.tiled.machine import default_placement
+from repro.tiled.network import Network
+from repro.tiled.resource import Resource
+
+
+def make_translator(source: str) -> Translator:
+    program = assemble(source)
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        if offset < 0 or offset >= len(text.data):
+            raise GuestFault(address, "code fetch outside .text")
+        return text.data[offset : offset + length]
+
+    translator = Translator(read, TranslationConfig())
+    translator.program = program  # test convenience
+    return translator
+
+
+LOOP = """
+_start:
+    mov ecx, 10
+top:
+    dec ecx
+    jnz top
+    call fn
+    hlt
+fn:
+    ret
+"""
+
+
+def make_subsystem(source=LOOP, slaves=4, speculative=True):
+    translator = make_translator(source)
+    subsystem = TranslationSubsystem(
+        translator, slave_count=slaves, manager=Resource("manager"), speculative=speculative
+    )
+    return subsystem, translator.program
+
+
+class TestL1CodeCache:
+    def _block(self, translator, pc):
+        return translator.translate(pc)
+
+    def test_insert_and_lookup(self):
+        translator = make_translator(LOOP)
+        cache = L1CodeCache()
+        block = translator.translate(translator.program.entry)
+        cache.insert(block)
+        assert cache.lookup(block.guest_address) is block
+        assert cache.lookup(0x1234) is None
+
+    def test_tight_packing_flushes_when_full(self):
+        translator = make_translator(LOOP)
+        block = translator.translate(translator.program.entry)
+        cache = L1CodeCache(capacity_bytes=block.host_size_bytes + 8)
+        assert not cache.insert(block)
+        other = translator.translate(translator.program.symbols["fn"])
+        flushed = cache.insert(other)
+        assert flushed
+        assert cache.lookup(block.guest_address) is None  # flushed away
+        assert cache.lookup(other.guest_address) is other
+
+    def test_chaining_requires_residency_and_stub(self):
+        translator = make_translator(LOOP)
+        cache = L1CodeCache()
+        entry_block = translator.translate(translator.program.entry)
+        top = entry_block.direct_successors()[0]
+        top_block = translator.translate(top)
+        cache.insert(entry_block)
+        assert not cache.try_chain(entry_block.guest_address, top)  # target absent
+        cache.insert(top_block)
+        assert cache.try_chain(entry_block.guest_address, top)
+        assert cache.is_chained(entry_block.guest_address, top)
+        assert not cache.try_chain(entry_block.guest_address, top)  # idempotent
+
+    def test_flush_clears_chains(self):
+        translator = make_translator(LOOP)
+        cache = L1CodeCache()
+        entry_block = translator.translate(translator.program.entry)
+        top = entry_block.direct_successors()[0]
+        cache.insert(entry_block)
+        cache.insert(translator.translate(top))
+        cache.try_chain(entry_block.guest_address, top)
+        cache.flush()
+        assert not cache.is_chained(entry_block.guest_address, top)
+
+
+class TestPredictor:
+    def test_backward_branch_predicted_taken(self):
+        translator = make_translator(LOOP)
+        # block at `top`: dec ecx; jnz top (backward)
+        top = translator.program.symbols["top"]
+        block = translator.translate(top)
+        predictions = predict_successors(block)
+        assert predictions[0].target == top  # loop back edge first
+        assert predictions[0].depth_bonus == 0
+        assert predictions[1].depth_bonus == 1
+
+    def test_call_return_predicted_low_priority(self):
+        translator = make_translator(LOOP)
+        # find the call block (starts after jnz falls through)
+        program = translator.program
+        jnz_fall = None
+        block = translator.translate(program.symbols["top"])
+        jnz_fall = block.direct_successors()[0]
+        call_block = translator.translate(jnz_fall)
+        predictions = predict_successors(call_block)
+        returns = [p for p in predictions if p.target == call_block.call_return_address]
+        assert returns
+        assert returns[0].depth_bonus >= 3
+
+    def test_forward_branch_predicts_fallthrough(self):
+        translator = make_translator(
+            "_start: cmp eax, 0\nje fwd\nmov eax, 1\nfwd: hlt\n"
+        )
+        block = translator.translate(translator.program.entry)
+        predictions = predict_successors(block)
+        fallthrough = block.direct_successors()[0]
+        assert predictions[0].target == fallthrough
+        assert predictions[0].depth_bonus == 0
+
+
+class TestTranslationSubsystem:
+    def test_demand_translation_when_cold(self):
+        subsystem, program = make_subsystem()
+        result = subsystem.demand_request(program.entry, now=0)
+        assert result.translated_on_demand
+        assert result.block.guest_address == program.entry
+        assert result.ready_time > 0
+
+    def test_speculation_runs_ahead(self):
+        subsystem, program = make_subsystem()
+        first = subsystem.demand_request(program.entry, now=0)
+        # give the slaves plenty of time to speculate down the CFG
+        subsystem.advance(first.ready_time + 500_000)
+        top = first.block.direct_successors()[0]
+        entry = subsystem.lookup(top)
+        assert entry is not None
+        assert entry.state.value == "done"
+        # second demand request should be a speculation hit
+        result = subsystem.demand_request(top, now=first.ready_time + 500_000)
+        assert not result.translated_on_demand
+
+    def test_conservative_mode_never_speculates(self):
+        subsystem, program = make_subsystem(speculative=False)
+        first = subsystem.demand_request(program.entry, now=0)
+        subsystem.advance(first.ready_time + 1_000_000)
+        assert subsystem.stats["speculative_translations"] == 0
+        top = first.block.direct_successors()[0]
+        assert subsystem.lookup(top) is None
+
+    def test_demand_waits_for_busy_slaves(self):
+        # 1 slave, speculative: the slave picks up speculative work;
+        # a demand miss must wait for it (no preemption)
+        subsystem, program = make_subsystem(slaves=1)
+        first = subsystem.demand_request(program.entry, now=0)
+        # issue a demand for an address the slave has not reached while
+        # it is busy speculating
+        fn = None
+        for name, addr in make_translator(LOOP).program.symbols.items():
+            if name == "fn":
+                fn = addr
+        result = subsystem.demand_request(fn, now=first.ready_time + 1)
+        assert result.ready_time >= first.ready_time
+
+    def test_speculation_failure_is_tolerated(self):
+        # fallthrough after hlt runs into the data-less end of .text;
+        # speculation simply marks it failed
+        subsystem, program = make_subsystem(
+            "_start: cmp eax, 0\nje over\nhlt\nover: hlt\n"
+        )
+        first = subsystem.demand_request(program.entry, now=0)
+        subsystem.advance(first.ready_time + 1_000_000)
+        assert subsystem.stats["blocks_translated"] >= 1
+
+    def test_queue_length_drains_over_time(self):
+        subsystem, program = make_subsystem()
+        subsystem.demand_request(program.entry, now=0)
+        subsystem.advance(10_000_000)
+        assert subsystem.queue_length() == 0
+
+    def test_set_slave_count(self):
+        subsystem, _ = make_subsystem(slaves=6)
+        subsystem.set_slave_count(9, now=100)
+        assert subsystem.slave_count == 9
+        subsystem.set_slave_count(6, now=200)
+        assert subsystem.slave_count == 6
+        with pytest.raises(ValueError):
+            subsystem.set_slave_count(0, now=300)
+
+
+class TestCodeCacheHierarchy:
+    def make_hierarchy(self, source=LOOP, l15_banks=2):
+        translator = make_translator(source)
+        grid = default_placement(6, 4, l15_bank_tiles=2)
+        subsystem = TranslationSubsystem(
+            translator, slave_count=4, manager=Resource("manager")
+        )
+        hierarchy = CodeCacheHierarchy(
+            grid, Network(), subsystem, l15_banks=l15_banks
+        )
+        return hierarchy, translator.program
+
+    def test_cold_fetch_translates(self):
+        hierarchy, program = self.make_hierarchy()
+        result = hierarchy.fetch(0, program.entry, prev_pc=None, indirect=False)
+        assert result.level == "translate"
+        assert result.ready_time > DISPATCH_OVERHEAD
+        assert hierarchy.stats["l2_accesses"] == 1
+        assert hierarchy.stats["l2_misses"] == 1
+
+    def test_warm_fetch_hits_l1(self):
+        hierarchy, program = self.make_hierarchy()
+        first = hierarchy.fetch(0, program.entry, None, False)
+        second = hierarchy.fetch(first.ready_time + 10, program.entry, None, False)
+        assert second.level == "l1"
+        assert second.ready_time - (first.ready_time + 10) <= DISPATCH_OVERHEAD + 12
+
+    def test_chained_fetch_is_free(self):
+        hierarchy, program = self.make_hierarchy()
+        entry_result = hierarchy.fetch(0, program.entry, None, False)
+        # the entry block ends in `jnz top`; the taken (backward) target
+        # is a self-looping block: dec ecx; jnz top
+        top = entry_result.block.direct_successors()[1]
+        t = entry_result.ready_time
+        top_result = hierarchy.fetch(t, top, program.entry, False)
+        t = top_result.ready_time
+        # looping back: top -> top gets chained after the first transit
+        r1 = hierarchy.fetch(t, top, top, False)
+        r2 = hierarchy.fetch(r1.ready_time, top, top, False)
+        assert r2.chained_entry
+        assert r2.ready_time == r1.ready_time  # zero-cost dispatch
+
+    def test_indirect_entry_never_chains(self):
+        hierarchy, program = self.make_hierarchy()
+        first = hierarchy.fetch(0, program.entry, None, False)
+        t = first.ready_time
+        hierarchy.fetch(t, program.entry, program.entry, True)
+        result = hierarchy.fetch(t + 1000, program.entry, program.entry, True)
+        assert not result.chained_entry
+
+    def test_l15_serves_after_l1_flush(self):
+        hierarchy, program = self.make_hierarchy()
+        first = hierarchy.fetch(0, program.entry, None, False)
+        hierarchy.l1.flush()
+        result = hierarchy.fetch(first.ready_time + 100, program.entry, None, False)
+        assert result.level == "l1.5"
+
+    def test_without_l15_misses_go_to_manager(self):
+        hierarchy, program = self.make_hierarchy(l15_banks=0)
+        first = hierarchy.fetch(0, program.entry, None, False)
+        hierarchy.l1.flush()
+        result = hierarchy.fetch(first.ready_time + 100, program.entry, None, False)
+        assert result.level == "l2"
+        assert hierarchy.stats["l2_accesses"] == 2

@@ -1,0 +1,79 @@
+"""Unit tests for repro.common.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import bitops
+
+
+class TestWrapping:
+    def test_u32_wraps(self):
+        assert bitops.u32(0x1_0000_0001) == 1
+        assert bitops.u32(-1) == 0xFFFFFFFF
+
+    def test_u16_u8(self):
+        assert bitops.u16(0x12345) == 0x2345
+        assert bitops.u8(0x1FF) == 0xFF
+
+    @given(st.integers())
+    def test_u32_in_range(self, value):
+        assert 0 <= bitops.u32(value) <= 0xFFFFFFFF
+
+
+class TestSignedness:
+    def test_to_signed32(self):
+        assert bitops.to_signed32(0xFFFFFFFF) == -1
+        assert bitops.to_signed32(0x7FFFFFFF) == 0x7FFFFFFF
+        assert bitops.to_signed32(0x80000000) == -0x80000000
+
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+    def test_signed_roundtrip(self, value):
+        assert bitops.to_signed32(bitops.to_unsigned32(value)) == value
+
+    def test_sext8(self):
+        assert bitops.sext8(0x7F) == 0x7F
+        assert bitops.sext8(0x80) == 0xFFFFFF80
+        assert bitops.sext8(0xFF) == 0xFFFFFFFF
+
+    def test_sext16(self):
+        assert bitops.sext16(0x8000) == 0xFFFF8000
+        assert bitops.sext16(0x1234) == 0x1234
+
+    @given(st.integers(min_value=0, max_value=0xFF))
+    def test_sext8_preserves_low_byte(self, value):
+        assert bitops.sext8(value) & 0xFF == value
+
+
+class TestParity:
+    def test_parity_examples(self):
+        assert bitops.parity8(0) is True  # zero bits set: even
+        assert bitops.parity8(1) is False
+        assert bitops.parity8(3) is True
+        assert bitops.parity8(7) is False
+        assert bitops.parity8(0xFF) is True
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_parity_matches_popcount(self, value):
+        expected = bin(value & 0xFF).count("1") % 2 == 0
+        assert bitops.parity8(value) == expected
+
+
+class TestAlignment:
+    def test_align_down_up(self):
+        assert bitops.align_down(0x1234, 0x100) == 0x1200
+        assert bitops.align_up(0x1234, 0x100) == 0x1300
+        assert bitops.align_up(0x1200, 0x100) == 0x1200
+
+    def test_log2_exact(self):
+        assert bitops.log2_exact(1) == 0
+        assert bitops.log2_exact(4096) == 12
+        with pytest.raises(ValueError):
+            bitops.log2_exact(12)
+        with pytest.raises(ValueError):
+            bitops.log2_exact(0)
+
+    def test_is_power_of_two(self):
+        assert bitops.is_power_of_two(64)
+        assert not bitops.is_power_of_two(0)
+        assert not bitops.is_power_of_two(96)

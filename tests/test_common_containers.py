@@ -1,0 +1,169 @@
+"""Unit tests for repro.common.lru, stats and prng."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.lru import LruDict, SetAssociativeIndex
+from repro.common.prng import DeterministicPrng
+from repro.common.stats import Counter, RunningMean, StatSet
+
+
+class TestLruDict:
+    def test_basic_put_get(self):
+        lru = LruDict(2)
+        assert lru.put("a", 1) is None
+        assert lru.get("a") == 1
+        assert lru.get("missing") is None
+
+    def test_eviction_order(self):
+        lru = LruDict(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        evicted = lru.put("c", 3)
+        assert evicted == ("a", 1)
+        assert "a" not in lru
+
+    def test_get_refreshes_recency(self):
+        lru = LruDict(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.get("a")
+        evicted = lru.put("c", 3)
+        assert evicted == ("b", 2)
+
+    def test_peek_does_not_refresh(self):
+        lru = LruDict(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.peek("a")
+        evicted = lru.put("c", 3)
+        assert evicted == ("a", 1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LruDict(0)
+
+
+class TestSetAssociativeIndex:
+    def test_hit_after_fill(self):
+        cache = SetAssociativeIndex(size_bytes=1024, line_bytes=32, ways=2)
+        assert not cache.lookup(0x100)
+        cache.fill(0x100)
+        assert cache.lookup(0x100)
+        assert cache.lookup(0x11F)  # same line
+        assert not cache.lookup(0x120)  # next line
+
+    def test_way_conflict_eviction(self):
+        cache = SetAssociativeIndex(size_bytes=256, line_bytes=32, ways=2)
+        # 4 sets; addresses 0x000, 0x100, 0x200 map to set 0
+        cache.fill(0x000)
+        cache.fill(0x100)
+        cache.fill(0x200)
+        assert not cache.lookup(0x000)
+        assert cache.lookup(0x100)
+        assert cache.lookup(0x200)
+
+    def test_dirty_writeback_address(self):
+        cache = SetAssociativeIndex(size_bytes=256, line_bytes=32, ways=1)
+        cache.fill(0x40, dirty=True)
+        victim = cache.fill(0x140)  # evicts line 0x40
+        assert victim == 0x40
+
+    def test_clean_eviction_returns_none(self):
+        cache = SetAssociativeIndex(size_bytes=256, line_bytes=32, ways=1)
+        cache.fill(0x40, dirty=False)
+        assert cache.fill(0x140) is None
+
+    def test_flush_counts_dirty(self):
+        cache = SetAssociativeIndex(size_bytes=256, line_bytes=32, ways=2)
+        cache.fill(0x00, dirty=True)
+        cache.fill(0x20, dirty=False)
+        cache.mark_dirty(0x20)
+        assert cache.flush() == 2
+        assert cache.resident_lines() == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeIndex(size_bytes=1000, line_bytes=32, ways=2)
+
+
+class TestStats:
+    def test_counter_increments(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_statset_bump_and_ratio(self):
+        stats = StatSet("test")
+        stats.bump("hits", 3)
+        stats.bump("accesses", 4)
+        assert stats["hits"] == 3
+        assert stats.ratio("hits", "accesses") == 0.75
+        assert stats.ratio("hits", "never") == 0.0
+
+    def test_statset_merge(self):
+        a = StatSet("a")
+        a.bump("x", 1)
+        b = StatSet("b")
+        b.bump("x", 2)
+        b.bump("y", 3)
+        a.merge(b.as_dict())
+        assert a["x"] == 3
+        assert a["y"] == 3
+
+    def test_running_mean(self):
+        mean = RunningMean()
+        assert mean.mean == 0.0
+        mean.observe(2.0)
+        mean.observe(4.0)
+        assert mean.mean == 3.0
+        assert mean.minimum == 2.0
+        assert mean.maximum == 4.0
+
+
+class TestPrng:
+    def test_determinism(self):
+        a = DeterministicPrng(42)
+        b = DeterministicPrng(42)
+        assert [a.next_u32() for _ in range(10)] == [b.next_u32() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicPrng(1)
+        b = DeterministicPrng(2)
+        assert [a.next_u32() for _ in range(4)] != [b.next_u32() for _ in range(4)]
+
+    def test_below_bound(self):
+        prng = DeterministicPrng(7)
+        for _ in range(100):
+            assert 0 <= prng.below(13) < 13
+        with pytest.raises(ValueError):
+            prng.below(0)
+
+    def test_in_range(self):
+        prng = DeterministicPrng(7)
+        for _ in range(100):
+            assert 10 <= prng.in_range(10, 20) < 20
+
+    def test_shuffled_is_permutation(self):
+        prng = DeterministicPrng(3)
+        items = list(range(50))
+        shuffled = prng.shuffled(items)
+        assert sorted(shuffled) == items
+        assert items == list(range(50))  # original untouched
+
+    def test_choice_and_bytes(self):
+        prng = DeterministicPrng(9)
+        assert prng.choice([5]) == 5
+        assert len(prng.bytes(10)) == 10
+        with pytest.raises(ValueError):
+            prng.choice([])
+
+    def test_zero_seed_is_valid(self):
+        prng = DeterministicPrng(0)
+        assert prng.next_u32() != 0

@@ -1,0 +1,196 @@
+"""Focused unit tests for code generation, cost model and scheduler."""
+
+import pytest
+
+from repro.guest.assembler import assemble
+from repro.dbt.codegen import (
+    ALLOCATABLE,
+    PARITY_TABLE_BASE,
+    SCRATCH_BASE,
+    generate_block,
+    parity_table,
+)
+from repro.dbt.cost import estimate_block_cost, instruction_occupancy
+from repro.dbt.frontend import build_ir
+from repro.dbt.optimizer import optimize_block
+from repro.dbt.optimizer.scheduler import schedule_block
+from repro.dbt.translator import TranslationConfig, Translator
+from repro.host.decoder import decode_host_instruction
+from repro.host.encoder import encode_host_instruction
+from repro.host.isa import (
+    ExitReason,
+    FLAGS_HOME,
+    GUEST_REG_HOME,
+    HostInstr,
+    HostOp,
+    HostReg,
+)
+
+
+def block_for(source: str, optimize: bool = True):
+    program = assemble(source)
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        return text.data[offset : offset + length]
+
+    ir = build_ir(read, program.entry)
+    if optimize:
+        optimize_block(ir)
+    return generate_block(ir)
+
+
+class TestGeneratedCode:
+    def test_every_instruction_encodes(self):
+        block = block_for("_start: add eax, [ebx + ecx*4 + 8]\nimul edx, esi\nhlt\n")
+        for instr in block.instrs:
+            word = encode_host_instruction(instr)
+            assert decode_host_instruction(word).op is instr.op
+
+    def test_blocks_are_relocatable(self):
+        # no absolute jumps inside a freshly generated block
+        block = block_for("_start: cmp eax, 5\njne _start\nhlt\n")
+        for instr in block.instrs:
+            assert instr.op not in (HostOp.J, HostOp.JAL), "blocks must be relocatable"
+
+    def test_stub_layout_is_uniform(self):
+        block = block_for("_start: cmp eax, 5\njne _start\nhlt\n")
+        assert len(block.exit_stubs) == 2
+        for stub in block.exit_stubs:
+            # lui/ori (or move/nop) then exitb: patch site is the exitb
+            exitb = block.instrs[stub.patch_offset_words]
+            assert exitb.op is HostOp.EXITB
+
+    def test_conditional_block_has_two_targets(self):
+        block = block_for("_start: cmp eax, 5\njne _start\nhlt\n")
+        targets = sorted(t for _, t in block.stub_patch_offsets())
+        assert len(targets) == 2
+
+    def test_guard_emits_fault_stub(self):
+        block = block_for("_start: div ecx\nhlt\n")
+        kinds = [s.kind for s in block.exit_stubs]
+        assert ExitReason.FAULT in kinds
+
+    def test_syscall_stub(self):
+        block = block_for("_start: int 0x80\n")
+        assert block.exit_stubs[-1].kind is ExitReason.SYSCALL
+        assert block.exit_kind == "syscall"
+
+    def test_pinned_registers_not_allocated(self):
+        for pinned in GUEST_REG_HOME:
+            assert pinned not in ALLOCATABLE
+        assert FLAGS_HOME not in ALLOCATABLE
+        assert HostReg.V0 not in ALLOCATABLE
+
+    def test_parity_table_contents(self):
+        table = parity_table()
+        assert len(table) == 256
+        assert table[0] == 1  # zero bits: even
+        assert table[1] == 0
+        assert table[3] == 1
+        assert table[0xFF] == 1
+
+    def test_private_regions_do_not_collide(self):
+        assert SCRATCH_BASE >> 12 != PARITY_TABLE_BASE >> 12
+
+    def test_high_register_pressure_spills(self):
+        # a block with many simultaneously-live values must spill, not crash
+        lines = ["_start:"]
+        for i in range(14):
+            lines.append(f"    mov [0x8400000 + {i * 4}], {i + 1000}")
+        # read-combine everything so all loads stay live
+        lines.append("    mov eax, [0x8400000]")
+        for i in range(1, 14):
+            lines.append(f"    add eax, [0x8400000 + {i * 4}]")
+        lines.append("    hlt")
+        block = block_for("\n".join(lines), optimize=False)
+        assert block.host_size_bytes > 0
+
+
+class TestCostModel:
+    def test_load_latency_stalls_dependent_use(self):
+        load = HostInstr(HostOp.LW, rt=HostReg.T0, rs=HostReg.S0, imm=0)
+        use = HostInstr(HostOp.ADDU, rd=HostReg.T1, rs=HostReg.T0, rt=HostReg.T0)
+        dependent = estimate_block_cost([load, use])
+        filler = HostInstr(HostOp.ADDIU, rt=HostReg.T2, rs=HostReg.ZERO, imm=1)
+        hidden = estimate_block_cost([load, filler, filler, use])
+        assert dependent > estimate_block_cost([load]) + 1
+        assert hidden <= dependent + 2  # fillers hide latency
+
+    def test_hardware_mmu_intrinsics_cheaper(self):
+        instrs = [
+            HostInstr(HostOp.LW, rt=HostReg.T0, rs=HostReg.S0, imm=0),
+            HostInstr(HostOp.ADDU, rd=HostReg.T1, rs=HostReg.T0, rt=HostReg.T0),
+        ]
+        software = estimate_block_cost(instrs)
+        hardware = estimate_block_cost(instrs, load_latency=3, load_occupancy=1)
+        assert hardware < software
+
+    def test_occupancies(self):
+        assert instruction_occupancy(HostInstr(HostOp.LW, rt=HostReg.T0)) == 4
+        assert instruction_occupancy(HostInstr(HostOp.SW, rt=HostReg.T0)) == 2
+        assert instruction_occupancy(HostInstr(HostOp.ADDU)) == 1
+
+
+class TestScheduler:
+    def test_preserves_instruction_multiset(self):
+        block = block_for("_start: mov eax, [0x8400000]\nadd eax, ebx\nimul eax, ecx\nhlt\n")
+        scheduled = schedule_block(block.instrs, pinned=[s.offset_words for s in block.exit_stubs])
+        assert sorted(str(i) for i in scheduled) == sorted(str(i) for i in block.instrs)
+
+    def test_never_crosses_stub_boundaries(self):
+        block = block_for("_start: cmp eax, 5\njne _start\nhlt\n")
+        pinned = [s.offset_words for s in block.exit_stubs]
+        scheduled = schedule_block(block.instrs, pinned=pinned)
+        for stub in block.exit_stubs:
+            assert scheduled[stub.patch_offset_words].op is HostOp.EXITB
+
+    def test_hoists_loads(self):
+        load = HostInstr(HostOp.LW, rt=HostReg.T0, rs=HostReg.S0, imm=0)
+        independent = HostInstr(HostOp.ADDIU, rt=HostReg.T1, rs=HostReg.ZERO, imm=5)
+        use = HostInstr(HostOp.ADDU, rd=HostReg.T2, rs=HostReg.T0, rt=HostReg.T1)
+        scheduled = schedule_block([independent, load, use])
+        assert estimate_block_cost(scheduled) <= estimate_block_cost([independent, load, use])
+        assert scheduled[0].op is HostOp.LW  # critical path first
+
+    def test_store_load_order_preserved(self):
+        store = HostInstr(HostOp.SW, rt=HostReg.T0, rs=HostReg.S0, imm=0)
+        load = HostInstr(HostOp.LW, rt=HostReg.T1, rs=HostReg.S0, imm=0)
+        scheduled = schedule_block([store, load])
+        assert scheduled[0].op is HostOp.SW
+
+
+class TestTranslationCostModel:
+    def _translator(self, source, **config):
+        program = assemble(source)
+        text = program.text
+        read = lambda a, n: text.data[a - text.address : a - text.address + n]
+        return Translator(read, TranslationConfig(**config)), program
+
+    def test_optimization_charged_per_uop(self):
+        from repro.dbt.translator import (
+            EMIT_PER_HOST_INSTR,
+            OPTIMIZE_PER_UOP,
+            TRANSLATE_BASE_COST,
+            TRANSLATE_PER_GUEST_INSTR,
+        )
+
+        source = "_start: add eax, 1\nadd eax, 2\nhlt\n"
+        opt, program = self._translator(source, optimize=True)
+        block = opt.translate(program.entry)
+        floor = (
+            TRANSLATE_BASE_COST
+            + TRANSLATE_PER_GUEST_INSTR * block.guest_instr_count
+            + EMIT_PER_HOST_INSTR * len(block.instrs)
+        )
+        # the optimizer's per-uop charge is on top of the base pipeline
+        assert block.translation_cycles >= floor + OPTIMIZE_PER_UOP * block.guest_instr_count
+
+    def test_longer_blocks_cost_more(self):
+        translator, program = self._translator(
+            "_start: add eax, 1\nhlt\nbig:" + "add eax, 1\n" * 20 + "hlt\n"
+        )
+        small = translator.translate(program.entry)
+        big = translator.translate(program.symbols["big"])
+        assert big.translation_cycles > small.translation_cycles

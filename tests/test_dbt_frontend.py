@@ -1,0 +1,231 @@
+"""Unit tests for the translator frontend and IR passes."""
+
+import pytest
+
+from repro.guest.assembler import assemble
+from repro.guest.isa import ConditionCode, Flag, Register
+from repro.dbt.frontend import (
+    MAX_BLOCK_INSTRUCTIONS,
+    TranslationError,
+    build_ir,
+    lower_block,
+    scan_block,
+)
+from repro.dbt.ir import ExitKind, UOpKind, flag_mask
+from repro.dbt.optimizer import (
+    eliminate_dead_code,
+    eliminate_dead_flags,
+    fold_constants,
+    optimize_block,
+    propagate_copies,
+)
+
+
+def reader_for(source: str):
+    """A code reader over an assembled program's .text section."""
+    program = assemble(source)
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        return text.data[offset : offset + length]
+
+    return read, program
+
+
+def ir_for(source: str, optimize: bool = False):
+    read, program = reader_for(source)
+    ir = build_ir(read, program.entry)
+    if optimize:
+        optimize_block(ir)
+    return ir
+
+
+class TestBlockScanning:
+    def test_block_ends_at_branch(self):
+        read, program = reader_for("_start: mov eax, 1\nadd eax, 2\njmp _start\n")
+        block = scan_block(read, program.entry)
+        assert len(block.instructions) == 3
+        assert block.instructions[-1].op.value == "jmp"
+
+    def test_block_ends_at_ret_call_int_hlt(self):
+        for tail in ("ret", "call _start", "int 0x80", "hlt"):
+            read, program = reader_for(f"_start: nop\n{tail}\n")
+            block = scan_block(read, program.entry)
+            assert len(block.instructions) == 2
+
+    def test_long_block_is_split(self):
+        body = "add eax, 1\n" * 50
+        read, program = reader_for(f"_start:\n{body}hlt\n")
+        block = scan_block(read, program.entry)
+        assert len(block.instructions) == MAX_BLOCK_INSTRUCTIONS
+        ir = lower_block(block)
+        assert ir.terminator.kind is ExitKind.JUMP
+        assert ir.terminator.target == block.end_address
+
+    def test_illegal_bytes_raise(self):
+        with pytest.raises(TranslationError):
+            scan_block(lambda a, n: b"\xfe" * n, 0x1000)
+
+
+class TestLowering:
+    def test_simple_block_shape(self):
+        ir = ir_for("_start: add eax, ebx\njmp _start\n")
+        kinds = [u.kind for u in ir.uops]
+        assert UOpKind.GET in kinds
+        assert UOpKind.ADD in kinds
+        assert UOpKind.FLAGS in kinds
+        assert UOpKind.PUT in kinds
+        assert ir.terminator.kind is ExitKind.JUMP
+
+    def test_jcc_terminator(self):
+        ir = ir_for("_start: cmp eax, 5\nje _start\nhlt\n")
+        assert ir.terminator.kind is ExitKind.BRANCH
+        assert ir.terminator.cc is ConditionCode.E
+        assert ir.terminator.fallthrough == ir.guest_address + ir.guest_length
+
+    def test_indirect_jump_terminator(self):
+        ir = ir_for("_start: jmp eax\n")
+        assert ir.terminator.kind is ExitKind.INDIRECT
+        assert ir.terminator.temp is not None
+
+    def test_call_records_return_address(self):
+        ir = ir_for("_start: call target\ntarget: hlt\n")
+        assert ir.call_return_address == ir.guest_address + ir.guest_length
+        # return address is pushed
+        assert any(u.kind is UOpKind.ST for u in ir.uops)
+
+    def test_syscall_terminator(self):
+        ir = ir_for("_start: int 0x80\n")
+        assert ir.terminator.kind is ExitKind.SYSCALL
+
+    def test_rmw_memory_operand_computes_ea_once(self):
+        ir = ir_for("_start: add [eax + 4], ebx\nhlt\n")
+        loads = [u for u in ir.uops if u.kind is UOpKind.LD]
+        stores = [u for u in ir.uops if u.kind is UOpKind.ST]
+        assert len(loads) == 1
+        assert len(stores) == 1
+        assert loads[0].a == stores[0].a  # same EA temp
+
+    def test_division_emits_guards(self):
+        ir = ir_for("_start: div ecx\nhlt\n")
+        kinds = [u.kind for u in ir.uops]
+        assert UOpKind.DIV0CHECK in kinds
+        assert UOpKind.GUARD in kinds
+        assert UOpKind.DIVU in kinds
+        assert UOpKind.REMU in kinds
+
+    def test_direct_successors(self):
+        ir = ir_for("_start: cmp eax, 0\njne _start\nhlt\n")
+        succs = ir.terminator.direct_successors()
+        assert len(succs) == 2
+
+
+class TestCopyPropagation:
+    def test_redundant_gets_collapse(self):
+        ir = ir_for("_start: add eax, ebx\nsub eax, ebx\nhlt\n")
+        before = sum(1 for u in ir.uops if u.kind is UOpKind.GET)
+        propagate_copies(ir)
+        eliminate_dead_code(ir)
+        after = sum(1 for u in ir.uops if u.kind is UOpKind.GET)
+        # eax and ebx each need only one GET; the PUT feeds the re-read
+        assert before > after
+        assert after <= 2
+
+    def test_put_feeds_later_get(self):
+        ir = ir_for("_start: mov eax, 7\nmov ebx, eax\nhlt\n")
+        propagate_copies(ir)
+        fold_constants(ir)
+        eliminate_dead_code(ir)
+        # ebx should receive the same temp / constant without a GET of eax
+        gets = [u for u in ir.uops if u.kind is UOpKind.GET]
+        assert not gets
+
+
+class TestConstantFolding:
+    def test_constants_fold(self):
+        ir = ir_for("_start: mov eax, 6\nadd eax, 7\nhlt\n")
+        optimize_block(ir)
+        consts = [u.imm for u in ir.uops if u.kind is UOpKind.CONST]
+        assert 13 in consts
+        adds = [u for u in ir.uops if u.kind is UOpKind.ADD]
+        assert not adds
+
+    def test_xor_self_becomes_zero(self):
+        ir = ir_for("_start: xor eax, eax\nhlt\n")
+        optimize_block(ir)
+        assert not [u for u in ir.uops if u.kind is UOpKind.XOR]
+        consts = [u for u in ir.uops if u.kind is UOpKind.CONST and u.imm == 0]
+        assert consts
+
+    def test_add_zero_is_identity(self):
+        ir = ir_for("_start: add eax, 0\nhlt\n")
+        optimize_block(ir)
+        assert not [u for u in ir.uops if u.kind is UOpKind.ADD]
+
+    def test_constant_indirect_target_becomes_direct(self):
+        ir = ir_for("_start: mov eax, 0x8048000\njmp eax\n")
+        optimize_block(ir)
+        assert ir.terminator.kind is ExitKind.JUMP
+        assert ir.terminator.target == 0x8048000
+
+
+class TestDeadFlags:
+    def test_back_to_back_alu_kills_flags(self):
+        # add's flags all die at cmp; only cmp's flags survive for jne,
+        # which needs ZF (plus the conservative all-live block exit).
+        ir = ir_for("_start: add eax, 1\ncmp eax, 10\njne _start\nhlt\n")
+        flags_ops = [u for u in ir.uops if u.kind is UOpKind.FLAGS]
+        assert len(flags_ops) == 2
+        eliminate_dead_flags(ir)
+        flags_ops = [u for u in ir.uops if u.kind is UOpKind.FLAGS]
+        assert len(flags_ops) == 1  # add's update removed entirely
+
+    def test_inc_preserves_cf_liveness(self):
+        # inc does not write CF, so add's CF stays live through it
+        ir = ir_for("_start: add eax, ebx\ninc ecx\nhlt\n")
+        eliminate_dead_flags(ir)
+        flags_ops = [u for u in ir.uops if u.kind is UOpKind.FLAGS]
+        add_flags = flags_ops[0]
+        assert add_flags.mask & flag_mask([Flag.CF])
+        # but add's ZF/SF/OF/PF are overwritten by inc
+        assert not add_flags.mask & flag_mask([Flag.ZF])
+
+    def test_setcc_keeps_its_flags_alive(self):
+        ir = ir_for("_start: cmp eax, ebx\nsetl ecx\ncmp eax, edx\nhlt\n")
+        eliminate_dead_flags(ir)
+        flags_ops = [u for u in ir.uops if u.kind is UOpKind.FLAGS]
+        assert len(flags_ops) == 2
+        first = flags_ops[0]
+        # setl reads SF and OF
+        assert first.mask & flag_mask([Flag.SF, Flag.OF]) == flag_mask([Flag.SF, Flag.OF])
+
+    def test_dynamic_shift_count_cannot_kill(self):
+        # shl by cl may be a no-op, so add's flags stay live below it
+        ir = ir_for("_start: add eax, ebx\nshl edx, ecx\nhlt\n")
+        eliminate_dead_flags(ir)
+        flags_ops = [u for u in ir.uops if u.kind is UOpKind.FLAGS]
+        assert len(flags_ops) == 2
+        assert flags_ops[0].mask != 0
+
+
+class TestDeadCode:
+    def test_shadowed_put_removed(self):
+        ir = ir_for("_start: mov eax, 1\nmov eax, 2\nhlt\n")
+        puts_before = sum(1 for u in ir.uops if u.kind is UOpKind.PUT)
+        eliminate_dead_code(ir)
+        puts_after = sum(1 for u in ir.uops if u.kind is UOpKind.PUT)
+        assert puts_before == 2
+        assert puts_after == 1
+
+    def test_unused_values_removed(self):
+        ir = ir_for("_start: lea eax, [ebx + ecx*4 + 8]\nmov eax, 5\nhlt\n")
+        optimize_block(ir)
+        # the lea result is dead; its address arithmetic should vanish
+        assert not [u for u in ir.uops if u.kind is UOpKind.SHL]
+
+    def test_stores_never_removed(self):
+        ir = ir_for("_start: mov [0x8400000], 1\nmov [0x8400000], 2\nhlt\n")
+        optimize_block(ir)
+        stores = [u for u in ir.uops if u.kind is UOpKind.ST]
+        assert len(stores) == 2  # no memory DCE without alias analysis

@@ -1,0 +1,451 @@
+"""Differential tests: FunctionalVM (full DBT pipeline) vs. the guest
+reference interpreter.
+
+Every program here is executed twice — once on the golden interpreter
+and once through translate -> optimize -> codegen -> chain -> host
+interpret — and the exit code, stdout, and final architectural state
+must match bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guest.assembler import assemble
+from repro.guest.interpreter import GuestFault, GuestInterpreter
+from repro.guest.isa import Register
+from repro.dbt.translator import TranslationConfig
+from repro.vm.functional import FunctionalVM
+
+EXIT = """
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+"""
+
+
+def run_both(source: str, stdin: bytes = b"", optimize: bool = True):
+    program = assemble(source)
+    golden = GuestInterpreter.for_program(program, stdin=stdin)
+    golden_exit = golden.run()
+
+    vm = FunctionalVM(program, stdin=stdin, config=TranslationConfig(optimize=optimize))
+    vm_exit = vm.run()
+
+    assert vm_exit == golden_exit, "exit codes differ"
+    assert vm.syscalls.stdout_text == golden.syscalls.stdout_text, "stdout differs"
+    for reg in Register:
+        assert vm.guest_reg(reg) == golden.state.regs[reg], f"{reg.name} differs"
+    assert vm.guest_flags == golden.state.flags, "flags differ"
+    return vm, golden
+
+
+@pytest.mark.parametrize("optimize", [True, False], ids=["opt", "noopt"])
+class TestDifferentialPrograms:
+    def test_arithmetic_loop(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov ecx, 50
+                xor eax, eax
+            top:
+                add eax, ecx
+                dec ecx
+                jnz top
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_recursion_and_stack(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 7
+                call fib
+            {EXIT}
+            fib:
+                cmp eax, 2
+                jl done
+                push eax
+                dec eax
+                call fib
+                pop ecx
+                push eax
+                mov eax, ecx
+                sub eax, 2
+                call fib
+                pop ecx
+                add eax, ecx
+            done:
+                ret
+            """,
+            optimize=optimize,
+        )
+
+    def test_memory_and_addressing(self, optimize):
+        run_both(
+            f"""
+            _start:
+                xor eax, eax
+                xor ecx, ecx
+            sum:
+                add eax, [array + ecx*4]
+                inc ecx
+                cmp ecx, 8
+                jne sum
+                mov [result], eax
+                mov eax, [result]
+            {EXIT}
+            .data
+            array: dd 3, 1, 4, 1, 5, 9, 2, 6
+            result: dd 0
+            """,
+            optimize=optimize,
+        )
+
+    def test_flags_across_instructions(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 0x7FFFFFFF
+                add eax, 1           ; sets OF, SF
+                seto ecx
+                sets edx
+                mov eax, 5
+                sub eax, 9           ; sets CF, SF
+                setb esi
+                mov eax, 0
+                add eax, ecx
+                add eax, edx
+                add eax, esi
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_inc_dec_preserve_cf(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 0xFFFFFFFF
+                add eax, 1           ; CF=1
+                inc ecx              ; CF preserved
+                setb eax             ; still 1
+                dec ecx              ; CF preserved
+                setb edx
+                add eax, edx
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_shifts_and_dynamic_counts(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 0x80000001
+                mov ecx, 0
+                shl eax, ecx         ; count 0: flags preserved
+                mov ecx, 4
+                shr eax, ecx
+                setb edx             ; CF from shr
+                mov ecx, 31
+                mov esi, 0x80000000
+                sar esi, ecx
+                add eax, edx
+                add eax, esi
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_mul_div(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 123456
+                mov ecx, 789
+                mul ecx              ; EDX:EAX
+                mov esi, edx
+                mov eax, 97402589    ; fits: redo a division
+                xor edx, edx
+                mov ecx, 1000
+                div ecx
+                add eax, edx
+                add eax, esi
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_signed_division(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 0 - 1000
+                cdq
+                mov ecx, 37
+                idiv ecx
+                neg eax
+                neg edx
+                add eax, edx
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_imul_overflow_flags(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 0x10000
+                imul eax, eax        ; overflows
+                seto ecx
+                mov eax, 100
+                imul eax, eax        ; doesn't
+                seto edx
+                mov eax, ecx
+                shl eax, 4
+                or eax, edx
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_byte_operations(self, optimize):
+        run_both(
+            f"""
+            _start:
+                movb [buf], 0xFF
+                addb [buf], 1         ; wraps to 0, sets ZF/CF at width 8
+                setz eax
+                setb ecx
+                movzx edx, [buf]
+                movb [buf + 1], 0x80
+                movsx esi, [buf + 1]
+                add eax, ecx
+                add eax, edx
+                and esi, 0xFF0
+                add eax, esi
+            {EXIT}
+            .data
+            buf: db 0, 0
+            """,
+            optimize=optimize,
+        )
+
+    def test_indirect_jumps_and_tables(self, optimize):
+        run_both(
+            f"""
+            _start:
+                xor edi, edi
+                mov esi, 0
+            loop:
+                mov eax, esi
+                and eax, 3
+                jmp [table + eax*4]
+            c0: add edi, 1
+                jmp next
+            c1: add edi, 10
+                jmp next
+            c2: add edi, 100
+                jmp next
+            c3: add edi, 1000
+            next:
+                inc esi
+                cmp esi, 8
+                jne loop
+                mov eax, edi
+            {EXIT}
+            .data
+            table: dd c0, c1, c2, c3
+            """,
+            optimize=optimize,
+        )
+
+    def test_calls_through_register(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov edx, helper
+                call edx
+                add eax, 1
+            {EXIT}
+            helper:
+                mov eax, 41
+                ret
+            """,
+            optimize=optimize,
+        )
+
+    def test_hello_world_io(self, optimize):
+        vm, golden = run_both(
+            """
+            _start:
+                mov eax, 4
+                mov ebx, 1
+                mov ecx, msg
+                mov edx, 6
+                int 0x80
+                mov eax, 1
+                mov ebx, 0
+                int 0x80
+            .data
+            msg: db "hello\\n"
+            """,
+            optimize=optimize,
+        )
+        assert vm.syscalls.stdout_text == "hello\n"
+
+    def test_setcc_all_conditions(self, optimize):
+        # exercise every condition code via setcc after one compare
+        sets = "\n".join(
+            f"set{cc} edx\nadd eax, edx"
+            for cc in ["o", "no", "b", "ae", "e", "ne", "be", "a", "s", "ns", "p", "np",
+                       "l", "ge", "le", "g"]
+        )
+        run_both(
+            f"""
+            _start:
+                xor eax, eax
+                xor edx, edx
+                mov ecx, 0 - 5
+                cmp ecx, 3
+                {sets}
+            {EXIT}
+            """,
+            optimize=optimize,
+        )
+
+    def test_xchg_and_push_pop(self, optimize):
+        run_both(
+            f"""
+            _start:
+                mov eax, 3
+                mov ecx, 9
+                xchg eax, ecx
+                push eax
+                push ecx
+                pop edx
+                pop esi
+                xchg edx, [spot]
+                add eax, edx
+                add eax, esi
+                add eax, [spot]
+            {EXIT}
+            .data
+            spot: dd 1000
+            """,
+            optimize=optimize,
+        )
+
+    def test_stack_args_ret_imm(self, optimize):
+        run_both(
+            f"""
+            _start:
+                push 30
+                push 12
+                call add2
+            {EXIT}
+            add2:
+                mov eax, [esp + 4]
+                add eax, [esp + 8]
+                ret 8
+            """,
+            optimize=optimize,
+        )
+
+    def test_long_straight_line_block_split(self, optimize):
+        body = "add eax, 3\nxor eax, 5\n" * 40
+        run_both(f"_start:\nxor eax, eax\n{body}{EXIT}", optimize=optimize)
+
+
+class TestChaining:
+    def test_chains_are_patched_and_results_match(self):
+        vm, _ = run_both(
+            f"""
+            _start:
+                mov ecx, 100
+                xor eax, eax
+            top:
+                add eax, ecx
+                dec ecx
+                jnz top
+            {EXIT}
+            """
+        )
+        assert vm.stats["chains_patched"] >= 2
+        # the hot loop must not re-enter the dispatch loop per iteration
+        assert vm.stats["blocks_executed"] < 20
+
+    def test_divide_by_zero_faults_in_both(self):
+        source = "_start: xor ecx, ecx\nxor edx, edx\nmov eax, 5\ndiv ecx\nhlt\n"
+        program = assemble(source)
+        with pytest.raises(GuestFault):
+            GuestInterpreter.for_program(program).run()
+        with pytest.raises(GuestFault):
+            FunctionalVM(program).run()
+
+
+class TestPropertyDifferential:
+    """Randomized straight-line programs must agree on final state."""
+
+    _OPS = ["add", "sub", "and", "or", "xor", "cmp", "test"]
+    _REGS = ["eax", "ecx", "edx", "esi", "edi"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_alu_programs(self, data):
+        length = data.draw(st.integers(min_value=1, max_value=12))
+        lines = ["_start:"]
+        for reg in self._REGS:
+            lines.append(f"    mov {reg}, {data.draw(st.integers(0, 2**32 - 1))}")
+        for _ in range(length):
+            op = data.draw(st.sampled_from(self._OPS))
+            dst = data.draw(st.sampled_from(self._REGS))
+            if data.draw(st.booleans()):
+                src = data.draw(st.sampled_from(self._REGS))
+            else:
+                src = str(data.draw(st.integers(-(2**31), 2**31 - 1)))
+            lines.append(f"    {op} {dst}, {src}")
+        lines.append(EXIT)
+        run_both("\n".join(lines))
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_random_shift_programs(self, data):
+        lines = ["_start:"]
+        lines.append(f"    mov eax, {data.draw(st.integers(0, 2**32 - 1))}")
+        lines.append(f"    mov edx, {data.draw(st.integers(0, 2**32 - 1))}")
+        for _ in range(data.draw(st.integers(1, 6))):
+            op = data.draw(st.sampled_from(["shl", "shr", "sar"]))
+            reg = data.draw(st.sampled_from(["eax", "edx"]))
+            count = data.draw(st.integers(0, 31))
+            lines.append(f"    {op} {reg}, {count}")
+            cc = data.draw(st.sampled_from(["b", "z", "s", "o"]))
+            lines.append(f"    set{cc} esi")
+            lines.append("    add edi, esi")
+        lines.append("    mov eax, edi")
+        lines.append(EXIT)
+        run_both("\n".join(lines))
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_random_memory_programs(self, data):
+        lines = ["_start:"]
+        for _ in range(data.draw(st.integers(1, 8))):
+            slot = data.draw(st.integers(0, 7))
+            if data.draw(st.booleans()):
+                value = data.draw(st.integers(-(2**31), 2**31 - 1))
+                lines.append(f"    mov [buf + {slot * 4}], {value}")
+            else:
+                reg = data.draw(st.sampled_from(["eax", "ecx", "edx"]))
+                lines.append(f"    mov {reg}, [buf + {slot * 4}]")
+                lines.append(f"    add {reg}, 1")
+                lines.append(f"    mov [buf + {slot * 4}], {reg}")
+        lines.append("    mov eax, [buf]")
+        lines.append(EXIT)
+        lines.append(".data")
+        lines.append("buf: dd 0, 0, 0, 0, 0, 0, 0, 0")
+        run_both("\n".join(lines))

@@ -1,0 +1,242 @@
+"""Encoder/decoder roundtrip tests for the VX86 guest ISA."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.guest.decoder import DecodeError, decode_instruction
+from repro.guest.encoder import EncodeError, encode_instruction
+from repro.guest.isa import (
+    ALU_GROUP,
+    ConditionCode,
+    Immediate,
+    Instruction,
+    MemoryOperand,
+    Op,
+    Register,
+    RegisterOperand,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+registers = st.sampled_from(list(Register))
+reg_operands = st.builds(RegisterOperand, registers)
+imm32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+mem_operands = st.builds(
+    MemoryOperand,
+    base=st.one_of(st.none(), registers),
+    index=st.one_of(st.none(), st.sampled_from([r for r in Register if r is not Register.ESP])),
+    scale=st.sampled_from([1, 2, 4, 8]),
+    disp=imm32,
+)
+
+rm_operands = st.one_of(reg_operands, mem_operands)
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    encoded = encode_instruction(instr)
+    decoded = decode_instruction(encoded, 0, instr.address)
+    assert decoded.length == len(encoded)
+    return decoded
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+
+
+class TestAluRoundtrip:
+    @given(
+        op=st.sampled_from(list(ALU_GROUP)),
+        dst=rm_operands,
+        src=reg_operands,
+        width=st.sampled_from([8, 32]),
+    )
+    def test_rm_reg_forms(self, op, dst, src, width):
+        instr = Instruction(op, width=width, dst=dst, src=src)
+        decoded = roundtrip(instr)
+        assert decoded.op is op
+        assert decoded.width == width
+        assert decoded.dst == dst
+        assert decoded.src == src
+
+    @given(op=st.sampled_from(list(ALU_GROUP)), dst=reg_operands, src=mem_operands)
+    def test_reg_mem_forms(self, op, dst, src):
+        decoded = roundtrip(Instruction(op, dst=dst, src=src))
+        assert (decoded.op, decoded.dst, decoded.src) == (op, dst, src)
+
+    @given(op=st.sampled_from(list(ALU_GROUP)), dst=rm_operands, value=imm32)
+    def test_imm_forms(self, op, dst, value):
+        decoded = roundtrip(Instruction(op, dst=dst, src=Immediate(value)))
+        assert decoded.op is op
+        assert decoded.dst == dst
+        assert decoded.src == Immediate(value)
+
+    @given(
+        op=st.sampled_from(list(ALU_GROUP)),
+        dst=rm_operands,
+        value=st.integers(min_value=0, max_value=255),
+    )
+    def test_byte_imm_forms(self, op, dst, value):
+        decoded = roundtrip(Instruction(op, width=8, dst=dst, src=Immediate(value)))
+        assert decoded.width == 8
+        assert decoded.src == Immediate(value)
+
+
+class TestOtherRoundtrips:
+    @given(
+        op=st.sampled_from([Op.SHL, Op.SHR, Op.SAR]),
+        dst=rm_operands,
+        count=st.integers(min_value=0, max_value=31),
+    )
+    def test_shift_imm(self, op, dst, count):
+        decoded = roundtrip(Instruction(op, dst=dst, src=Immediate(count)))
+        assert (decoded.op, decoded.dst, decoded.src) == (op, dst, Immediate(count))
+
+    @given(op=st.sampled_from([Op.SHL, Op.SHR, Op.SAR]), dst=rm_operands)
+    def test_shift_cl(self, op, dst):
+        instr = Instruction(op, dst=dst, src=RegisterOperand(Register.ECX))
+        decoded = roundtrip(instr)
+        assert decoded.src == RegisterOperand(Register.ECX)
+
+    @given(op=st.sampled_from([Op.INC, Op.DEC, Op.NEG, Op.NOT]), dst=rm_operands)
+    def test_one_operand(self, op, dst):
+        decoded = roundtrip(Instruction(op, dst=dst))
+        assert (decoded.op, decoded.dst) == (op, dst)
+
+    @given(dst=reg_operands, src=rm_operands)
+    def test_imul(self, dst, src):
+        decoded = roundtrip(Instruction(Op.IMUL, dst=dst, src=src))
+        assert (decoded.op, decoded.dst, decoded.src) == (Op.IMUL, dst, src)
+
+    @given(op=st.sampled_from([Op.MUL, Op.DIV, Op.IDIV]), src=rm_operands)
+    def test_muldiv(self, op, src):
+        decoded = roundtrip(Instruction(op, src=src))
+        assert (decoded.op, decoded.src) == (op, src)
+
+    @given(dst=reg_operands, src=mem_operands)
+    def test_lea(self, dst, src):
+        decoded = roundtrip(Instruction(Op.LEA, dst=dst, src=src))
+        assert (decoded.op, decoded.dst, decoded.src) == (Op.LEA, dst, src)
+
+    @given(op=st.sampled_from([Op.MOVZX, Op.MOVSX]), dst=reg_operands, src=rm_operands)
+    def test_movzx_movsx(self, op, dst, src):
+        decoded = roundtrip(Instruction(op, dst=dst, src=src))
+        assert (decoded.op, decoded.dst, decoded.src) == (op, dst, src)
+
+    @given(dst=st.one_of(reg_operands, mem_operands, st.builds(Immediate, imm32)))
+    def test_push(self, dst):
+        decoded = roundtrip(Instruction(Op.PUSH, dst=dst))
+        assert (decoded.op, decoded.dst) == (Op.PUSH, dst)
+
+    @given(dst=rm_operands)
+    def test_pop(self, dst):
+        decoded = roundtrip(Instruction(Op.POP, dst=dst))
+        assert (decoded.op, decoded.dst) == (Op.POP, dst)
+
+    @given(cc=st.sampled_from(list(ConditionCode)), dst=rm_operands)
+    def test_setcc(self, cc, dst):
+        decoded = roundtrip(Instruction(Op.SETCC, width=8, dst=dst, cc=cc))
+        assert (decoded.op, decoded.cc, decoded.dst) == (Op.SETCC, cc, dst)
+
+
+class TestBranchRoundtrip:
+    @given(
+        cc=st.sampled_from(list(ConditionCode)),
+        address=st.integers(min_value=0x1000, max_value=0x0FFFFFFF),
+        offset=st.integers(min_value=-(2**20), max_value=2**20),
+    )
+    def test_jcc(self, cc, address, offset):
+        target = (address + offset) & 0xFFFFFFFF
+        instr = Instruction(Op.JCC, cc=cc, target=target, address=address)
+        encoded = encode_instruction(instr)
+        decoded = decode_instruction(encoded, 0, address)
+        assert decoded.op is Op.JCC
+        assert decoded.cc is cc
+        assert decoded.target == target
+
+    @given(
+        op=st.sampled_from([Op.JMP, Op.CALL]),
+        address=st.integers(min_value=0x1000, max_value=0x0FFFFFFF),
+        offset=st.integers(min_value=-(2**20), max_value=2**20),
+    )
+    def test_direct_jmp_call(self, op, address, offset):
+        target = (address + offset) & 0xFFFFFFFF
+        encoded = encode_instruction(Instruction(op, target=target, address=address))
+        decoded = decode_instruction(encoded, 0, address)
+        assert decoded.op is op
+        assert decoded.target == target
+
+    @given(op=st.sampled_from([Op.JMP, Op.CALL]), dst=rm_operands)
+    def test_indirect_jmp_call(self, op, dst):
+        decoded = roundtrip(Instruction(op, dst=dst))
+        assert decoded.op is op
+        assert decoded.dst == dst
+        assert decoded.target is None
+        assert decoded.is_indirect_branch
+
+    def test_short_branch_used_when_possible(self):
+        instr = Instruction(Op.JMP, target=0x1010, address=0x1000)
+        assert len(encode_instruction(instr, allow_short=True)) == 2
+        assert len(encode_instruction(instr, allow_short=False)) == 5
+
+    def test_short_jcc_used_when_possible(self):
+        instr = Instruction(Op.JCC, cc=ConditionCode.E, target=0x1010, address=0x1000)
+        assert len(encode_instruction(instr, allow_short=True)) == 2
+        assert len(encode_instruction(instr, allow_short=False)) == 6
+
+
+class TestMiscEncoding:
+    def test_ret_forms(self):
+        assert encode_instruction(Instruction(Op.RET)) == b"\xc3"
+        decoded = roundtrip(Instruction(Op.RET, imm=8))
+        assert decoded.imm == 8
+
+    def test_int_vector(self):
+        decoded = roundtrip(Instruction(Op.INT, imm=0x80))
+        assert decoded.imm == 0x80
+
+    def test_simple_ops(self):
+        for op in (Op.NOP, Op.HLT, Op.CDQ):
+            assert roundtrip(Instruction(op)).op is op
+
+    def test_mov_reg_imm_legacy_form(self):
+        # 0xB8+r encoding must still decode even though the encoder
+        # prefers the ALU immediate form.
+        encoded = bytes([0xB8]) + (0x1234).to_bytes(4, "little")
+        decoded = decode_instruction(encoded, 0, 0)
+        assert decoded.op is Op.MOV
+        assert decoded.dst == RegisterOperand(Register.EAX)
+        assert decoded.src == Immediate(0x1234)
+
+    def test_decode_error_on_bad_opcode(self):
+        with pytest.raises(DecodeError):
+            decode_instruction(b"\xfe", 0, 0x100)
+
+    def test_decode_error_on_truncation(self):
+        encoded = encode_instruction(
+            Instruction(Op.ADD, dst=RegisterOperand(Register.EAX), src=Immediate(100000))
+        )
+        with pytest.raises(DecodeError):
+            decode_instruction(encoded[:-1], 0, 0)
+
+    def test_encode_error_on_bad_shift_count(self):
+        with pytest.raises(EncodeError):
+            encode_instruction(
+                Instruction(Op.SHL, dst=RegisterOperand(Register.EAX), src=Immediate(99))
+            )
+
+    def test_variable_lengths_span_expected_range(self):
+        short = encode_instruction(Instruction(Op.NOP))
+        long = encode_instruction(
+            Instruction(
+                Op.ADD,
+                dst=MemoryOperand(Register.EBP, Register.ECX, 4, 0x12345678),
+                src=Immediate(0x1000),
+            )
+        )
+        assert len(short) == 1
+        assert len(long) >= 7

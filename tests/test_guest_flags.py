@@ -1,0 +1,223 @@
+"""Unit and property tests for VX86 flag semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bitops import MASK32, to_signed32, u32
+from repro.guest import flags as F
+from repro.guest.isa import ConditionCode, Flag
+
+u32s = st.integers(min_value=0, max_value=MASK32)
+u8s = st.integers(min_value=0, max_value=0xFF)
+
+
+def flag(flags: int, which: Flag) -> bool:
+    return bool(flags & (1 << which))
+
+
+class TestAdd:
+    @given(a=u32s, b=u32s)
+    def test_result_is_wrapped_sum(self, a, b):
+        result, _ = F.alu_add(a, b, 0)
+        assert result == u32(a + b)
+
+    @given(a=u32s, b=u32s)
+    def test_carry_flag(self, a, b):
+        _, flags = F.alu_add(a, b, 0)
+        assert flag(flags, Flag.CF) == (a + b > MASK32)
+
+    @given(a=u32s, b=u32s)
+    def test_overflow_flag(self, a, b):
+        _, flags = F.alu_add(a, b, 0)
+        signed_sum = to_signed32(a) + to_signed32(b)
+        assert flag(flags, Flag.OF) == not_in_range(signed_sum)
+
+    @given(a=u32s, b=u32s)
+    def test_zero_and_sign(self, a, b):
+        result, flags = F.alu_add(a, b, 0)
+        assert flag(flags, Flag.ZF) == (result == 0)
+        assert flag(flags, Flag.SF) == bool(result & 0x80000000)
+
+    def test_byte_width(self):
+        result, flags = F.alu_add(0xFF, 1, 0, width=8)
+        assert result == 0
+        assert flag(flags, Flag.CF)
+        assert flag(flags, Flag.ZF)
+
+
+def not_in_range(signed_value: int) -> bool:
+    return not (-0x80000000 <= signed_value <= 0x7FFFFFFF)
+
+
+class TestSub:
+    @given(a=u32s, b=u32s)
+    def test_result(self, a, b):
+        result, _ = F.alu_sub(a, b, 0)
+        assert result == u32(a - b)
+
+    @given(a=u32s, b=u32s)
+    def test_borrow(self, a, b):
+        _, flags = F.alu_sub(a, b, 0)
+        assert flag(flags, Flag.CF) == (b > a)
+
+    @given(a=u32s, b=u32s)
+    def test_overflow(self, a, b):
+        _, flags = F.alu_sub(a, b, 0)
+        assert flag(flags, Flag.OF) == not_in_range(to_signed32(a) - to_signed32(b))
+
+    @given(a=u32s)
+    def test_compare_equal_sets_zf(self, a):
+        _, flags = F.alu_sub(a, a, 0)
+        assert flag(flags, Flag.ZF)
+        assert not flag(flags, Flag.CF)
+
+
+class TestLogic:
+    @given(a=u32s, b=u32s, op=st.sampled_from(["and", "or", "xor"]))
+    def test_clears_cf_of(self, a, b, op):
+        _, flags = F.alu_logic(op, a, b, (1 << Flag.CF) | (1 << Flag.OF))
+        assert not flag(flags, Flag.CF)
+        assert not flag(flags, Flag.OF)
+
+    @given(a=u32s, b=u32s)
+    def test_results(self, a, b):
+        assert F.alu_logic("and", a, b, 0)[0] == (a & b)
+        assert F.alu_logic("or", a, b, 0)[0] == (a | b)
+        assert F.alu_logic("xor", a, b, 0)[0] == (a ^ b)
+
+
+class TestIncDec:
+    @given(a=u32s, carry=st.booleans())
+    def test_inc_preserves_cf(self, a, carry):
+        flags_in = (1 << Flag.CF) if carry else 0
+        _, flags = F.alu_inc(a, flags_in)
+        assert flag(flags, Flag.CF) == carry
+
+    @given(a=u32s, carry=st.booleans())
+    def test_dec_preserves_cf(self, a, carry):
+        flags_in = (1 << Flag.CF) if carry else 0
+        _, flags = F.alu_dec(a, flags_in)
+        assert flag(flags, Flag.CF) == carry
+
+    def test_inc_overflow(self):
+        result, flags = F.alu_inc(0x7FFFFFFF, 0)
+        assert result == 0x80000000
+        assert flag(flags, Flag.OF)
+
+    def test_dec_underflow_to_max_signed(self):
+        result, flags = F.alu_dec(0x80000000, 0)
+        assert result == 0x7FFFFFFF
+        assert flag(flags, Flag.OF)
+
+
+class TestNeg:
+    @given(a=u32s)
+    def test_neg_result(self, a):
+        result, flags = F.alu_neg(a, 0)
+        assert result == u32(-a)
+        assert flag(flags, Flag.CF) == (a != 0)
+
+
+class TestShifts:
+    @given(a=u32s, count=st.integers(min_value=1, max_value=31))
+    def test_shl_result(self, a, count):
+        result, _ = F.alu_shl(a, count, 0)
+        assert result == u32(a << count)
+
+    @given(a=u32s, count=st.integers(min_value=1, max_value=31))
+    def test_shr_result(self, a, count):
+        result, _ = F.alu_shr(a, count, 0)
+        assert result == a >> count
+
+    @given(a=u32s, count=st.integers(min_value=1, max_value=31))
+    def test_sar_result(self, a, count):
+        result, _ = F.alu_sar(a, count, 0)
+        assert result == u32(to_signed32(a) >> count)
+
+    @given(a=u32s, flags_in=st.integers(min_value=0, max_value=0xFFF))
+    def test_zero_count_preserves_flags(self, a, flags_in):
+        for shift in (F.alu_shl, F.alu_shr, F.alu_sar):
+            result, flags = shift(a, 0, flags_in)
+            assert result == a
+            assert flags == flags_in
+
+    def test_shl_carry_out(self):
+        _, flags = F.alu_shl(0x80000000, 1, 0)
+        assert flag(flags, Flag.CF)
+        _, flags = F.alu_shl(0x40000000, 1, 0)
+        assert not flag(flags, Flag.CF)
+
+    def test_shr_carry_out(self):
+        _, flags = F.alu_shr(1, 1, 0)
+        assert flag(flags, Flag.CF)
+
+
+class TestMultiply:
+    @given(a=u32s, b=u32s)
+    def test_imul_truncates(self, a, b):
+        result, _ = F.alu_imul(a, b, 0)
+        assert result == u32(to_signed32(a) * to_signed32(b))
+
+    @given(a=u32s, b=u32s)
+    def test_imul_overflow_flag(self, a, b):
+        _, flags = F.alu_imul(a, b, 0)
+        assert flag(flags, Flag.CF) == not_in_range(to_signed32(a) * to_signed32(b))
+        assert flag(flags, Flag.CF) == flag(flags, Flag.OF)
+
+    @given(a=u32s, b=u32s)
+    def test_mul_wide(self, a, b):
+        low, high, flags = F.alu_mul_wide(a, b, 0)
+        assert (high << 32) | low == a * b
+        assert flag(flags, Flag.CF) == (high != 0)
+
+
+class TestConditions:
+    def test_signed_comparison_conditions(self):
+        # 5 < 7 signed
+        _, flags = F.alu_sub(5, 7, 0)
+        assert F.evaluate_condition(ConditionCode.L, flags)
+        assert F.evaluate_condition(ConditionCode.LE, flags)
+        assert not F.evaluate_condition(ConditionCode.G, flags)
+        assert not F.evaluate_condition(ConditionCode.GE, flags)
+
+    def test_unsigned_comparison_conditions(self):
+        # 0xFFFFFFFF > 1 unsigned but -1 < 1 signed
+        _, flags = F.alu_sub(0xFFFFFFFF, 1, 0)
+        assert F.evaluate_condition(ConditionCode.A, flags)
+        assert not F.evaluate_condition(ConditionCode.B, flags)
+        assert F.evaluate_condition(ConditionCode.L, flags)
+
+    def test_equality(self):
+        _, flags = F.alu_sub(42, 42, 0)
+        assert F.evaluate_condition(ConditionCode.E, flags)
+        assert not F.evaluate_condition(ConditionCode.NE, flags)
+        assert F.evaluate_condition(ConditionCode.LE, flags)
+        assert F.evaluate_condition(ConditionCode.GE, flags)
+
+    @given(a=u32s, b=u32s)
+    def test_condition_pairs_are_complements(self, a, b):
+        _, flags = F.alu_sub(a, b, 0)
+        for cc_true, cc_false in [
+            (ConditionCode.E, ConditionCode.NE),
+            (ConditionCode.B, ConditionCode.AE),
+            (ConditionCode.BE, ConditionCode.A),
+            (ConditionCode.L, ConditionCode.GE),
+            (ConditionCode.LE, ConditionCode.G),
+            (ConditionCode.S, ConditionCode.NS),
+            (ConditionCode.O, ConditionCode.NO),
+            (ConditionCode.P, ConditionCode.NP),
+        ]:
+            assert F.evaluate_condition(cc_true, flags) != F.evaluate_condition(cc_false, flags)
+
+    @given(a=u32s, b=u32s)
+    def test_conditions_match_python_comparisons(self, a, b):
+        _, flags = F.alu_sub(a, b, 0)
+        sa, sb = to_signed32(a), to_signed32(b)
+        assert F.evaluate_condition(ConditionCode.E, flags) == (a == b)
+        assert F.evaluate_condition(ConditionCode.B, flags) == (a < b)
+        assert F.evaluate_condition(ConditionCode.A, flags) == (a > b)
+        assert F.evaluate_condition(ConditionCode.BE, flags) == (a <= b)
+        assert F.evaluate_condition(ConditionCode.L, flags) == (sa < sb)
+        assert F.evaluate_condition(ConditionCode.G, flags) == (sa > sb)
+        assert F.evaluate_condition(ConditionCode.LE, flags) == (sa <= sb)
+        assert F.evaluate_condition(ConditionCode.GE, flags) == (sa >= sb)

@@ -1,0 +1,138 @@
+"""Unit tests for guest memory, program images and syscalls."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.guest.memory import GuestMemory, MemoryFault, PAGE_SIZE
+from repro.guest.program import GuestProgram, Section, STACK_TOP, TEXT_BASE
+from repro.guest.syscalls import SYS_BRK, SYS_EXIT, SYS_READ, SYS_WRITE, SyscallProxy
+
+
+class TestGuestMemory:
+    def test_unmapped_access_faults(self):
+        memory = GuestMemory()
+        with pytest.raises(MemoryFault):
+            memory.read_u8(0x1000)
+        with pytest.raises(MemoryFault):
+            memory.write_u32(0x1000, 1)
+
+    def test_map_and_rw(self):
+        memory = GuestMemory()
+        memory.map_region(0x1000, 0x100)
+        memory.write_u32(0x1000, 0xDEADBEEF)
+        assert memory.read_u32(0x1000) == 0xDEADBEEF
+        assert memory.read_u8(0x1000) == 0xEF  # little-endian
+
+    def test_cross_page_u32(self):
+        memory = GuestMemory()
+        memory.map_region(PAGE_SIZE - 8, 16)
+        address = PAGE_SIZE - 2
+        memory.write_u32(address, 0x11223344)
+        assert memory.read_u32(address) == 0x11223344
+
+    def test_bulk_rw_spanning_pages(self):
+        memory = GuestMemory()
+        memory.map_region(0, 3 * PAGE_SIZE)
+        data = bytes(range(256)) * 8
+        memory.write_bytes(PAGE_SIZE - 100, data)
+        assert memory.read_bytes(PAGE_SIZE - 100, len(data)) == data
+
+    def test_load_image(self):
+        memory = GuestMemory()
+        memory.load_image(0x8000, b"hello")
+        assert memory.read_bytes(0x8000, 5) == b"hello"
+
+    @given(
+        address=st.integers(min_value=0, max_value=2**20),
+        value=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_u32_roundtrip(self, address, value):
+        memory = GuestMemory()
+        memory.map_region(address, 8)
+        memory.write_u32(address, value)
+        assert memory.read_u32(address) == value
+
+
+class TestGuestProgram:
+    def _program(self) -> GuestProgram:
+        return GuestProgram(
+            entry=TEXT_BASE,
+            sections=[
+                Section(".text", TEXT_BASE, b"\x90" * 64),
+                Section(".data", 0x08400000, b"\x01\x02"),
+            ],
+        )
+
+    def test_text_property(self):
+        assert self._program().text.address == TEXT_BASE
+
+    def test_code_size(self):
+        assert self._program().code_size == 64
+
+    def test_brk_base_past_sections(self):
+        program = self._program()
+        assert program.brk_base >= 0x08400002
+        assert program.brk_base % 0x1000 == 0
+
+    def test_load_maps_stack(self):
+        memory = GuestMemory()
+        esp = self._program().load(memory)
+        assert esp < STACK_TOP
+        memory.write_u32(esp - 4, 42)  # stack usable
+        assert memory.read_u32(esp - 4) == 42
+
+    def test_section_holding(self):
+        program = self._program()
+        assert program.section_holding(TEXT_BASE + 10).name == ".text"
+        assert program.section_holding(0x12345) is None
+
+    def test_missing_text_raises(self):
+        with pytest.raises(ValueError):
+            GuestProgram(entry=0, sections=[]).text
+
+
+class TestSyscallProxy:
+    def test_exit(self):
+        proxy = SyscallProxy()
+        result = proxy.dispatch(SYS_EXIT, [7, 0, 0], GuestMemory())
+        assert result.exited
+        assert result.exit_code == 7
+
+    def test_write_stdout(self):
+        proxy = SyscallProxy()
+        memory = GuestMemory()
+        memory.load_image(0x1000, b"hi there")
+        result = proxy.dispatch(SYS_WRITE, [1, 0x1000, 8], memory)
+        assert result.return_value == 8
+        assert proxy.stdout_text == "hi there"
+
+    def test_write_bad_fd(self):
+        proxy = SyscallProxy()
+        result = proxy.dispatch(SYS_WRITE, [9, 0, 0], GuestMemory())
+        assert result.return_value > 0x80000000  # negative errno
+
+    def test_read_stdin(self):
+        proxy = SyscallProxy(stdin=b"abcdef")
+        memory = GuestMemory()
+        memory.map_region(0x1000, 0x100)
+        result = proxy.dispatch(SYS_READ, [0, 0x1000, 4], memory)
+        assert result.return_value == 4
+        assert memory.read_bytes(0x1000, 4) == b"abcd"
+        result = proxy.dispatch(SYS_READ, [0, 0x1000, 10], memory)
+        assert result.return_value == 2  # rest of stdin
+
+    def test_brk_query_and_grow(self):
+        proxy = SyscallProxy(brk_base=0x10000)
+        memory = GuestMemory()
+        result = proxy.dispatch(SYS_BRK, [0, 0, 0], memory)
+        assert result.return_value == 0x10000
+        result = proxy.dispatch(SYS_BRK, [0x12000, 0, 0], memory)
+        assert result.return_value == 0x12000
+        memory.write_u32(0x11000, 5)  # grown region is mapped
+        assert memory.read_u32(0x11000) == 5
+
+    def test_unknown_syscall_returns_enosys(self):
+        proxy = SyscallProxy()
+        result = proxy.dispatch(999, [0, 0, 0], GuestMemory())
+        assert result.return_value == (-38) & 0xFFFFFFFF

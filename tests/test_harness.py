@@ -1,0 +1,69 @@
+"""Tests for the experiment harness (at tiny scale for speed)."""
+
+import pytest
+
+from repro.harness import (
+    FigureResult,
+    figure1_timeline,
+    figure4_l15_cache,
+    figure8_optimization,
+    table11_intrinsics,
+)
+from repro.harness.runner import RunGrid, clear_cache, run_one
+
+SCALE = 0.15
+SMALL = ["164.gzip", "181.mcf"]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _warm_cache():
+    yield
+    clear_cache()
+
+
+class TestRunner:
+    def test_run_one_is_memoized(self):
+        first = run_one("164.gzip", "speculative_4", SCALE)
+        second = run_one("164.gzip", "speculative_4", SCALE)
+        assert first is second
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            run_one("164.gzip", "no_such_config", SCALE)
+
+    def test_grid_rows_and_columns(self):
+        grid = RunGrid(SMALL, ["speculative_4", "speculative_6"], SCALE)
+        assert len(grid.row("164.gzip")) == 2
+        assert len(grid.column("speculative_4")) == 2
+        assert grid.result("181.mcf", "speculative_6").workload == "181.mcf"
+
+
+class TestFigureRunners:
+    def test_figure1(self):
+        result = figure1_timeline(workload="164.gzip", scale=SCALE)
+        assert isinstance(result, FigureResult)
+        assert len(result.rows) == 2
+        assert "deltaT" in result.notes[0]
+
+    def test_figure4_rows_match_workloads(self):
+        result = figure4_l15_cache(workloads=SMALL, scale=SCALE)
+        assert [row[0] for row in result.rows] == SMALL
+        assert len(result.columns) == 4  # benchmark + 3 configs
+
+    def test_figure8_ratio_column(self):
+        result = figure8_optimization(workloads=["164.gzip"], scale=SCALE)
+        ratio = float(result.rows[0][3])
+        assert ratio > 1.0  # optimization always wins
+
+    def test_table11_is_static(self):
+        result = table11_intrinsics(measured_low_end=7.2)
+        rendered = result.render()
+        assert "lat 87, occ 87" in rendered
+        assert "5.5x" in rendered
+
+    def test_render_aligns_columns(self):
+        result = figure4_l15_cache(workloads=SMALL, scale=SCALE)
+        lines = result.render().splitlines()
+        # header + one line per workload + notes
+        assert len(lines) >= 1 + len(SMALL)
+        assert lines[0].startswith("== Figure 4")

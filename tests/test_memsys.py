@@ -1,0 +1,146 @@
+"""Tests for the pipelined memory system, page table and TLB."""
+
+import pytest
+
+from repro.memsys.memsystem import (
+    BANK_OCCUPANCY,
+    DRAM_LATENCY,
+    L1_HIT_LATENCY,
+    PipelinedMemorySystem,
+)
+from repro.memsys.pagetable import PAGE_SIZE, PageFault, PageTable
+from repro.memsys.tlb import Tlb
+from repro.tiled.machine import default_placement
+
+
+def make_memsys(banks: int = 4) -> PipelinedMemorySystem:
+    grid = default_placement(translator_tiles=6, l2_bank_tiles=banks)
+    memsys = PipelinedMemorySystem(grid)
+    memsys.page_table.map_region(0, 1 << 24)
+    return memsys
+
+
+class TestPageTable:
+    def test_identity_walk(self):
+        table = PageTable()
+        table.map_region(0x8048000, 0x2000)
+        address, touches = table.walk(0x8048123)
+        assert address == 0x8048123
+        assert touches == 2
+
+    def test_unmapped_faults(self):
+        with pytest.raises(PageFault):
+            PageTable().walk(0x1000)
+
+    def test_non_identity_mapping(self):
+        table = PageTable()
+        table.map_page(guest_page=5, host_frame=100)
+        address, _ = table.walk(5 * PAGE_SIZE + 7)
+        assert address == 100 * PAGE_SIZE + 7
+
+    def test_mapped_pages_counted_once(self):
+        table = PageTable()
+        table.map_page(1)
+        table.map_page(1)
+        assert table.mapped_pages == 1
+
+
+class TestTlb:
+    def test_hit_after_miss(self):
+        table = PageTable()
+        table.map_region(0, 0x10000)
+        tlb = Tlb(table, entries=4)
+        _, touches = tlb.translate(0x1234)
+        assert touches == 2
+        _, touches = tlb.translate(0x1238)
+        assert touches == 0  # same page: hit
+        assert tlb.miss_rate == 0.5
+
+    def test_capacity_eviction(self):
+        table = PageTable()
+        table.map_region(0, 0x100000)
+        tlb = Tlb(table, entries=2)
+        for page in range(3):
+            tlb.translate(page * PAGE_SIZE)
+        _, touches = tlb.translate(0)  # evicted by pages 1, 2
+        assert touches == 2
+
+    def test_flush(self):
+        table = PageTable()
+        table.map_region(0, 0x10000)
+        tlb = Tlb(table)
+        tlb.translate(0)
+        tlb.flush()
+        _, touches = tlb.translate(0)
+        assert touches == 2
+
+
+class TestPipelinedMemorySystem:
+    def test_l1_hit_has_no_extra_stall(self):
+        memsys = make_memsys()
+        memsys.access(0, 0x1000, False)  # warm
+        outcome = memsys.access(100, 0x1000, False)
+        assert outcome.l1_hit
+        assert outcome.stall_cycles == 0
+
+    def test_l1_miss_costs_about_table11_l2_hit(self):
+        memsys = make_memsys()
+        # warm the bank + TLB so the second access to a *different* L1
+        # line in the same bank line region is a pure L1-miss/bank-hit
+        memsys.access(0, 0x2000, False)
+        memsys.l1.flush()
+        outcome = memsys.access(10_000, 0x2000, False)
+        assert not outcome.l1_hit
+        assert outcome.bank_hit
+        # end-to-end latency = stall + L1 hit latency; Table 11 says 87
+        total = outcome.stall_cycles + L1_HIT_LATENCY
+        assert 75 <= total <= 100
+
+    def test_bank_miss_adds_dram_latency(self):
+        memsys = make_memsys()
+        memsys.access(0, 0x3000, False)  # TLB warm
+        memsys.l1.flush()
+        for bank in memsys.banks:
+            bank.cache.flush()
+        outcome = memsys.access(10_000, 0x3000, False)
+        assert not outcome.bank_hit
+        total = outcome.stall_cycles + L1_HIT_LATENCY
+        assert 135 <= total <= 170  # Table 11: ~151
+
+    def test_soft_page_fault_maps_page(self):
+        memsys = make_memsys()
+        outcome = memsys.access(0, 0x5000000, False)  # beyond mapped region
+        assert memsys.stats["soft_page_faults"] == 1
+        assert memsys.page_table.is_mapped(0x5000000)
+
+    def test_bank_contention_queues(self):
+        memsys = make_memsys(banks=1)
+        memsys.page_table.map_region(0, 1 << 20)
+        # two misses to the same bank back to back: the second waits
+        a = memsys.access(0, 0x10000, False)
+        b = memsys.access(0, 0x20040, False)
+        assert b.stall_cycles > a.stall_cycles - DRAM_LATENCY  # queued behind a
+
+    def test_no_banks_goes_straight_to_dram(self):
+        memsys = make_memsys(banks=0)
+        outcome = memsys.access(0, 0x1000, False)
+        assert not outcome.l1_hit or outcome.stall_cycles == 0
+        memsys.l1.flush()
+        outcome = memsys.access(1000, 0x1000, False)
+        assert outcome.stall_cycles >= BANK_OCCUPANCY
+
+    def test_reconfigure_flushes_and_charges(self):
+        memsys = make_memsys(banks=4)
+        memsys.access(0, 0x1000, True)  # dirty line in some bank
+        memsys.l1.flush()
+        coords = [b.coord for b in memsys.banks][:1]
+        cost = memsys.reconfigure_banks(coords, now=1000)
+        assert cost > 0
+        assert memsys.bank_count == 1
+
+    def test_write_allocates_dirty(self):
+        memsys = make_memsys()
+        memsys.access(0, 0x4000, True)
+        assert memsys.l1.stats["misses"] == 1
+        outcome = memsys.access(10, 0x4000, False)
+        assert outcome.l1_hit

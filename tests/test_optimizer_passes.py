@@ -1,0 +1,175 @@
+"""Unit tests for the newer optimizer passes: value numbering, strength
+reduction and cross-block flag-liveness peeking."""
+
+from repro.guest.assembler import assemble
+from repro.guest.isa import Flag
+from repro.dbt.frontend import build_ir
+from repro.dbt.ir import ALL_FLAGS_MASK, UOpKind, flag_mask
+from repro.dbt.optimizer import (
+    fold_constants,
+    number_values,
+    propagate_copies,
+    reduce_strength,
+    successor_flag_liveness,
+)
+from repro.vm.functional import FunctionalVM
+from repro.guest.interpreter import GuestInterpreter
+
+
+def ir_for(source: str):
+    program = assemble(source)
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        return text.data[offset : offset + length]
+
+    return build_ir(read, program.entry), read, program
+
+
+class TestValueNumbering:
+    def test_duplicate_address_arithmetic_merges(self):
+        # [ebx + ecx*4 + 8] computed twice -> one EA computation
+        ir, _, _ = ir_for(
+            "_start: mov eax, [ebx + ecx*4 + 8]\nadd edx, [ebx + ecx*4 + 8]\nhlt\n"
+        )
+        propagate_copies(ir)
+        fold_constants(ir)
+        before = sum(1 for u in ir.uops if u.kind in (UOpKind.ADD, UOpKind.SHL))
+        removed = number_values(ir)
+        after = sum(1 for u in ir.uops if u.kind in (UOpKind.ADD, UOpKind.SHL))
+        assert removed >= 2
+        assert after < before
+
+    def test_redundant_load_merges(self):
+        ir, _, _ = ir_for("_start: mov eax, [0x8400000]\nmov edx, [0x8400000]\nhlt\n")
+        propagate_copies(ir)
+        fold_constants(ir)
+        number_values(ir)
+        loads = [u for u in ir.uops if u.kind is UOpKind.LD]
+        assert len(loads) == 1
+
+    def test_store_kills_load_availability(self):
+        ir, _, _ = ir_for(
+            "_start: mov eax, [0x8400000]\nmov [0x8400004], ecx\nmov edx, [0x8400000]\nhlt\n"
+        )
+        propagate_copies(ir)
+        fold_constants(ir)
+        number_values(ir)
+        loads = [u for u in ir.uops if u.kind is UOpKind.LD]
+        assert len(loads) == 2  # no alias analysis: the store is a barrier
+
+    def test_commutative_canonicalization(self):
+        ir, _, _ = ir_for("_start: mov eax, ebx\nadd eax, ecx\nmov edx, ecx\nadd edx, ebx\nhlt\n")
+        propagate_copies(ir)
+        removed = number_values(ir)
+        assert removed >= 1  # ebx+ecx == ecx+ebx
+
+    def test_semantics_preserved_end_to_end(self):
+        source = """
+        _start:
+            mov ecx, 3
+            mov ebx_unused equ 0
+            mov eax, [table + ecx*4]
+            add eax, [table + ecx*4]
+            mov ebx, eax
+            and ebx, 255
+            mov eax, 1
+            int 0x80
+        .data
+        table: dd 10, 20, 30, 40
+        """.replace("mov ebx_unused equ 0\n", "")
+        program = assemble(source)
+        golden = GuestInterpreter.for_program(assemble(source))
+        assert FunctionalVM(program).run() == golden.run()
+
+
+class TestStrengthReduction:
+    def test_mul_by_power_of_two_becomes_shift(self):
+        ir, _, _ = ir_for("_start: imul eax, 8\nhlt\n".replace("imul eax, 8", "mov ecx, 8\nimul eax, ecx"))
+        propagate_copies(ir)
+        fold_constants(ir)
+        replaced = reduce_strength(ir)
+        assert replaced == 1
+        assert not [u for u in ir.uops if u.kind is UOpKind.MUL]
+        assert [u for u in ir.uops if u.kind is UOpKind.SHL]
+
+    def test_non_power_of_two_untouched(self):
+        ir, _, _ = ir_for("_start: mov ecx, 7\nimul eax, ecx\nhlt\n")
+        propagate_copies(ir)
+        fold_constants(ir)
+        assert reduce_strength(ir) == 0
+
+    def test_differential_correctness(self):
+        source = """
+        _start:
+            mov eax, 12345
+            mov ecx, 16
+            imul eax, ecx
+            seto edx
+            mov ebx, eax
+            and ebx, 255
+            mov eax, 1
+            int 0x80
+        """
+        program = assemble(source)
+        golden = GuestInterpreter.for_program(assemble(source))
+        assert FunctionalVM(program).run() == golden.run()
+
+
+class TestFlagPeek:
+    def test_successor_overwrites_all_flags(self):
+        # successor: add (writes all five) -> nothing live across the edge
+        ir, read, program = ir_for("_start: jmp next\nnext: add eax, ebx\nhlt\n")
+        live = successor_flag_liveness(read, [program.symbols["next"]])
+        assert live == 0
+
+    def test_successor_reads_zf(self):
+        # je whose both paths land on an all-flag-writing add: only ZF
+        # is observable across the edge
+        ir, read, program = ir_for(
+            "_start: jmp next\nnext: je after\nafter: add eax, ebx\nhlt\n"
+        )
+        live = successor_flag_liveness(read, [program.symbols["next"]])
+        assert live & flag_mask([Flag.ZF])
+        assert not live & flag_mask([Flag.CF])
+
+    def test_inc_leaves_cf_live(self):
+        # inc overwrites everything except CF; the following jc reads it
+        ir, read, program = ir_for("_start: jmp next\nnext: inc eax\njb _start\nhlt\n")
+        live = successor_flag_liveness(read, [program.symbols["next"]])
+        assert live & flag_mask([Flag.CF])
+        assert not live & flag_mask([Flag.ZF])
+
+    def test_indirect_successor_is_fully_live(self):
+        ir, read, program = ir_for("_start: jmp next\nnext: jmp eax\n")
+        live = successor_flag_liveness(read, [program.symbols["next"]])
+        assert live == ALL_FLAGS_MASK
+
+    def test_dynamic_shift_cannot_kill(self):
+        # shl by cl may preserve flags; a later jc still sees the old CF
+        ir, read, program = ir_for(
+            "_start: jmp next\nnext: shl eax, ecx\njb _start\nhlt\n"
+        )
+        live = successor_flag_liveness(read, [program.symbols["next"]])
+        assert live & flag_mask([Flag.CF])
+
+    def test_branchy_successors_union(self):
+        source = """
+        _start: jmp next
+        next:
+            je taken
+            add eax, ebx        ; kills everything on fallthrough
+            hlt
+        taken:
+            setb ecx            ; reads CF on taken path
+            hlt
+        """
+        ir, read, program = ir_for(source)
+        live = successor_flag_liveness(read, [program.symbols["next"]])
+        assert live & flag_mask([Flag.ZF])  # je reads ZF
+        assert live & flag_mask([Flag.CF])  # setb on one path
+
+    def test_empty_successors_conservative(self):
+        _, read, _ = ir_for("_start: hlt\n")
+        assert successor_flag_liveness(read, []) == ALL_FLAGS_MASK

@@ -1,0 +1,129 @@
+"""Tests for the tiled machine, network, resources and data caches."""
+
+import pytest
+
+from repro.tiled.datacache import DataCacheModel
+from repro.tiled.machine import TileGrid, TileRole, default_placement
+from repro.tiled.network import Network
+from repro.tiled.resource import Resource
+
+
+class TestTileGrid:
+    def test_default_grid_is_4x4(self):
+        grid = TileGrid()
+        assert grid.tile_count == 16
+        assert len(grid.coords()) == 16
+
+    def test_hops_is_manhattan(self):
+        grid = TileGrid()
+        assert grid.hops((0, 0), (3, 3)) == 6
+        assert grid.hops((1, 1), (1, 1)) == 0
+        assert grid.hops((2, 0), (0, 1)) == 3
+
+    def test_assign_and_query_roles(self):
+        grid = TileGrid()
+        grid.assign((0, 0), TileRole.MANAGER)
+        assert grid.find_one(TileRole.MANAGER) == (0, 0)
+        assert grid.tiles_with_role(TileRole.IDLE) != []
+
+    def test_assign_outside_grid_rejected(self):
+        with pytest.raises(ValueError):
+            TileGrid().assign((9, 9), TileRole.MMU)
+
+
+class TestDefaultPlacement:
+    def test_figure3_roles_present(self):
+        grid = default_placement(translator_tiles=6, l2_bank_tiles=4)
+        summary = grid.role_summary()
+        assert summary["execution"] == 1
+        assert summary["mmu"] == 1
+        assert summary["manager"] == 1
+        assert summary["syscall"] == 1
+        assert summary["l15_bank"] == 2
+        assert summary["translator"] == 6
+        assert summary["l2_bank"] == 4
+
+    def test_nine_translator_config_fits(self):
+        grid = default_placement(translator_tiles=9, l2_bank_tiles=1)
+        assert len(grid.tiles_with_role(TileRole.TRANSLATOR)) == 9
+
+    def test_mmu_is_adjacent_to_execution(self):
+        grid = default_placement(6, 4)
+        execution = grid.find_one(TileRole.EXECUTION)
+        mmu = grid.find_one(TileRole.MMU)
+        assert grid.hops(execution, mmu) == 1
+
+    def test_banks_placed_near_mmu(self):
+        grid = default_placement(6, 4)
+        mmu = grid.find_one(TileRole.MMU)
+        for bank in grid.tiles_with_role(TileRole.L2_BANK):
+            assert grid.hops(mmu, bank) <= 3
+
+    def test_overcommit_rejected(self):
+        with pytest.raises(ValueError):
+            default_placement(translator_tiles=9, l2_bank_tiles=4)
+
+
+class TestNetwork:
+    def test_latency_grows_with_hops(self):
+        net = Network()
+        assert net.latency(0) < net.latency(1) < net.latency(4)
+
+    def test_payload_serialization(self):
+        net = Network()
+        assert net.latency(2, payload_words=10) == net.latency(2, payload_words=1) + 9
+
+    def test_round_trip(self):
+        net = Network()
+        assert net.round_trip(2) == 2 * net.latency(2)
+
+
+class TestResource:
+    def test_idle_resource_services_immediately(self):
+        res = Resource("r")
+        assert res.service(now=100, occupancy=10) == 110
+
+    def test_contention_queues_fcfs(self):
+        res = Resource("r")
+        first = res.service(now=0, occupancy=50)
+        second = res.service(now=10, occupancy=50)
+        assert first == 50
+        assert second == 100  # waited for the first
+
+    def test_gap_resets_start(self):
+        res = Resource("r")
+        res.service(now=0, occupancy=10)
+        assert res.service(now=1000, occupancy=10) == 1010
+
+    def test_utilization(self):
+        res = Resource("r")
+        res.service(0, 25)
+        assert res.utilization(100) == 0.25
+
+    def test_reset(self):
+        res = Resource("r")
+        res.service(0, 1000)
+        res.reset(now=5)
+        assert res.service(5, 10) == 15
+
+
+class TestDataCacheModel:
+    def test_miss_then_hit(self):
+        cache = DataCacheModel("c", size_bytes=1024)
+        assert not cache.access(0x100, False).hit
+        assert cache.access(0x100, False).hit
+        assert cache.miss_rate == 0.5
+
+    def test_writeback_on_dirty_eviction(self):
+        cache = DataCacheModel("c", size_bytes=128, line_bytes=32, ways=1)
+        cache.access(0x00, True)  # dirty
+        result = cache.access(0x80, False)  # conflicts in set 0
+        assert result.writeback
+
+    def test_flush_counts_dirty_lines(self):
+        cache = DataCacheModel("c", size_bytes=1024)
+        cache.access(0x00, True)
+        cache.access(0x40, True)
+        cache.access(0x80, False)
+        assert cache.flush() == 2
+        assert not cache.access(0x00, False).hit  # cold again

@@ -1,0 +1,109 @@
+"""Tests for the synthetic SpecInt workload suite."""
+
+import pytest
+
+from repro.guest.interpreter import GuestInterpreter
+from repro.vm.functional import FunctionalVM
+from repro.workloads import SPECINT_NAMES, build_workload, workload_specs
+from repro.workloads.builder import FarmConfig, build_farm
+from repro.workloads.suite import build_source
+
+
+class TestSuiteRegistry:
+    def test_eleven_benchmarks_eon_omitted(self):
+        assert len(SPECINT_NAMES) == 11
+        assert "252.eon" not in SPECINT_NAMES  # omitted, as in the paper
+
+    def test_specs_cover_names(self):
+        specs = workload_specs()
+        assert set(specs) == set(SPECINT_NAMES)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            build_workload("999.nope")
+
+
+class TestDeterminism:
+    def test_same_source_every_build(self):
+        assert build_source("164.gzip") == build_source("164.gzip")
+
+    def test_scaled_source_differs(self):
+        assert build_source("164.gzip", 0.5) != build_source("164.gzip", 1.0)
+
+
+@pytest.mark.parametrize("name", SPECINT_NAMES)
+class TestEveryWorkload:
+    def test_builds_and_terminates(self, name):
+        program = build_workload(name, scale=0.25)
+        interp = GuestInterpreter.for_program(program)
+        exit_code = interp.run(max_instructions=2_000_000)
+        assert 0 <= exit_code <= 255
+        assert interp.stats["instructions"] > 500
+
+    def test_deterministic_execution(self, name):
+        first = GuestInterpreter.for_program(build_workload(name, scale=0.25))
+        second = GuestInterpreter.for_program(build_workload(name, scale=0.25))
+        assert first.run(2_000_000) == second.run(2_000_000)
+        assert first.stats["instructions"] == second.stats["instructions"]
+
+
+class TestCodeFootprints:
+    """The suite's slowdown spread rests on these footprint contrasts."""
+
+    def test_small_code_benchmarks(self):
+        for name in ["164.gzip", "181.mcf", "197.parser", "256.bzip2"]:
+            assert build_workload(name).code_size < 16 * 1024, name
+
+    def test_large_code_benchmarks(self):
+        for name in ["176.gcc", "255.vortex", "186.crafty"]:
+            assert build_workload(name).code_size > 24 * 1024, name
+
+    def test_gcc_is_the_largest(self):
+        sizes = {name: build_workload(name).code_size for name in SPECINT_NAMES}
+        assert max(sizes, key=sizes.get) == "176.gcc"
+
+
+class TestWorkloadsThroughDbt:
+    """Differential check: a workload translated and executed through the
+    full DBT pipeline matches the reference interpreter."""
+
+    @pytest.mark.parametrize("name", ["164.gzip", "181.mcf", "253.perlbmk", "256.bzip2"])
+    def test_functional_vm_matches_interpreter(self, name):
+        program = build_workload(name, scale=0.1)
+        golden = GuestInterpreter.for_program(build_workload(name, scale=0.1))
+        golden_exit = golden.run(2_000_000)
+        vm = FunctionalVM(program)
+        assert vm.run() == golden_exit
+
+
+class TestFarmBuilder:
+    def test_farm_respects_function_count(self):
+        farm = build_farm(FarmConfig(functions=7, sequence_length=10, seed=3), prefix="t")
+        labels = [line for line in farm.text_lines if line.startswith("t_fn")]
+        assert len([l for l in labels if l.endswith(":")]) >= 7
+
+    def test_phased_farm_has_per_round_sweeps(self):
+        config = FarmConfig(
+            functions=20, sequence_length=8, hot_functions=4, phased_rounds=3, seed=9
+        )
+        farm = build_farm(config, prefix="p")
+        assert len(farm.sweep_labels) == 3
+        assert farm.sweep_for_round(0) != farm.sweep_for_round(1)
+        assert farm.sweep_for_round(3) == farm.sweep_for_round(0)  # wraps
+
+    def test_walker_only_in_hot_functions(self):
+        config = FarmConfig(
+            functions=6, hot_functions=2, walker_iterations=4, sequence_length=4, seed=5
+        )
+        farm = build_farm(config, prefix="w")
+        text = "\n".join(farm.text_lines)
+        assert "w_fn0_walk:" in text
+        assert "w_fn1_walk:" in text
+        assert "w_fn2_walk:" not in text
+
+    def test_data_words_must_fit_masking(self):
+        # power-of-two window is required by the walker's AND mask
+        config = FarmConfig(functions=4, hot_functions=2, walker_iterations=2,
+                            data_words=4096, sequence_length=4, seed=7)
+        farm = build_farm(config, prefix="m")
+        assert any("and ecx, 16352" in line for line in farm.text_lines)
