@@ -25,7 +25,6 @@ from repro.harness import (
     table11_intrinsics,
 )
 from repro.harness.runner import run_one
-from repro.workloads import SPECINT_NAMES
 
 SCALE = 1.0
 
@@ -114,9 +113,15 @@ def main() -> None:
 
     started = time.time()
     sections = []
+    failures = []
     for figure_fn in figures:
         fig_started = time.time()
-        result = figure_fn(scale=SCALE)
+        try:
+            result = figure_fn(scale=SCALE)
+        except Exception as exc:  # keep going; report the failure at exit
+            failures.append(f"{figure_fn.__name__}: {exc!r}")
+            print(f"{figure_fn.__name__}: FAILED ({exc!r})", file=sys.stderr)
+            continue
         elapsed = time.time() - fig_started
         print(f"{result.figure}: done in {elapsed:.0f}s")
         note = _PAPER_NOTES.get(result.figure, "")
@@ -125,6 +130,12 @@ def main() -> None:
             block += [f"*Paper vs measured:* {note}", ""]
         block += ["```", result.render(), "```", ""]
         sections.append("\n".join(block))
+
+    if failures:
+        print(f"\n{len(failures)} figure(s) failed:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
 
     low = min(
         run_one(n, "speculative_6", SCALE).slowdown

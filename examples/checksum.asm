@@ -1,0 +1,32 @@
+; Rotate-and-xor checksum over a data table.
+;
+; Walks a 16-word table with an indexed addressing mode, folding each
+; word into a running checksum; exercises loads, shifts, flags-driven
+; loops and the .data section.  Lint-clean under
+; `python -m repro.verify examples/checksum.asm`.
+
+_start:
+    xor eax, eax        ; checksum
+    xor ecx, ecx        ; index
+sum_loop:
+    mov edx, [table + ecx*4]
+    xor eax, edx
+    mov edx, eax
+    shl eax, 5
+    shr edx, 27
+    or eax, edx         ; rotate left by 5
+    inc ecx
+    cmp ecx, 16
+    jl sum_loop
+    and eax, 255
+    mov ebx, eax
+    mov eax, 1          ; sys_exit(checksum & 0xff)
+    int 0x80
+    hlt
+
+.data
+table:
+    dd 0x12345678, 0x9abcdef0, 0x0fedcba9, 0x87654321
+    dd 0x11111111, 0x22222222, 0x33333333, 0x44444444
+    dd 0xdeadbeef, 0xcafebabe, 0x00000000, 0xffffffff
+    dd 0x13579bdf, 0x2468ace0, 0x0f0f0f0f, 0xf0f0f0f0

@@ -1,0 +1,28 @@
+; Euclid's algorithm in VX86 assembly.
+;
+; Computes gcd(1071, 462) = 21 and exits with it as the process exit
+; code.  A minimal well-formed guest binary: balanced calls, every
+; conditional branch dominated by a flag-setting instruction, no
+; unreachable bytes — `python -m repro.verify examples/gcd.asm`
+; reports zero findings.
+
+_start:
+    mov eax, 1071
+    mov ecx, 462
+    call gcd
+    mov ebx, eax        ; exit code = gcd
+    mov eax, 1          ; sys_exit
+    int 0x80
+    hlt                 ; not reached; keeps the static CFG closed
+
+; eax = gcd(eax, ecx), clobbers edx
+gcd:
+    cmp ecx, 0
+    je gcd_done
+    xor edx, edx
+    div ecx             ; edx = eax mod ecx
+    mov eax, ecx
+    mov ecx, edx
+    jmp gcd
+gcd_done:
+    ret

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.cpi import expected_slowdown_floor, memory_slowdown_factor
+from repro.analysis.cpi import memory_slowdown_factor
 from repro.refmachine.intrinsics import FLAG_OVERHEAD_FACTOR, PIII_EFFECTIVE_ILP
 
 

@@ -9,10 +9,10 @@ timing model charges per execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.host.isa import ExitReason, HostInstr, HostOp, LOAD_OPS, STORE_OPS
+from repro.host.isa import ExitReason, HostInstr, LOAD_OPS, STORE_OPS
 
 
 @dataclass

@@ -20,9 +20,22 @@ All passes are intra-block and preserve the architectural state seen at
 every block exit, except that flag bits *provably overwritten later in
 the same block* may hold stale values in between — invisible to the
 guest by construction.
+
+The pipeline is declarative (:data:`PASS_PIPELINE`) and
+:func:`optimize_block` accepts an ``observer`` callback invoked after
+every pass with ``(pass_name, block)``.  Checked translation mode
+(:mod:`repro.verify`) uses the hook to re-verify the IR at each pass
+boundary, so a pass that breaks an invariant is attributed by name.
 """
 
+from typing import Callable, List, Optional, Tuple
+
 from repro.dbt.ir import ALL_FLAGS_MASK, IRBlock
+from repro.dbt.optimizer import constfold as _constfold
+from repro.dbt.optimizer import copyprop as _copyprop
+from repro.dbt.optimizer import dce as _dce
+from repro.dbt.optimizer import deadflags as _deadflags
+from repro.dbt.optimizer import valuenumber as _valuenumber
 from repro.dbt.optimizer.constfold import fold_constants, reduce_strength
 from repro.dbt.optimizer.copyprop import propagate_copies
 from repro.dbt.optimizer.dce import eliminate_dead_code
@@ -32,6 +45,9 @@ from repro.dbt.optimizer.valuenumber import number_values
 
 __all__ = [
     "optimize_block",
+    "PASS_PIPELINE",
+    "PassFn",
+    "Observer",
     "propagate_copies",
     "fold_constants",
     "reduce_strength",
@@ -41,16 +57,42 @@ __all__ = [
     "successor_flag_liveness",
 ]
 
+#: A pass mutates the block in place; ``flag_live_out`` is threaded to
+#: the passes that need cross-block flag liveness.
+PassFn = Callable[[IRBlock, int], None]
+
+#: Called after each pass with the pass name and the (mutated) block.
+Observer = Callable[[str, IRBlock], None]
+
+#: One optimization round, in order.  Names match each pass module's
+#: ``PASS_NAME`` and are what checked mode reports as the failing stage.
+PASS_PIPELINE: List[Tuple[str, PassFn]] = [
+    (_copyprop.PASS_NAME, lambda block, live: propagate_copies(block)),
+    (_constfold.PASS_NAME, lambda block, live: fold_constants(block)),
+    (_constfold.STRENGTH_PASS_NAME, lambda block, live: reduce_strength(block)),
+    (_valuenumber.PASS_NAME, lambda block, live: number_values(block)),
+    (_deadflags.PASS_NAME, lambda block, live: eliminate_dead_flags(block, live_out=live)),
+    (_dce.PASS_NAME, lambda block, live: eliminate_dead_code(block)),
+]
+
 
 def optimize_block(
-    block: IRBlock, iterations: int = 2, flag_live_out: int = ALL_FLAGS_MASK
+    block: IRBlock,
+    iterations: int = 2,
+    flag_live_out: int = ALL_FLAGS_MASK,
+    observer: Optional[Observer] = None,
+    passes: Optional[List[Tuple[str, PassFn]]] = None,
 ) -> IRBlock:
-    """Run the full IR pipeline (in place); returns the block."""
-    for _ in range(iterations):
-        propagate_copies(block)
-        fold_constants(block)
-        reduce_strength(block)
-        number_values(block)
-        eliminate_dead_flags(block, live_out=flag_live_out)
-        eliminate_dead_code(block)
+    """Run the full IR pipeline (in place); returns the block.
+
+    ``passes`` overrides the pipeline (tests inject deliberately broken
+    passes to prove checked mode attributes failures correctly);
+    ``observer`` fires after every pass of every iteration.
+    """
+    pipeline = PASS_PIPELINE if passes is None else passes
+    for iteration in range(iterations):
+        for name, run_pass in pipeline:
+            run_pass(block, flag_live_out)
+            if observer is not None:
+                observer(f"{name}#{iteration}", block)
     return block

@@ -14,6 +14,10 @@ from typing import Callable, Dict, Optional
 from repro.common.bitops import sext8, to_signed32, u32
 from repro.dbt.ir import ExitKind, IRBlock, UOp, UOpKind
 
+PASS_NAME = "constfold"
+#: :func:`reduce_strength` runs as its own pipeline stage.
+STRENGTH_PASS_NAME = "strength"
+
 _FOLDERS: Dict[UOpKind, Callable[[int, int], Optional[int]]] = {
     UOpKind.ADD: lambda a, b: u32(a + b),
     UOpKind.SUB: lambda a, b: u32(a - b),

@@ -16,6 +16,9 @@ from repro.guest.isa import Register
 from repro.dbt.ir import ExitKind, IRBlock, UOpKind
 
 
+PASS_NAME = "copyprop"
+
+
 def propagate_copies(block: IRBlock) -> None:
     """Propagate register/flag copies (in place)."""
     reg_value: Dict[Register, int] = {}

@@ -20,6 +20,9 @@ from repro.guest.isa import Register
 from repro.dbt.ir import ExitKind, IRBlock, UOpKind
 
 
+PASS_NAME = "dce"
+
+
 def eliminate_dead_code(block: IRBlock) -> int:
     """Remove dead uops (in place); returns how many were deleted."""
     removed = _dead_puts(block)

@@ -22,6 +22,9 @@ from repro.dbt.ir import ALL_FLAGS_MASK, ExitKind, IRBlock, UOpKind, flag_mask
 from repro.guest.isa import CONDITION_FLAG_USES
 
 
+PASS_NAME = "deadflags"
+
+
 def eliminate_dead_flags(block: IRBlock, live_out: int = ALL_FLAGS_MASK) -> int:
     """Prune FLAGS masks (in place); returns the number of uops removed.
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.guest.decoder import DecodeError, decode_instruction
+from repro.guest.decoder import decode_instruction
 from repro.guest.isa import (
     Immediate,
     Instruction,
@@ -28,6 +28,8 @@ from repro.guest.isa import (
 )
 from repro.dbt.frontend import CodeReader
 from repro.dbt.ir import ALL_FLAGS_MASK, flag_mask
+
+PASS_NAME = "flagpeek"
 
 #: Total instructions one liveness query may examine.
 DEFAULT_FUEL = 48

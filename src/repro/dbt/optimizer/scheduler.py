@@ -18,6 +18,8 @@ from typing import Dict, Iterable, List, Set
 from repro.host.isa import HostInstr, HostOp, HostReg, LOAD_OPS, STORE_OPS
 from repro.dbt.cost import LOAD_LATENCY, instruction_occupancy
 
+PASS_NAME = "scheduler"
+
 _BRANCH_OPS = frozenset(
     {
         HostOp.BEQ,

@@ -19,6 +19,8 @@ from typing import Dict, Tuple
 
 from repro.dbt.ir import ExitKind, IRBlock, UOpKind
 
+PASS_NAME = "valuenumber"
+
 #: Pure computations eligible for value numbering.
 _PURE_KINDS = frozenset(
     {

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.dbt.block import TranslatedBlock
-from repro.dbt.ir import ExitKind
 
 
 @dataclass(frozen=True)

@@ -15,14 +15,14 @@ instruction emission cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.common.stats import StatSet
 from repro.dbt.block import TranslatedBlock
 from repro.dbt.codegen import generate_block
-from repro.dbt.frontend import CodeReader, build_ir, lower_block, scan_block
+from repro.dbt.frontend import CodeReader, lower_block, scan_block
 from repro.dbt.ir import ALL_FLAGS_MASK, ExitKind
 from repro.dbt.optimizer import optimize_block, successor_flag_liveness
+from repro.dbt.optimizer.scheduler import PASS_NAME as SCHEDULER_PASS_NAME
 from repro.dbt.optimizer.scheduler import schedule_block
 
 #: Translation cost model (slave-tile cycles).  Valgrind-style parsing
@@ -45,6 +45,13 @@ class TranslationConfig:
     #: defaults, or hardware-assisted values for the Section 5 ablation
     load_latency: int = 6
     load_occupancy: int = 4
+    #: checked translation mode: run the :mod:`repro.verify` static
+    #: verifiers on the IR after the frontend and after every optimizer
+    #: pass, and on the host code after codegen and after scheduling.
+    #: A violation raises :class:`repro.verify.VerificationError` naming
+    #: the stage that introduced it.  Costs roughly 2x translation time;
+    #: off in the timing runs, on in the verification suite and CLI.
+    checked: bool = False
 
 
 class Translator:
@@ -61,18 +68,40 @@ class Translator:
         ir = lower_block(guest)
         uop_count = len(ir.uops)
 
+        checked = self.config.checked
+        live_out = ALL_FLAGS_MASK
+        if self.config.optimize or checked:
+            live_out = self._exit_flag_liveness(ir)
+        observer = None
+        if checked:
+            from repro.verify.irverify import assert_ir_ok
+
+            context = f"block {guest_pc:#x}"
+            assert_ir_ok(ir, live_out, stage="frontend", context=context)
+            observer = lambda name, blk: assert_ir_ok(  # noqa: E731
+                blk, live_out, stage=name, context=context
+            )
+
         cost = TRANSLATE_BASE_COST + TRANSLATE_PER_GUEST_INSTR * ir.guest_instr_count
         if self.config.optimize:
-            live_out = self._exit_flag_liveness(ir)
             optimize_block(
-                ir, iterations=self.config.optimizer_iterations, flag_live_out=live_out
+                ir,
+                iterations=self.config.optimizer_iterations,
+                flag_live_out=live_out,
+                observer=observer,
             )
             cost += OPTIMIZE_PER_UOP * uop_count
 
         block = generate_block(ir)
+        if checked:
+            from repro.verify.hostverify import assert_host_ok
+
+            assert_host_ok(block, stage="codegen", context=context)
         if self.config.optimize:
             pinned = [stub.offset_words for stub in block.exit_stubs]
             block.instrs = schedule_block(block.instrs, pinned=pinned)
+            if checked:
+                assert_host_ok(block, stage=SCHEDULER_PASS_NAME, context=context)
         from repro.dbt.cost import estimate_block_cost
 
         block.cost_cycles = estimate_block_cost(

@@ -9,7 +9,7 @@ branch encodings, and reports malformed bytes via :class:`DecodeError`
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Iterator, Tuple
 
 from repro.common.bitops import sext8, to_signed32
 from repro.guest.isa import (
@@ -264,3 +264,22 @@ def _decode_primary(cur: _Cursor, opcode: int, width: int, address: int) -> Inst
         raise DecodeError(address, f"unknown 0xFF group member /{reg_field}")
 
     raise DecodeError(address, f"unknown opcode {opcode:#04x}")
+
+
+def iter_instructions(code: bytes, base_address: int) -> Iterator[Instruction]:
+    """Best-effort linear disassembly of a byte range.
+
+    Decodes front to back, resynchronizing one byte forward after a
+    :class:`DecodeError`; used by :mod:`repro.verify.guestlint` to
+    estimate how much real code an unreachable region holds.  Never
+    raises.
+    """
+    offset = 0
+    while offset < len(code):
+        try:
+            instr = decode_instruction(code, offset, base_address + offset)
+        except DecodeError:
+            offset += 1
+            continue
+        yield instr
+        offset += instr.length

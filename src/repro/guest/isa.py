@@ -14,7 +14,7 @@ giving instructions of 1 to 9 bytes, in the spirit of IA-32.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 

@@ -66,6 +66,20 @@ class GuestProgram:
                 return section
         return None
 
+    def symbol_at(self, address: int) -> Optional[str]:
+        """Name of the nearest symbol at or before ``address``.
+
+        Used by diagnostics (:mod:`repro.verify.guestlint`) to attribute
+        an address to the function it falls in; returns ``None`` when no
+        symbol precedes the address.
+        """
+        best_name = None
+        best_address = -1
+        for name, value in self.symbols.items():
+            if best_address < value <= address:
+                best_name, best_address = name, value
+        return best_name
+
     @property
     def brk_base(self) -> int:
         """Initial program break: just past the highest section."""

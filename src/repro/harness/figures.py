@@ -9,7 +9,7 @@ the paper's series.  ``scale`` shrinks the workloads for quick runs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.analysis import decompose, expected_slowdown_floor, memory_slowdown_factor
 from repro.harness.runner import RunGrid, run_one

@@ -7,7 +7,7 @@ field.
 
 from __future__ import annotations
 
-from repro.host.isa import HostInstr, HostOp, HostReg
+from repro.host.isa import HostInstr, HostOp
 
 
 class HostEncodeError(Exception):

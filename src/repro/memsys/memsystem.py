@@ -17,7 +17,7 @@ tiles (Figure 9) changes both capacity and bandwidth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.common.stats import StatSet
 from repro.memsys.pagetable import PAGE_SHIFT, PageFault, PageTable

@@ -11,7 +11,7 @@ costs on every flip.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.common.stats import StatSet

@@ -1,0 +1,40 @@
+"""Static verification of the translation pipeline and guest binaries.
+
+Three cooperating analyzers:
+
+* :mod:`repro.verify.irverify` — invariants of the UCode IR (SSA
+  temps, operand arity, terminator shape, dead-flag soundness); runs
+  after the frontend and after every optimizer pass in checked
+  translation mode (``TranslationConfig(checked=True)``).
+* :mod:`repro.verify.hostverify` — contracts of generated R32 host
+  code (definite initialization, reserved-register discipline, branch
+  ranges, exit-stub/chaining metadata).
+* :mod:`repro.verify.guestlint` — static CFG recovery and lint of
+  guest VX86 images (unreachable code, overlapping decode, CALL/RET
+  imbalance, undefined flag reads).
+
+``python -m repro.verify <program>`` runs the lint plus a checked
+translation sweep over a workload or assembly file.
+"""
+
+from repro.verify.findings import Finding, Severity, VerificationError, worst_severity
+from repro.verify.guestlint import GuestLintReport, lint_bytes, lint_program
+from repro.verify.hostverify import assert_host_ok, verify_host_block
+from repro.verify.irverify import assert_ir_ok, verify_ir
+from repro.verify.pipeline import SweepResult, checked_translate_program
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "VerificationError",
+    "worst_severity",
+    "verify_ir",
+    "assert_ir_ok",
+    "verify_host_block",
+    "assert_host_ok",
+    "GuestLintReport",
+    "lint_program",
+    "lint_bytes",
+    "SweepResult",
+    "checked_translate_program",
+]

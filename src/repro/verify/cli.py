@@ -1,0 +1,115 @@
+"""Command line front door: ``python -m repro.verify <program> ...``.
+
+Each positional argument is either the name of a built-in SPECint-like
+workload (see ``--list``) or a path to a VX86 assembly file.  For every
+program the tool runs the guest-binary lint
+(:mod:`repro.verify.guestlint`) and — unless ``--no-translate`` — a
+checked translation sweep (:mod:`repro.verify.pipeline`) that verifies
+the IR after every optimizer pass and the generated host code for every
+reachable block.
+
+Exit status is 1 if any program produced an ERROR-severity finding or
+failed checked translation, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.guest.assembler import AssemblyError, assemble
+from repro.guest.program import GuestProgram
+from repro.verify.findings import Severity, VerificationError
+from repro.verify.guestlint import lint_program
+from repro.verify.pipeline import checked_translate_program
+from repro.workloads.suite import SPECINT_NAMES, build_workload
+
+
+def _load(name: str, scale: float) -> GuestProgram:
+    if name in SPECINT_NAMES:
+        return build_workload(name, scale=scale)
+    path = Path(name)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {name!r} is neither a workload ({', '.join(SPECINT_NAMES)}) "
+            "nor an assembly file"
+        )
+    try:
+        return assemble(path.read_text(), name=path.name)
+    except AssemblyError as err:
+        raise SystemExit(f"error: {name}: {err}") from err
+
+
+def _run_one(name: str, args: argparse.Namespace) -> bool:
+    """Lint (and optionally checked-translate) one program; True if clean."""
+    program = _load(name, args.scale)
+    print(f"== {name} ==")
+
+    report = lint_program(program)
+    print(
+        f"guestlint: {report.reachable_instructions} reachable instructions, "
+        f"{report.reachable_bytes}/{report.text_bytes} text bytes covered, "
+        f"{len(report.findings)} findings"
+    )
+    shown = [
+        f for f in report.findings
+        if args.verbose or f.severity >= Severity.WARNING
+    ]
+    limit = len(shown) if args.verbose else args.max_findings
+    for finding in shown[:limit]:
+        print(f"  {finding}")
+    if len(shown) > limit:
+        print(f"  ... and {len(shown) - limit} more (use -v to see all)")
+    ok = not report.errors
+
+    if not args.no_translate:
+        try:
+            sweep = checked_translate_program(program)
+        except VerificationError as err:
+            print(f"checked translation FAILED:\n{err}")
+            ok = False
+        else:
+            print(
+                f"checked translation: {sweep.block_count} blocks, "
+                f"{sweep.guest_instructions} guest -> {sweep.host_instructions} host "
+                "instructions, all verifier-clean"
+            )
+            if sweep.faults:
+                print(f"  ({len(sweep.faults)} statically undecodable block starts skipped)")
+    return ok
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Static verification of guest programs and their translations.",
+    )
+    parser.add_argument(
+        "programs", nargs="*",
+        help="workload names and/or VX86 .asm files (default: all workloads)",
+    )
+    parser.add_argument("--list", action="store_true", help="list built-in workloads and exit")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload scale factor (default 0.1; code size is scale-invariant)")
+    parser.add_argument("--no-translate", action="store_true",
+                        help="guest lint only; skip the checked translation sweep")
+    parser.add_argument("--max-findings", type=int, default=10,
+                        help="findings shown per program (default 10)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="show INFO findings without truncation")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(SPECINT_NAMES))
+        return 0
+
+    names = list(args.programs) or list(SPECINT_NAMES)
+    clean = True
+    for name in names:
+        if not _run_one(name, args):
+            clean = False
+    if not clean:
+        print("FAIL: errors found", file=sys.stderr)
+    return 0 if clean else 1

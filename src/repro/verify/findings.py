@@ -1,0 +1,85 @@
+"""Structured findings shared by all verify analyzers.
+
+Every analyzer in :mod:`repro.verify` reports problems as
+:class:`Finding` records instead of raising ad hoc exceptions, so the
+pipeline can decide per context whether a finding is fatal (checked
+translation raises on any ERROR) or informational (the guest-binary
+lint CLI prints WARNINGs and keeps going).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Ordered so ``max()`` picks the worst."""
+
+    INFO = 0  # noteworthy but harmless (unreachable padding, exit-in-callee)
+    WARNING = 1  # suspicious guest code (never-defined flag read)
+    ERROR = 2  # broken invariant: translator bug or malformed guest binary
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem located by a static analyzer.
+
+    ``analyzer`` names the analyzer ("irverify", "hostverify",
+    "guestlint"); ``code`` is a stable kebab-case identifier tests and
+    tools can match on; ``address`` is a guest address (guestlint), a
+    uop index (irverify) or a host-instruction index (hostverify),
+    depending on ``analyzer`` — ``location`` renders it appropriately.
+    """
+
+    analyzer: str
+    severity: Severity
+    code: str
+    message: str
+    address: Optional[int] = None
+    #: Translation stage / optimizer pass that introduced the problem
+    #: (filled in by checked-mode wiring, empty for standalone runs).
+    stage: str = ""
+
+    @property
+    def location(self) -> str:
+        if self.address is None:
+            return ""
+        if self.analyzer == "guestlint":
+            return f"{self.address:#010x}"
+        return f"@{self.address}"
+
+    def __str__(self) -> str:
+        where = f" {self.location}" if self.address is not None else ""
+        stage = f" [{self.stage}]" if self.stage else ""
+        return f"{self.severity.name.lower()}{stage} {self.analyzer}:{self.code}{where}: {self.message}"
+
+
+class VerificationError(Exception):
+    """A checked-mode verification failure.
+
+    Carries the findings plus the pipeline stage (frontend, an
+    optimizer pass name, codegen, scheduler) that introduced them, so a
+    broken pass is attributed to itself rather than to whatever runs
+    after it.
+    """
+
+    def __init__(self, stage: str, findings: Sequence[Finding], context: str = "") -> None:
+        self.stage = stage
+        self.findings = list(findings)
+        lines = [f"verification failed after {stage}" + (f" ({context})" if context else "")]
+        lines += [f"  {finding}" for finding in self.findings]
+        super().__init__("\n".join(lines))
+
+
+def worst_severity(findings: Sequence[Finding]) -> Optional[Severity]:
+    """The maximum severity present, or ``None`` for a clean report."""
+    if not findings:
+        return None
+    return max(finding.severity for finding in findings)
+
+
+def errors_only(findings: Sequence[Finding]) -> List[Finding]:
+    """Just the ERROR findings (what checked mode raises on)."""
+    return [f for f in findings if f.severity is Severity.ERROR]

@@ -1,0 +1,340 @@
+"""Static analysis of guest (VX86) binaries.
+
+Recovers a static control-flow graph from a program image by recursive
+traversal from the entry point — following direct jumps, both arms of
+conditional branches, and call/return edges — and reports:
+
+* ``illegal-instruction`` (ERROR) — a reachable address that does not
+  decode; the translator would raise a guest fault the first time
+  execution gets there.
+* ``jump-into-instruction`` (ERROR) — a reachable instruction stream
+  that starts inside the byte span of another reachable instruction
+  (overlapping decode).  Legal on a real x86, but in VX86 binaries it
+  always indicates a mangled branch target.
+* ``ret-underflow`` (ERROR) — a ``RET`` reachable with an empty call
+  stack along some statically traced path.
+* ``undefined-flag-read`` (WARNING) — a ``Jcc``/``SETcc`` that reads a
+  flag no path from the entry has defined.
+* ``unreachable-code`` (WARNING) — regions of the text section no
+  traced path reaches (cold farm functions, dead padding).
+* ``exit-inside-call`` (INFO) — a ``HLT`` reached with a non-empty
+  traced call stack (balanced CALL/RET discipline check).
+
+All findings are :class:`~repro.verify.findings.Finding` records; the
+linter is total — arbitrary byte blobs never raise (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dbt.ir import flag_mask
+from repro.guest.decoder import DecodeError, decode_instruction, iter_instructions
+from repro.guest.isa import Instruction, Op, flags_read, flags_written
+from repro.guest.program import GuestProgram
+from repro.verify.findings import Finding, Severity
+
+ANALYZER = "guestlint"
+
+#: Ceiling on distinct decoded instruction starts (keeps the linter
+#: total on pathological images).
+DEFAULT_MAX_INSTRUCTIONS = 500_000
+
+#: Ceiling on (pc, depth) states the call/return tracer visits.
+_CALL_TRACE_FUEL = 200_000
+
+#: Deepest statically traced call stack (recursion is cut off here).
+_MAX_CALL_DEPTH = 64
+
+_DECODE_WINDOW = 16
+
+
+@dataclass
+class CodeImage:
+    """The executable bytes of a guest program plus entry and symbols."""
+
+    data: bytes
+    base: int
+    entry: int
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_program(cls, program: GuestProgram) -> "CodeImage":
+        text = program.text
+        return cls(data=text.data, base=text.address, entry=program.entry,
+                   symbols=dict(program.symbols))
+
+    @classmethod
+    def from_bytes(cls, data: bytes, base: int = 0, entry: Optional[int] = None) -> "CodeImage":
+        return cls(data=data, base=base, entry=base if entry is None else entry)
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def window(self, address: int) -> bytes:
+        offset = address - self.base
+        return self.data[offset : offset + _DECODE_WINDOW]
+
+    def symbol_at(self, address: int) -> Optional[str]:
+        best_name, best_address = None, -1
+        for name, value in self.symbols.items():
+            if best_address < value <= address:
+                best_name, best_address = name, value
+        return best_name
+
+
+@dataclass
+class GuestLintReport:
+    """Outcome of linting one image."""
+
+    findings: List[Finding]
+    reachable_instructions: int
+    reachable_bytes: int
+    text_bytes: int
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def render(self) -> str:
+        lines = [
+            f"guestlint: {self.reachable_instructions} reachable instructions, "
+            f"{self.reachable_bytes}/{self.text_bytes} text bytes covered, "
+            f"{len(self.findings)} findings"
+        ]
+        lines += [f"  {finding}" for finding in self.findings]
+        return "\n".join(lines)
+
+
+def lint_program(program: GuestProgram,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> GuestLintReport:
+    """Lint an assembled/loaded guest program."""
+    return GuestLinter(CodeImage.from_program(program), max_instructions).run()
+
+
+def lint_bytes(data: bytes, base: int = 0, entry: Optional[int] = None,
+               max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> GuestLintReport:
+    """Lint a raw code blob (never raises, whatever the bytes)."""
+    return GuestLinter(CodeImage.from_bytes(data, base, entry), max_instructions).run()
+
+
+class GuestLinter:
+    """One-shot CFG recovery + checks over a :class:`CodeImage`."""
+
+    def __init__(self, image: CodeImage, max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> None:
+        self.image = image
+        self.max_instructions = max_instructions
+        self.instructions: Dict[int, Instruction] = {}
+        self.decode_failures: Dict[int, str] = {}
+        self.findings: List[Finding] = []
+
+    # -- driving ----------------------------------------------------------
+
+    def run(self) -> GuestLintReport:
+        self._discover()
+        self._check_overlaps()
+        self._check_flag_definedness()
+        self._check_call_balance()
+        covered = self._check_unreachable()
+        self.findings.sort(key=lambda f: (-int(f.severity), f.address or 0))
+        return GuestLintReport(
+            findings=self.findings,
+            reachable_instructions=len(self.instructions),
+            reachable_bytes=covered,
+            text_bytes=len(self.image.data),
+        )
+
+    def _report(self, severity: Severity, code: str, message: str, address: int) -> None:
+        symbol = self.image.symbol_at(address)
+        if symbol:
+            message = f"{message} (in {symbol})"
+        self.findings.append(Finding(ANALYZER, severity, code, message, address=address))
+
+    # -- CFG recovery -----------------------------------------------------
+
+    def _decode(self, address: int) -> Optional[Instruction]:
+        """Decode at ``address``, memoized; reports failures once."""
+        cached = self.instructions.get(address)
+        if cached is not None:
+            return cached
+        if address in self.decode_failures:
+            return None
+        if not self.image.contains(address):
+            self.decode_failures[address] = "outside the text section"
+            self._report(Severity.ERROR, "illegal-instruction",
+                         "control flow leaves the text section", address)
+            return None
+        try:
+            instr = decode_instruction(self.image.window(address), 0, address)
+        except DecodeError as err:
+            self.decode_failures[address] = str(err)
+            self._report(Severity.ERROR, "illegal-instruction",
+                         f"undecodable reachable bytes: {err}", address)
+            return None
+        self.instructions[address] = instr
+        return instr
+
+    @staticmethod
+    def _static_successors(instr: Instruction) -> List[int]:
+        """Addresses statically known to be reachable after ``instr``."""
+        op = instr.op
+        if op is Op.JMP:
+            return [instr.target] if instr.target is not None else []
+        if op is Op.JCC:
+            return [instr.target, instr.next_address]
+        if op is Op.CALL:
+            # The callee plus the return continuation (RET comes back).
+            out = [instr.next_address]
+            if instr.target is not None:
+                out.append(instr.target)
+            return out
+        if op in (Op.RET, Op.HLT):
+            return []  # RET edges are realized by the call tracer
+        return [instr.next_address]
+
+    def _discover(self) -> None:
+        worklist = [self.image.entry]
+        seen: Set[int] = set()
+        while worklist and len(self.instructions) < self.max_instructions:
+            address = worklist.pop()
+            if address in seen:
+                continue
+            seen.add(address)
+            instr = self._decode(address)
+            if instr is None:
+                continue
+            worklist.extend(self._static_successors(instr))
+
+    # -- checks -----------------------------------------------------------
+
+    def _check_overlaps(self) -> None:
+        starts = sorted(self.instructions)
+        for previous, current in zip(starts, starts[1:]):
+            if previous + self.instructions[previous].length > current:
+                self._report(
+                    Severity.ERROR,
+                    "jump-into-instruction",
+                    f"instruction stream at {current:#x} starts inside the "
+                    f"{self.instructions[previous].length}-byte instruction at {previous:#x}",
+                    current,
+                )
+
+    def _check_flag_definedness(self) -> None:
+        """Forward may-defined dataflow; flags reads nothing defines."""
+        defined_in: Dict[int, int] = {self.image.entry: 0}
+        worklist = [self.image.entry]
+        while worklist:
+            address = worklist.pop()
+            instr = self.instructions.get(address)
+            if instr is None:
+                continue
+            out = defined_in.get(address, 0) | flag_mask(flags_written(instr))
+            for succ in self._static_successors(instr):
+                if succ not in self.instructions:
+                    continue
+                merged = defined_in.get(succ, 0) | out
+                if merged != defined_in.get(succ):
+                    defined_in[succ] = merged
+                    worklist.append(succ)
+
+        for address in sorted(self.instructions):
+            instr = self.instructions[address]
+            reads = flag_mask(flags_read(instr))
+            missing = reads & ~defined_in.get(address, 0)
+            if missing:
+                self._report(
+                    Severity.WARNING,
+                    "undefined-flag-read",
+                    f"{instr} reads flags {missing:#x} that no path from the entry defines",
+                    address,
+                )
+
+    def _check_call_balance(self) -> None:
+        """Depth-first call/return trace with a shadow return stack.
+
+        Follows direct control flow, pushing the return continuation at
+        each CALL and popping it at RET.  States are memoized on
+        (pc, depth), so distinct callers of the same function at equal
+        depth share one trace — an under-approximation that keeps the
+        walk linear while still catching RETs that pop an empty stack.
+        """
+        fuel = _CALL_TRACE_FUEL
+        visited: Set[Tuple[int, int]] = set()
+        underflows: Set[int] = set()
+        exits_in_call: Set[int] = set()
+        stack: List[Tuple[int, Tuple[int, ...]]] = [(self.image.entry, ())]
+        while stack and fuel > 0:
+            fuel -= 1
+            address, calls = stack.pop()
+            state = (address, len(calls))
+            if state in visited or len(calls) > _MAX_CALL_DEPTH:
+                continue
+            visited.add(state)
+            instr = self.instructions.get(address)
+            if instr is None:
+                continue
+            op = instr.op
+            if op is Op.RET:
+                if not calls:
+                    underflows.add(address)
+                else:
+                    stack.append((calls[-1], calls[:-1]))
+            elif op is Op.CALL:
+                if instr.target is not None:
+                    stack.append((instr.target, calls + (instr.next_address,)))
+                else:
+                    stack.append((instr.next_address, calls))  # indirect: skip over
+            elif op is Op.HLT:
+                if calls:
+                    exits_in_call.add(address)
+            elif op is Op.JCC:
+                stack.append((instr.target, calls))
+                stack.append((instr.next_address, calls))
+            elif op is Op.JMP:
+                if instr.target is not None:
+                    stack.append((instr.target, calls))
+            else:
+                stack.append((instr.next_address, calls))
+
+        for address in sorted(underflows):
+            self._report(Severity.ERROR, "ret-underflow",
+                         "ret reachable with an empty call stack", address)
+        for address in sorted(exits_in_call):
+            self._report(Severity.INFO, "exit-inside-call",
+                         "hlt reached with unreturned calls on the traced stack", address)
+
+    def _check_unreachable(self) -> int:
+        """Report unreachable text ranges; returns covered byte count."""
+        covered = bytearray(len(self.image.data))
+        for address, instr in self.instructions.items():
+            start = address - self.image.base
+            for offset in range(start, min(start + instr.length, len(covered))):
+                covered[offset] = 1
+        total = sum(covered)
+        if not self.image.data:
+            return 0
+
+        index = 0
+        size = len(covered)
+        while index < size:
+            if covered[index]:
+                index += 1
+                continue
+            start = index
+            while index < size and not covered[index]:
+                index += 1
+            gap = self.image.data[start:index]
+            instr_estimate = sum(1 for _ in iter_instructions(gap, self.image.base + start))
+            self._report(
+                Severity.WARNING,
+                "unreachable-code",
+                f"{index - start} bytes (~{instr_estimate} instructions) "
+                "not reachable from the entry point",
+                self.image.base + start,
+            )
+        return total

@@ -1,0 +1,248 @@
+"""Static verifier for generated R32 host code.
+
+Runs over a :class:`~repro.dbt.block.TranslatedBlock` after register
+allocation / code generation (and again after list scheduling) and
+checks the contracts the runtime relies on:
+
+* **definite initialization** — no instruction reads an allocatable or
+  scratch register on any path before something writes it.  Guest
+  homes (``$s0..$s7``), the packed flags (``$t8``) and ``$zero`` are
+  live-in by convention; everything else starts undefined.  This is a
+  forward dataflow over the block's intra-block CFG (relative branches
+  resolved to instruction indices) with intersection meet, so a read
+  that is initialized on one path but not another is still caught.
+* **reserved-register discipline** — translated code must never touch
+  ``$k0/$k1/$gp/$sp/$fp/$ra`` (they belong to the runtime) and may
+  write ``$zero`` only as the canonical NOP encoding.
+* **branch targets in range** — every relative branch lands on an
+  instruction of the block (the scheduler's segment pinning contract).
+* **control-flow epilogue** — execution cannot fall off the end of the
+  block; the last instruction on every straight path is an ``EXITB``
+  or an unconditional jump.
+* **chaining contract** — every exit stub's recorded patch site is in
+  range and actually holds a branch instruction (``EXITB`` before
+  chaining, ``J`` after), every stub materializes the next guest PC in
+  ``$v0`` before its ``EXITB``, and every ``EXITB`` in the block is
+  accounted for by exactly one stub (an unrecorded exit could never be
+  chained or severed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.dbt.block import TranslatedBlock
+from repro.host.isa import (
+    BRANCH1_OPS,
+    BRANCH2_OPS,
+    FLAGS_HOME,
+    GUEST_REG_HOME,
+    HostInstr,
+    HostOp,
+    HostReg,
+)
+from repro.verify.findings import Finding, Severity, VerificationError, errors_only
+
+ANALYZER = "hostverify"
+
+#: Registers owned by the runtime — translated code must never use them.
+RESERVED_REGS = frozenset(
+    {HostReg.K0, HostReg.K1, HostReg.GP, HostReg.SP, HostReg.FP, HostReg.RA}
+)
+
+#: Registers defined at block entry by the translation contract.
+LIVE_IN_REGS = frozenset(GUEST_REG_HOME) | {FLAGS_HOME, HostReg.ZERO}
+
+_RELATIVE_BRANCHES = BRANCH1_OPS | BRANCH2_OPS
+_BLOCK_ENDERS = frozenset({HostOp.EXITB, HostOp.J, HostOp.JR})
+
+
+def verify_host_block(block: TranslatedBlock, stage: str = "") -> List[Finding]:
+    """Verify one translated block; returns all findings."""
+    findings: List[Finding] = []
+
+    def report(code: str, message: str, index: Optional[int] = None,
+               severity: Severity = Severity.ERROR) -> None:
+        findings.append(
+            Finding(ANALYZER, severity, code, message, address=index, stage=stage)
+        )
+
+    instrs = block.instrs
+    if not instrs:
+        report("empty-block", "translated block has no instructions")
+        return findings
+
+    _check_reserved(instrs, report)
+    _check_branch_targets(instrs, report)
+    _check_initialization(instrs, report)
+    _check_stubs(block, report)
+    return findings
+
+
+def assert_host_ok(block: TranslatedBlock, stage: str = "codegen", context: str = "") -> None:
+    """Raise :class:`VerificationError` if the block has any ERROR finding."""
+    errors = errors_only(verify_host_block(block, stage=stage))
+    if errors:
+        raise VerificationError(stage, errors, context=context)
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _is_canonical_nop(instr: HostInstr) -> bool:
+    return (
+        instr.op is HostOp.SLL
+        and instr.rd is HostReg.ZERO
+        and instr.rt is HostReg.ZERO
+        and instr.shamt == 0
+    )
+
+
+def _check_reserved(instrs: List[HostInstr], report) -> None:
+    for index, instr in enumerate(instrs):
+        written = instr.writes()
+        if written in RESERVED_REGS:
+            report("reserved-reg-write", f"{instr} writes runtime register ${written.name.lower()}", index)
+        if written is HostReg.ZERO and not _is_canonical_nop(instr):
+            report("zero-reg-write", f"{instr} writes $zero (not the canonical nop)", index)
+        for reg in instr.reads():
+            if reg in RESERVED_REGS:
+                report("reserved-reg-read", f"{instr} reads runtime register ${reg.name.lower()}", index)
+
+
+def _branch_target(index: int, instr: HostInstr) -> int:
+    return index + 1 + instr.imm
+
+
+def _check_branch_targets(instrs: List[HostInstr], report) -> None:
+    for index, instr in enumerate(instrs):
+        if instr.op in _RELATIVE_BRANCHES:
+            target = _branch_target(index, instr)
+            if not 0 <= target < len(instrs):
+                report(
+                    "branch-out-of-range",
+                    f"{instr} at {index} targets instruction {target} "
+                    f"(block has {len(instrs)})",
+                    index,
+                )
+
+
+def _successors(index: int, instr: HostInstr, count: int) -> List[int]:
+    """Intra-block CFG successors of instruction ``index``."""
+    if instr.op in _BLOCK_ENDERS:
+        return []  # exits the block (J only appears post-chaining)
+    succs = []
+    if index + 1 < count:
+        succs.append(index + 1)
+    if instr.op in _RELATIVE_BRANCHES:
+        target = _branch_target(index, instr)
+        if 0 <= target < count:
+            succs.append(target)
+    return succs
+
+
+def _check_initialization(instrs: List[HostInstr], report) -> None:
+    """Forward must-be-defined dataflow; flags reads of unwritten regs.
+
+    ``in_defined[i]`` is the set of registers written on *every* path
+    from entry to instruction ``i`` (intersection meet), seeded with the
+    pinned live-in registers.  Unreachable instructions are skipped —
+    they can only arise from a bug that other checks report.
+    """
+    count = len(instrs)
+    in_defined: List[Optional[Set[HostReg]]] = [None] * count
+    in_defined[0] = set(LIVE_IN_REGS)
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        assert in_defined[index] is not None
+        out = set(in_defined[index])
+        written = instrs[index].writes()
+        if written is not None:
+            out.add(written)
+        for succ in _successors(index, instrs[index], count):
+            current = in_defined[succ]
+            if current is None:
+                in_defined[succ] = set(out)
+                worklist.append(succ)
+            else:
+                merged = current & out
+                if merged != current:
+                    in_defined[succ] = merged
+                    worklist.append(succ)
+
+    reported: Set[HostReg] = set()
+    for index, instr in enumerate(instrs):
+        defined = in_defined[index]
+        if defined is None:
+            if not _is_canonical_nop(instr):
+                report(
+                    "unreachable-code",
+                    f"{instr} at {index} is unreachable from the block entry",
+                    index,
+                    severity=Severity.WARNING,
+                )
+            continue
+        if index + 1 >= count and instr.op not in _BLOCK_ENDERS:
+            # Relative branches fall through when not taken, so only a
+            # block ender may occupy the final slot.
+            report("falls-off-end", f"{instr} at {index} can run past the block end", index)
+        for reg in instr.reads():
+            if reg in defined or reg in reported:
+                continue
+            reported.add(reg)
+            report(
+                "read-of-unwritten",
+                f"{instr} at {index} reads ${reg.name.lower()} before any write on some path",
+                index,
+            )
+
+
+def _check_stubs(block: TranslatedBlock, report) -> None:
+    instrs = block.instrs
+    count = len(instrs)
+    seen_patch_sites: Dict[int, int] = {}
+    for stub_index, stub in enumerate(block.exit_stubs):
+        if not 0 <= stub.offset_words < count:
+            report(
+                "bad-stub-offset",
+                f"stub {stub_index} starts at word {stub.offset_words} outside the block",
+            )
+            continue
+        patch = stub.patch_offset_words
+        if not 0 <= patch < count:
+            report(
+                "bad-chain-patch-site",
+                f"stub {stub_index} patch site {patch} is outside the block",
+            )
+            continue
+        if patch in seen_patch_sites:
+            report(
+                "bad-chain-patch-site",
+                f"stubs {seen_patch_sites[patch]} and {stub_index} share patch site {patch}",
+            )
+        seen_patch_sites[patch] = stub_index
+        patched = instrs[patch]
+        if patched.op not in (HostOp.EXITB, HostOp.J):
+            report(
+                "bad-chain-patch-site",
+                f"stub {stub_index} patch site {patch} holds {patched}, "
+                "not a branch instruction (exitb/j)",
+                patch,
+            )
+        first = instrs[stub.offset_words]
+        if first.writes() is not HostReg.V0:
+            report(
+                "bad-stub-shape",
+                f"stub {stub_index} first word {first} does not materialize $v0",
+                stub.offset_words,
+            )
+    for index, instr in enumerate(instrs):
+        if instr.op is HostOp.EXITB and index not in seen_patch_sites:
+            report(
+                "unrecorded-exit",
+                f"exitb at {index} has no exit-stub record (cannot be chained or severed)",
+                index,
+            )

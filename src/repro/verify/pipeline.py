@@ -1,0 +1,80 @@
+"""Checked translation sweeps over whole guest programs.
+
+:func:`checked_translate_program` statically translates every block
+reachable through direct control flow from a program's entry point with
+:class:`~repro.dbt.translator.TranslationConfig` ``checked=True`` — so
+the IR is verified after the frontend and after every optimizer pass,
+and the host code after codegen and scheduling.  It is how the test
+suite (and the ``repro.verify`` CLI) proves the full pass pipeline
+clean over all workloads without paying for a timing-level execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+from repro.dbt.block import TranslatedBlock
+from repro.dbt.frontend import TranslationError
+from repro.dbt.translator import TranslationConfig, Translator
+from repro.guest.memory import GuestMemory, MemoryFault
+from repro.guest.program import GuestProgram
+from repro.host.isa import ExitReason
+
+
+@dataclass
+class SweepResult:
+    """What a checked sweep translated."""
+
+    blocks: Dict[int, TranslatedBlock] = field(default_factory=dict)
+    guest_instructions: int = 0
+    host_instructions: int = 0
+    faults: List[int] = field(default_factory=list)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+def _successors(block: TranslatedBlock) -> List[int]:
+    out = list(block.direct_successors())
+    for stub in block.exit_stubs:
+        if stub.kind is ExitReason.SYSCALL and stub.guest_target is not None:
+            out.append(stub.guest_target)
+    if block.call_return_address is not None:
+        out.append(block.call_return_address)
+    return out
+
+
+def checked_translate_program(
+    program: GuestProgram, config: TranslationConfig = None
+) -> SweepResult:
+    """Translate every directly reachable block of ``program``, checked.
+
+    Raises :class:`repro.verify.VerificationError` on the first block
+    whose IR or host code fails verification; guest faults (e.g. a
+    computed-only code path that never decodes statically) are recorded
+    in :attr:`SweepResult.faults` rather than raised, since only
+    execution can tell whether they are reachable.
+    """
+    config = replace(config, checked=True) if config else TranslationConfig(checked=True)
+    memory = GuestMemory()
+    program.load(memory)
+    translator = Translator(lambda addr, length: memory.read_bytes(addr, length), config)
+
+    result = SweepResult()
+    worklist = [program.entry]
+    while worklist:
+        address = worklist.pop()
+        if address in result.blocks or address in result.faults:
+            continue
+        try:
+            block = translator.translate(address)
+        except (TranslationError, MemoryFault):
+            result.faults.append(address)
+            continue
+        result.blocks[address] = block
+        result.guest_instructions += block.guest_instr_count
+        result.host_instructions += len(block.instrs)
+        worklist.extend(_successors(block))
+    return result

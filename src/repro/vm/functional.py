@@ -23,7 +23,7 @@ from repro.guest.memory import GuestMemory, MemoryFault
 from repro.guest.program import GuestProgram
 from repro.guest.syscalls import SyscallProxy
 from repro.host.interpreter import HostCodeSpace, HostFault, HostInterpreter
-from repro.host.isa import ExitReason, FLAGS_HOME, GUEST_REG_HOME, HostInstr, HostOp, HostReg
+from repro.host.isa import ExitReason, FLAGS_HOME, GUEST_REG_HOME, HostInstr, HostOp
 from repro.dbt.block import TranslatedBlock
 from repro.dbt.codegen import PARITY_TABLE_BASE, SCRATCH_BASE, parity_table
 from repro.dbt.frontend import TranslationError

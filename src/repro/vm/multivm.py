@@ -19,7 +19,7 @@ simplification the single-VM morphing controller uses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.stats import StatSet
 from repro.guest.program import GuestProgram

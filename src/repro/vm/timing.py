@@ -21,7 +21,6 @@ from typing import Dict, Optional
 
 from repro.common.stats import StatSet
 from repro.guest.interpreter import AccessObserver, GuestInterpreter, StepEvent
-from repro.guest.memory import PAGE_SIZE
 from repro.guest.program import GuestProgram
 from repro.dbt.codecache import CodeCacheHierarchy, L1_CODE_CAPACITY
 from repro.dbt.speculative import TranslationSubsystem

@@ -10,7 +10,7 @@ from repro.dbt.codecache import (
     DISPATCH_OVERHEAD,
     L1CodeCache,
 )
-from repro.dbt.predictor import Prediction, predict_successors
+from repro.dbt.predictor import predict_successors
 from repro.dbt.speculative import TranslationSubsystem
 from repro.dbt.translator import TranslationConfig, Translator
 from repro.tiled.machine import default_placement

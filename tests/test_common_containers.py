@@ -1,8 +1,6 @@
 """Unit tests for repro.common.lru, stats and prng."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.common.lru import LruDict, SetAssociativeIndex
 from repro.common.prng import DeterministicPrng

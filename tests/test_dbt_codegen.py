@@ -1,6 +1,5 @@
 """Focused unit tests for code generation, cost model and scheduler."""
 
-import pytest
 
 from repro.guest.assembler import assemble
 from repro.dbt.codegen import (

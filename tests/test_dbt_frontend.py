@@ -3,7 +3,7 @@
 import pytest
 
 from repro.guest.assembler import assemble
-from repro.guest.isa import ConditionCode, Flag, Register
+from repro.guest.isa import ConditionCode, Flag
 from repro.dbt.frontend import (
     MAX_BLOCK_INSTRUCTIONS,
     TranslationError,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.guest.assembler import assemble
 from repro.guest.interpreter import AccessObserver, GuestFault, GuestInterpreter
-from repro.guest.isa import Register
 
 
 def run_program(source: str, stdin: bytes = b"", max_instructions: int = 1_000_000):

@@ -5,11 +5,11 @@ import pytest
 
 from repro.analysis import decompose, expected_slowdown_floor, memory_slowdown_factor
 from repro.guest.assembler import assemble
-from repro.morph import PRESETS, MorphController, QueueLengthPolicy, VirtualArchConfig
+from repro.morph import PRESETS, QueueLengthPolicy, VirtualArchConfig
 from repro.morph.policy import SHAPE_MEMORY_HEAVY, SHAPE_TRANSLATION_HEAVY
 from repro.refmachine.intrinsics import EMULATOR_INTRINSICS, PIII_INTRINSICS
 from repro.refmachine.pentium3 import PentiumIIIModel
-from repro.vm.timing import TimingVM, run_timing
+from repro.vm.timing import run_timing
 
 
 def program_for(source: str, name: str = "test"):

@@ -10,7 +10,6 @@ code is re-translated on its next dispatch (reached through an
 unchained edge — here, a RET).
 """
 
-import pytest
 
 from repro.guest.assembler import assemble
 from repro.guest.interpreter import GuestInterpreter

@@ -1,0 +1,123 @@
+"""Guest-binary lint: CFG recovery and each finding class."""
+
+from repro.guest.assembler import assemble
+from repro.verify.findings import Severity
+from repro.verify.guestlint import lint_bytes, lint_program
+
+
+def codes(report):
+    return {f.code for f in report.findings}
+
+
+def finding(report, code):
+    return next(f for f in report.findings if f.code == code)
+
+
+class TestCleanPrograms:
+    def test_straight_line(self):
+        report = lint_program(assemble("_start: mov eax, 1\nadd eax, 2\nhlt\n"))
+        assert report.findings == []
+        assert report.reachable_instructions == 3
+        assert report.reachable_bytes == report.text_bytes
+
+    def test_balanced_call_and_flags(self):
+        report = lint_program(assemble(
+            "_start: call fn\nhlt\n"
+            "fn: cmp eax, 5\njl neg\nret\n"
+            "neg: mov eax, 0\nret\n"
+        ))
+        assert report.findings == []
+
+    def test_loop(self):
+        report = lint_program(assemble(
+            "_start: mov ecx, 10\nloop_top: dec ecx\njnz loop_top\nhlt\n"
+        ))
+        assert report.findings == []
+
+
+class TestFindings:
+    def test_unreachable_code(self):
+        report = lint_program(assemble(
+            "_start: hlt\ndead: add eax, ebx\nmov eax, 0\nret\n"
+        ))
+        bad = finding(report, "unreachable-code")
+        assert bad.severity is Severity.WARNING
+        assert "dead" in bad.message  # attributed to the enclosing symbol
+        assert report.reachable_bytes < report.text_bytes
+
+    def test_jump_into_mid_instruction(self):
+        # mov eax, imm32 (5 bytes) then jmp back into its immediate field.
+        code = bytes([0xB8, 0x90, 0x90, 0x90, 0x90, 0xEB, 0xFA])
+        report = lint_bytes(code)
+        bad = finding(report, "jump-into-instruction")
+        assert bad.severity is Severity.ERROR
+
+    def test_ret_underflow(self):
+        report = lint_program(assemble("_start: ret\n"))
+        bad = finding(report, "ret-underflow")
+        assert bad.severity is Severity.ERROR
+
+    def test_ret_after_call_is_balanced(self):
+        report = lint_program(assemble("_start: call fn\nhlt\nfn: ret\n"))
+        assert "ret-underflow" not in codes(report)
+
+    def test_undefined_flag_read(self):
+        report = lint_program(assemble("_start: jz out\nout: hlt\n"))
+        bad = finding(report, "undefined-flag-read")
+        assert bad.severity is Severity.WARNING
+
+    def test_flag_defined_on_one_path_only_is_ok(self):
+        # May-defined analysis: a flag defined on *some* path is not
+        # reported (the lint is a linter, not a sound verifier).
+        report = lint_program(assemble(
+            "_start: cmp eax, ebx\njz skip\nskip: jz out\nout: hlt\n"
+        ))
+        assert "undefined-flag-read" not in codes(report)
+
+    def test_exit_inside_call(self):
+        report = lint_program(assemble("_start: call fn\nhlt\nfn: hlt\n"))
+        bad = finding(report, "exit-inside-call")
+        assert bad.severity is Severity.INFO
+
+    def test_illegal_instruction_reachable(self):
+        # 0xFE is not a VX86 opcode.
+        report = lint_bytes(bytes([0xFE]))
+        bad = finding(report, "illegal-instruction")
+        assert bad.severity is Severity.ERROR
+
+    def test_control_flow_leaves_text(self):
+        # jmp rel8 far past the end of the image
+        report = lint_bytes(bytes([0xEB, 0x40]))
+        assert "illegal-instruction" in codes(report)
+
+
+class TestTotality:
+    def test_empty_image(self):
+        report = lint_bytes(b"")
+        assert report.reachable_instructions == 0
+
+    def test_all_byte_values(self):
+        for value in range(256):
+            lint_bytes(bytes([value]) * 7)
+
+    def test_truncated_instruction(self):
+        # mov eax, imm32 with the immediate cut off
+        report = lint_bytes(bytes([0xB8, 0x01]))
+        assert "illegal-instruction" in codes(report)
+
+    def test_max_instructions_cap(self):
+        # A long nop sled respects the decode budget.
+        report = lint_bytes(bytes([0x90]) * 100, max_instructions=10)
+        assert report.reachable_instructions == 10
+
+
+class TestWorkloadsAreClean:
+    def test_gzip_has_no_errors(self):
+        from repro.workloads.suite import build_workload
+
+        report = lint_program(build_workload("164.gzip", scale=0.1))
+        assert report.errors == []
+        # The farm's indirect-call-only functions show up as warnings,
+        # never as errors.
+        for bad in report.findings:
+            assert bad.severity < Severity.ERROR

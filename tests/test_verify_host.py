@@ -1,0 +1,158 @@
+"""Host-code verifier: generated blocks are clean, seeded breakage is caught."""
+
+import pytest
+
+from repro.dbt.block import ExitStub, TranslatedBlock
+from repro.dbt.codegen import generate_block
+from repro.dbt.frontend import build_ir
+from repro.dbt.optimizer import optimize_block
+from repro.dbt.optimizer.scheduler import schedule_block
+from repro.guest.assembler import assemble
+from repro.host.isa import ExitReason, HostInstr, HostOp, HostReg, nop
+from repro.verify.findings import Severity, VerificationError
+from repro.verify.hostverify import assert_host_ok, verify_host_block
+
+
+def block_for(source: str, optimize: bool = True) -> TranslatedBlock:
+    program = assemble(source)
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        return text.data[offset : offset + length]
+
+    ir = build_ir(read, program.entry)
+    if optimize:
+        optimize_block(ir)
+    return generate_block(ir)
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def errors(findings):
+    return {f.code for f in findings if f.severity is Severity.ERROR}
+
+
+def minimal_block() -> TranslatedBlock:
+    """A hand-built block: one exit stub jumping to guest 0x1234."""
+    instrs = [
+        HostInstr(HostOp.LUI, rt=HostReg.V0, imm=0),
+        HostInstr(HostOp.ORI, rt=HostReg.V0, rs=HostReg.V0, imm=0x1234),
+        HostInstr(HostOp.EXITB, imm=ExitReason.BRANCH),
+    ]
+    stubs = [ExitStub(offset_words=0, kind=ExitReason.BRANCH, guest_target=0x1234)]
+    return TranslatedBlock(
+        guest_address=0x1000,
+        guest_length=2,
+        guest_instr_count=1,
+        instrs=instrs,
+        exit_stubs=stubs,
+    )
+
+
+class TestCleanBlocks:
+    def test_minimal_block_is_clean(self):
+        assert errors(verify_host_block(minimal_block())) == set()
+
+    def test_generated_block_is_clean(self):
+        block = block_for("_start: add eax, ebx\ncmp eax, 100\njl out\nout: hlt\n")
+        assert verify_host_block(block) == []
+
+    def test_scheduled_block_is_clean(self):
+        block = block_for("_start: mov eax, [0x8400000]\nadd eax, 3\nmov [0x8400000], eax\nhlt\n")
+        pinned = [stub.offset_words for stub in block.exit_stubs]
+        block.instrs = schedule_block(block.instrs, pinned=pinned)
+        assert verify_host_block(block) == []
+
+
+class TestSeededViolations:
+    def test_read_of_unwritten_register(self):
+        block = minimal_block()
+        # $t3 is allocatable and never written in this block.
+        block.instrs.insert(
+            0, HostInstr(HostOp.ADDU, rd=HostReg.A0, rs=HostReg.T3, rt=HostReg.S0)
+        )
+        for stub in block.exit_stubs:
+            stub.offset_words += 1
+        findings = verify_host_block(block)
+        assert "read-of-unwritten" in codes(findings)
+        bad = next(f for f in findings if f.code == "read-of-unwritten")
+        assert "t3" in bad.message
+
+    def test_guest_homes_are_live_in(self):
+        block = minimal_block()
+        # Reading $s0..$s7 (guest registers) without a write is fine.
+        block.instrs.insert(
+            0, HostInstr(HostOp.ADDU, rd=HostReg.A0, rs=HostReg.S3, rt=HostReg.S0)
+        )
+        for stub in block.exit_stubs:
+            stub.offset_words += 1
+        assert errors(verify_host_block(block)) == set()
+
+    def test_reserved_register_write(self):
+        block = minimal_block()
+        block.instrs.insert(0, HostInstr(HostOp.ADDIU, rt=HostReg.SP, rs=HostReg.SP, imm=-8))
+        for stub in block.exit_stubs:
+            stub.offset_words += 1
+        found = codes(verify_host_block(block))
+        assert "reserved-reg-write" in found
+        assert "reserved-reg-read" in found
+
+    def test_branch_out_of_range(self):
+        block = minimal_block()
+        block.instrs.insert(0, HostInstr(HostOp.BEQ, rs=HostReg.S0, rt=HostReg.S1, imm=99))
+        for stub in block.exit_stubs:
+            stub.offset_words += 1
+        assert "branch-out-of-range" in codes(verify_host_block(block))
+
+    def test_bad_chain_patch_site(self):
+        block = minimal_block()
+        # Slide the stub record back one word: its patch site now points
+        # at the ORI, not the EXITB — chaining would clobber value setup.
+        block.instrs.insert(0, nop())
+        # (correct record would be offset_words=1; leave it at 0)
+        findings = verify_host_block(block)
+        assert "bad-chain-patch-site" in codes(findings)
+        # ...and the EXITB itself is now unaccounted for.
+        assert "unrecorded-exit" in codes(findings)
+
+    def test_shared_patch_site(self):
+        block = minimal_block()
+        block.exit_stubs.append(
+            ExitStub(offset_words=0, kind=ExitReason.BRANCH, guest_target=0x5678)
+        )
+        assert "bad-chain-patch-site" in codes(verify_host_block(block))
+
+    def test_stub_must_materialize_v0(self):
+        block = minimal_block()
+        block.instrs[0] = HostInstr(HostOp.LUI, rt=HostReg.A0, imm=0)  # wrong register
+        assert "bad-stub-shape" in codes(verify_host_block(block))
+
+    def test_falls_off_end(self):
+        block = minimal_block()
+        block.instrs = [HostInstr(HostOp.ADDIU, rt=HostReg.A0, rs=HostReg.ZERO, imm=1)]
+        block.exit_stubs = []
+        assert "falls-off-end" in codes(verify_host_block(block))
+
+    def test_unreachable_code_after_exit(self):
+        block = minimal_block()
+        block.instrs.append(HostInstr(HostOp.ADDIU, rt=HostReg.A0, rs=HostReg.ZERO, imm=1))
+        findings = verify_host_block(block)
+        warning = next(f for f in findings if f.code == "unreachable-code")
+        assert warning.severity is Severity.WARNING
+        assert errors(findings) == set()  # warnings don't fail checked mode
+
+    def test_empty_block(self):
+        block = minimal_block()
+        block.instrs = []
+        assert "empty-block" in codes(verify_host_block(block))
+
+    def test_assert_raises_with_stage(self):
+        block = minimal_block()
+        block.instrs = [HostInstr(HostOp.ADDIU, rt=HostReg.A0, rs=HostReg.ZERO, imm=1)]
+        block.exit_stubs = []
+        with pytest.raises(VerificationError) as excinfo:
+            assert_host_ok(block, stage="scheduler")
+        assert excinfo.value.stage == "scheduler"

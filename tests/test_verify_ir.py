@@ -1,0 +1,146 @@
+"""IR verifier: each check catches a deliberately seeded violation."""
+
+import pytest
+
+from repro.dbt.frontend import build_ir
+from repro.dbt.ir import (
+    ALL_FLAGS_MASK,
+    ExitKind,
+    Terminator,
+    UOp,
+    UOpKind,
+    flag_mask,
+)
+from repro.dbt.optimizer import optimize_block
+from repro.guest.assembler import assemble
+from repro.guest.isa import ConditionCode, Flag, Register
+from repro.verify.findings import Severity, VerificationError
+from repro.verify.irverify import assert_ir_ok, verify_ir
+
+
+def ir_for(source: str):
+    program = assemble(source)
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        return text.data[offset : offset + length]
+
+    return build_ir(read, program.entry)
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+class TestCleanBlocks:
+    def test_frontend_output_is_clean(self):
+        ir = ir_for("_start: add eax, ebx\nmov [0x8400000], eax\nhlt\n")
+        assert verify_ir(ir) == []
+
+    def test_optimized_output_is_clean(self):
+        ir = ir_for("_start: mov eax, 5\nadd eax, eax\ncmp eax, 10\nje out\nout: hlt\n")
+        optimize_block(ir)
+        assert verify_ir(ir) == []
+
+    def test_assert_ok_passes_clean_block(self):
+        ir = ir_for("_start: inc ecx\nhlt\n")
+        assert_ir_ok(ir)  # must not raise
+
+
+class TestSeededViolations:
+    def test_duplicate_def(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        first_def = next(u for u in ir.uops if u.dst is not None)
+        ir.uops.append(UOp(UOpKind.CONST, dst=first_def.dst, imm=7))
+        assert "duplicate-def" in codes(verify_ir(ir))
+
+    def test_use_before_def(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        bogus = ir.new_temp()
+        missing = ir.new_temp()  # never defined
+        ir.uops.append(UOp(UOpKind.NOT, dst=bogus, a=missing))
+        assert "use-before-def" in codes(verify_ir(ir))
+
+    def test_temp_out_of_range(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        ir.uops.append(UOp(UOpKind.CONST, dst=ir.next_temp + 10, imm=0))
+        assert "temp-out-of-range" in codes(verify_ir(ir))
+
+    def test_bad_arity_missing_operand(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        ir.uops.append(UOp(UOpKind.PUT, reg=None, a=None))  # PUT needs both
+        found = codes(verify_ir(ir))
+        assert "bad-arity" in found
+
+    def test_bad_arity_side_effect_with_dst(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        value = next(u.dst for u in ir.uops if u.dst is not None)
+        ir.uops.append(UOp(UOpKind.PUT, dst=ir.new_temp(), reg=Register.EBX, a=value))
+        assert "bad-arity" in codes(verify_ir(ir))
+
+    def test_bad_terminator_missing_field(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        ir.terminator = Terminator(ExitKind.BRANCH, target=0x1000, cc=ConditionCode.E)
+        assert "bad-terminator" in codes(verify_ir(ir))
+
+    def test_indirect_terminator_undefined_temp(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        ir.terminator = Terminator(ExitKind.INDIRECT, temp=ir.new_temp())
+        assert "use-before-def" in codes(verify_ir(ir))
+
+    def test_bad_flag_mask_outside_semantics(self):
+        ir = ir_for("_start: inc eax\nhlt\n")
+        # INC never writes CF; claiming it in the mask is a frontend bug.
+        flags = next(u for u in ir.uops if u.kind is UOpKind.FLAGS)
+        flags.mask |= flag_mask([Flag.CF])
+        assert "bad-flag-mask" in codes(verify_ir(ir))
+
+
+class TestDeadFlagMisElimination:
+    SOURCE = "_start: add eax, ebx\njz out\nout: hlt\n"
+
+    def test_dropping_observed_flag_is_reported(self):
+        ir = ir_for(self.SOURCE)
+        flags = next(u for u in ir.uops if u.kind is UOpKind.FLAGS)
+        flags.mask &= ~flag_mask([Flag.ZF])  # jz still observes ZF
+        findings = verify_ir(ir)
+        assert "dead-flag-mis-elimination" in codes(findings)
+        bad = next(f for f in findings if f.code == "dead-flag-mis-elimination")
+        assert bad.severity is Severity.ERROR
+        assert "ZF" in bad.message
+
+    def test_dropping_dead_flag_is_sound(self):
+        ir = ir_for(self.SOURCE)
+        flags = next(u for u in ir.uops if u.kind is UOpKind.FLAGS)
+        # With live_out limited to ZF (what flagpeek would report for a
+        # successor that overwrites everything), pruning CF is legal.
+        flags.mask &= ~flag_mask([Flag.CF])
+        live_out = flag_mask([Flag.ZF])
+        assert verify_ir(ir, flag_live_out=live_out) == []
+
+    def test_dropped_flag_before_setcc_is_reported(self):
+        ir = ir_for("_start: cmp eax, ebx\nsetl ecx\nhlt\n")
+        flags = next(u for u in ir.uops if u.kind is UOpKind.FLAGS)
+        flags.mask &= ~flag_mask([Flag.SF])  # setl reads SF and OF
+        assert "dead-flag-mis-elimination" in codes(verify_ir(ir))
+
+    def test_flag_killed_by_later_writer_is_dead(self):
+        # The first add's flags are fully overwritten by the second, so
+        # pruning the first mask entirely is sound even with all flags
+        # live at exit.
+        ir = ir_for("_start: add eax, ebx\nadd eax, ecx\nhlt\n")
+        first = next(u for u in ir.uops if u.kind is UOpKind.FLAGS)
+        first.mask = 0
+        assert verify_ir(ir, flag_live_out=ALL_FLAGS_MASK) == []
+
+
+class TestAssertRaises:
+    def test_error_raises_with_stage_attribution(self):
+        ir = ir_for("_start: mov eax, 1\nhlt\n")
+        ir.uops.append(UOp(UOpKind.CONST, dst=ir.next_temp + 1, imm=0))
+        with pytest.raises(VerificationError) as excinfo:
+            assert_ir_ok(ir, stage="constfold#1", context="block 0x8048000")
+        assert excinfo.value.stage == "constfold#1"
+        assert "constfold#1" in str(excinfo.value)
+        assert excinfo.value.findings

@@ -1,0 +1,132 @@
+"""Checked translation mode: end-to-end cleanliness and attribution."""
+
+import pytest
+
+from repro.dbt.frontend import build_ir
+from repro.dbt.ir import UOp, UOpKind
+from repro.dbt.optimizer import PASS_PIPELINE, optimize_block
+from repro.dbt.translator import TranslationConfig, Translator
+from repro.guest.assembler import assemble
+from repro.verify.findings import VerificationError
+from repro.verify.irverify import assert_ir_ok
+from repro.verify.pipeline import checked_translate_program
+from repro.workloads.suite import SPECINT_NAMES, build_workload
+
+
+def reader_for(source: str):
+    program = assemble(source)
+    text = program.text
+
+    def read(address, length):
+        offset = address - text.address
+        return text.data[offset : offset + length]
+
+    return read, program
+
+
+SOURCE = "_start: add eax, ebx\ncmp eax, 100\njl low\nlow: mov [0x8400000], eax\nhlt\n"
+
+
+class TestCheckedTranslator:
+    def test_checked_translation_succeeds(self):
+        read, program = reader_for(SOURCE)
+        translator = Translator(read, TranslationConfig(checked=True))
+        block = translator.translate(program.entry)
+        assert block.instrs
+
+    def test_checked_matches_unchecked_output(self):
+        read, program = reader_for(SOURCE)
+        checked = Translator(read, TranslationConfig(checked=True)).translate(program.entry)
+        plain = Translator(read, TranslationConfig()).translate(program.entry)
+        assert [str(i) for i in checked.instrs] == [str(i) for i in plain.instrs]
+
+    def test_checked_unoptimized_translation(self):
+        read, program = reader_for(SOURCE)
+        translator = Translator(read, TranslationConfig(optimize=False, checked=True))
+        assert translator.translate(program.entry).instrs
+
+
+def _dup_def_pass(block, live):
+    first = next(u.dst for u in block.uops if u.dst is not None)
+    block.uops.append(UOp(UOpKind.CONST, dst=first, imm=0))
+
+
+def _mask_clearing_pass(block, live):
+    for uop in block.uops:
+        if uop.kind is UOpKind.FLAGS:
+            uop.mask = 0
+
+
+class TestBrokenPassAttribution:
+    def _ir(self):
+        read, program = reader_for("_start: add eax, ebx\njz out\nout: hlt\n")
+        return build_ir(read, program.entry)
+
+    def test_broken_pass_is_named(self):
+        ir = self._ir()
+        observer = lambda name, blk: assert_ir_ok(blk, stage=name)  # noqa: E731
+        with pytest.raises(VerificationError) as excinfo:
+            optimize_block(
+                ir,
+                iterations=1,
+                observer=observer,
+                passes=[("goodpass", lambda b, live: None), ("breaker", _dup_def_pass)],
+            )
+        assert excinfo.value.stage == "breaker#0"
+        assert any(f.code == "duplicate-def" for f in excinfo.value.findings)
+
+    def test_flag_mis_elimination_attributed(self):
+        ir = self._ir()
+        observer = lambda name, blk: assert_ir_ok(blk, stage=name)  # noqa: E731
+        with pytest.raises(VerificationError) as excinfo:
+            optimize_block(
+                ir, iterations=1, observer=observer,
+                passes=[("overzealous-deadflags", _mask_clearing_pass)],
+            )
+        assert excinfo.value.stage == "overzealous-deadflags#0"
+        assert any(f.code == "dead-flag-mis-elimination" for f in excinfo.value.findings)
+
+    def test_healthy_pipeline_passes_observer(self):
+        ir = self._ir()
+        seen = []
+        optimize_block(ir, iterations=2, observer=lambda name, blk: seen.append(name))
+        assert len(seen) == 2 * len(PASS_PIPELINE)
+        assert seen[0].endswith("#0") and seen[-1].endswith("#1")
+
+    def test_translator_attributes_broken_pass(self, monkeypatch):
+        read, program = reader_for("_start: add eax, ebx\njz out\nout: hlt\n")
+        broken = PASS_PIPELINE + [("breaker", _dup_def_pass)]
+        monkeypatch.setattr("repro.dbt.optimizer.PASS_PIPELINE", broken)
+        translator = Translator(read, TranslationConfig(checked=True))
+        with pytest.raises(VerificationError) as excinfo:
+            translator.translate(program.entry)
+        assert excinfo.value.stage.startswith("breaker")
+
+    def test_unchecked_translator_does_not_verify(self, monkeypatch):
+        # The same broken pipeline goes unnoticed without checked mode —
+        # that asymmetry is the point of the knob.
+        read, program = reader_for("_start: add eax, ebx\njz out\nout: hlt\n")
+        broken = PASS_PIPELINE + [("breaker", _mask_clearing_pass)]
+        monkeypatch.setattr("repro.dbt.optimizer.PASS_PIPELINE", broken)
+        translator = Translator(read, TranslationConfig())
+        translator.translate(program.entry)  # no raise
+
+
+class TestWorkloadSweeps:
+    @pytest.mark.parametrize("name", SPECINT_NAMES)
+    def test_checked_sweep_is_clean(self, name):
+        program = build_workload(name, scale=0.1)
+        sweep = checked_translate_program(program)
+        assert sweep.block_count > 0
+        assert sweep.faults == []
+        assert program.entry in sweep.blocks
+
+    def test_sweep_counts_are_consistent(self):
+        program = build_workload("181.mcf", scale=0.1)
+        sweep = checked_translate_program(program)
+        assert sweep.guest_instructions == sum(
+            b.guest_instr_count for b in sweep.blocks.values()
+        )
+        assert sweep.host_instructions == sum(
+            len(b.instrs) for b in sweep.blocks.values()
+        )

@@ -1,0 +1,70 @@
+"""Property tests for the verification subsystem (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guest.assembler import assemble
+from repro.verify.guestlint import lint_bytes
+from repro.verify.pipeline import checked_translate_program
+from repro.workloads.builder import FarmConfig, build_farm
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=64), st.integers(min_value=0, max_value=63))
+def test_guestlint_total_on_arbitrary_bytes(data, entry_offset):
+    """The linter never raises, whatever bytes it is pointed at."""
+    report = lint_bytes(data, base=0x1000, entry=0x1000 + entry_offset)
+    assert report.reachable_instructions >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=1, max_size=32))
+def test_guestlint_total_with_default_entry(data):
+    lint_bytes(data)
+
+
+@st.composite
+def farm_configs(draw):
+    return FarmConfig(
+        functions=draw(st.integers(min_value=1, max_value=6)),
+        body_instructions=draw(st.integers(min_value=2, max_value=24)),
+        data_words=64,
+        memory_op_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        branch_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        indirect_call_rate=draw(st.floats(min_value=0.0, max_value=1.0)),
+        sequence_length=draw(st.integers(min_value=1, max_value=12)),
+        seed=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+    )
+
+
+def assemble_farm(config: FarmConfig):
+    farm = build_farm(config)
+    lines = ["_start:", "    xor esi, esi", f"    call {farm.sweep_label}", "    hlt"]
+    lines += farm.text_lines
+    lines.append(".data")
+    lines += farm.data_lines
+    return assemble("\n".join(lines) + "\n")
+
+
+@settings(max_examples=25, deadline=None)
+@given(farm_configs())
+def test_random_farm_programs_translate_verifier_clean(config):
+    """Every pass of every block of a random DSL program stays clean.
+
+    This is the strongest regression net over the optimizer: any pass
+    change that breaks SSA, operand arity or flag soundness on *some*
+    generated program shape fails here with the pass named.
+    """
+    program = assemble_farm(config)
+    sweep = checked_translate_program(program)
+    assert sweep.block_count > 0
+    assert sweep.faults == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(farm_configs())
+def test_random_farm_programs_lint_without_errors(config):
+    from repro.verify.guestlint import lint_program
+
+    report = lint_program(assemble_farm(config))
+    assert report.errors == []
