@@ -3,13 +3,17 @@
 
 Runs the full experiment grid at full workload scale (several minutes)
 and writes the results, with per-figure commentary comparing the
-measured shapes against the paper's published ones.
+measured shapes against the paper's published ones.  Alongside the
+markdown it writes ``BENCH_results.json`` — a machine-readable record
+of per-figure status, wall time and key metric values, so the perf
+trajectory of this repository accumulates run over run.
 
-    python benchmarks/run_all.py [output_path]
+    python benchmarks/run_all.py [output_path] [json_path]
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 
@@ -24,9 +28,12 @@ from repro.harness import (
     figure10_relative,
     table11_intrinsics,
 )
-from repro.harness.runner import run_one
+from repro.harness.runner import cache_stats, run_one
 
 SCALE = 1.0
+
+#: Default machine-readable results path (repo root, next to EXPERIMENTS.md).
+RESULTS_JSON = "BENCH_results.json"
 
 _PAPER_NOTES = {
     "Figure 1": (
@@ -99,6 +106,7 @@ _PAPER_NOTES = {
 
 def main() -> None:
     output_path = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    json_path = sys.argv[2] if len(sys.argv) > 2 else RESULTS_JSON
     figures = [
         figure1_timeline,
         figure4_l15_cache,
@@ -114,6 +122,7 @@ def main() -> None:
     started = time.time()
     sections = []
     failures = []
+    figure_records = []
     for figure_fn in figures:
         fig_started = time.time()
         try:
@@ -121,9 +130,28 @@ def main() -> None:
         except Exception as exc:  # keep going; report the failure at exit
             failures.append(f"{figure_fn.__name__}: {exc!r}")
             print(f"{figure_fn.__name__}: FAILED ({exc!r})", file=sys.stderr)
+            figure_records.append(
+                {
+                    "figure": figure_fn.__name__,
+                    "status": "failed",
+                    "error": repr(exc),
+                    "seconds": round(time.time() - fig_started, 2),
+                }
+            )
             continue
         elapsed = time.time() - fig_started
         print(f"{result.figure}: done in {elapsed:.0f}s")
+        figure_records.append(
+            {
+                "figure": result.figure,
+                "title": result.title,
+                "status": "ok",
+                "seconds": round(elapsed, 2),
+                "columns": result.columns,
+                "rows": result.rows,
+                "notes": result.notes,
+            }
+        )
         note = _PAPER_NOTES.get(result.figure, "")
         block = [f"## {result.figure} — {result.title}", ""]
         if note:
@@ -132,6 +160,7 @@ def main() -> None:
         sections.append("\n".join(block))
 
     if failures:
+        _write_results_json(json_path, figure_records, started, low=None, high=None)
         print(f"\n{len(failures)} figure(s) failed:", file=sys.stderr)
         for line in failures:
             print(f"  {line}", file=sys.stderr)
@@ -145,6 +174,7 @@ def main() -> None:
         run_one(n, "speculative_6", SCALE).slowdown
         for n in ["176.gcc", "255.vortex", "186.crafty"]
     )
+    _write_results_json(json_path, figure_records, started, low=low, high=high)
 
     header = f"""# EXPERIMENTS — paper vs measured
 
@@ -170,6 +200,28 @@ in `benchmarks/`.
     with open(output_path, "w") as handle:
         handle.write(header + "\n".join(sections))
     print(f"\nwrote {output_path} in {time.time() - started:.0f}s total")
+
+
+def _write_results_json(path, figure_records, started, low, high) -> None:
+    """Persist the machine-readable benchmark record."""
+    passed = sum(1 for record in figure_records if record["status"] == "ok")
+    doc = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "scale": SCALE,
+        "total_seconds": round(time.time() - started, 2),
+        "figures_passed": passed,
+        "figures_failed": len(figure_records) - passed,
+        "headline": {
+            "slowdown_low_band": round(low, 3) if low is not None else None,
+            "slowdown_high_band": round(high, 3) if high is not None else None,
+        },
+        "run_cache": cache_stats(),
+        "figures": figure_records,
+    }
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
 
 
 if __name__ == "__main__":

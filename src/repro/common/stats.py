@@ -9,7 +9,7 @@ are all ratios of these counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 
 @dataclass
@@ -113,3 +113,24 @@ class RunningMean:
     def mean(self) -> float:
         """Arithmetic mean of all samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "RunningMean") -> None:
+        """Fold another tracker's samples into this one (harness aggregation)."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """JSON-safe snapshot: an empty tracker reports ``None`` min/max
+        instead of leaking ``inf``/``-inf`` sentinels into reports."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": None if empty else self.minimum,
+            "max": None if empty else self.maximum,
+        }

@@ -25,6 +25,7 @@ from typing import Dict, Optional, Set, Tuple
 from repro.common.stats import StatSet
 from repro.dbt.block import TranslatedBlock
 from repro.dbt.speculative import TranslationSubsystem
+from repro.obs.events import NULL_TRACER
 from repro.tiled.machine import TILE_IMEM_BYTES, TileGrid, TileRole
 from repro.tiled.network import Network
 from repro.tiled.resource import Resource
@@ -142,9 +143,12 @@ class L1CodeCache:
 class L15CodeCache:
     """Banked second-level code cache across neighbor tiles."""
 
-    def __init__(self, bank_coords, grid: TileGrid, network: Network) -> None:
+    def __init__(
+        self, bank_coords, grid: TileGrid, network: Network, tracer=NULL_TRACER
+    ) -> None:
         self.grid = grid
         self.network = network
+        self.tracer = tracer
         self.banks = [
             _L15Bank(coord, f"l15_bank_{i}") for i, coord in enumerate(bank_coords)
         ]
@@ -162,16 +166,26 @@ class L15CodeCache:
         self.stats.bump("accesses")
         bank = self._bank_for(pc)
         hops = self.grid.hops(execution_coord, bank.coord)
-        t = now + self.network.latency(hops)
+        t = now + self.network.message(now, hops, src="execution", dst=bank.resource.name)
         block = bank.get(pc)
         if block is None:
             self.stats.bump("misses")
             t = bank.resource.service(t, L15_BANK_OCCUPANCY)
-            return None, t + self.network.latency(hops)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    t, "codecache", "miss", bank.resource.name, level="l1.5", pc=pc
+                )
+            return None, t + self.network.message(t, hops, src=bank.resource.name, dst="execution")
         self.stats.bump("hits")
         t = bank.resource.service(t, L15_BANK_OCCUPANCY + _transfer_cycles(block))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                t, "codecache", "hit", bank.resource.name, level="l1.5", pc=pc
+            )
         words = len(block.instrs)
-        return block, t + self.network.latency(hops, payload_words=words)
+        return block, t + self.network.message(
+            t, hops, payload_words=words, src=bank.resource.name, dst="execution"
+        )
 
     def insert(self, block: TranslatedBlock) -> None:
         if not self.banks:
@@ -238,15 +252,17 @@ class CodeCacheHierarchy:
         subsystem: TranslationSubsystem,
         l15_banks: int = 2,
         l1_capacity: int = L1_CODE_CAPACITY,
+        tracer=NULL_TRACER,
     ) -> None:
         self.grid = grid
         self.network = network
         self.subsystem = subsystem
+        self.tracer = tracer
         self.execution = grid.find_one(TileRole.EXECUTION)
         self.manager_coord = grid.find_one(TileRole.MANAGER)
         self.l1 = L1CodeCache(l1_capacity)
         bank_coords = grid.tiles_with_role(TileRole.L15_BANK)[:l15_banks]
-        self.l15 = L15CodeCache(bank_coords, grid, network)
+        self.l15 = L15CodeCache(bank_coords, grid, network, tracer=tracer)
         self.stats = StatSet("code_cache")
 
     def fetch(self, now: int, pc: int, prev_pc: Optional[int], indirect: bool) -> CodeLookupResult:
@@ -257,9 +273,12 @@ class CodeCacheHierarchy:
         chained; extra dispatch lookup cost).
         """
         self.subsystem.advance(now)
+        traced = self.tracer.enabled
 
         block = self.l1.lookup(pc)
         if block is not None:
+            if traced:
+                self.tracer.emit(now, "codecache", "hit", "execution", level="l1", pc=pc)
             chained = (
                 prev_pc is not None and not indirect and self.l1.is_chained(prev_pc, pc)
             )
@@ -269,6 +288,8 @@ class CodeCacheHierarchy:
                 self._maybe_chain(prev_pc, pc, indirect)
             return CodeLookupResult(block, ready, "l1", chained)
 
+        if traced:
+            self.tracer.emit(now, "codecache", "miss", "execution", level="l1", pc=pc)
         # L1 miss: through the dispatch loop, then the hierarchy
         t = now + DISPATCH_OVERHEAD + (INDIRECT_LOOKUP_OVERHEAD if indirect else 0)
         level = "l1.5"
@@ -281,7 +302,7 @@ class CodeCacheHierarchy:
         # L1.5 miss: the manager / L2 code cache
         self.stats.bump("l2_accesses")
         hops = self.grid.hops(self.execution, self.manager_coord)
-        t += self.network.latency(hops)
+        t += self.network.message(t, hops, src="execution", dst="manager")
         t = self.subsystem.manager.service(t, L2_REQUEST_OCCUPANCY)
 
         entry = self.subsystem.lookup(pc)
@@ -290,15 +311,21 @@ class CodeCacheHierarchy:
             block = entry.block
             t += L2_CODE_DRAM_LATENCY
             level = "l2"
+            if traced:
+                self.tracer.emit(t, "codecache", "hit", "manager", level="l2", pc=pc)
         else:
             self.stats.bump("l2_misses")
+            if traced:
+                self.tracer.emit(t, "codecache", "miss", "manager", level="l2", pc=pc)
             demand = self.subsystem.demand_request(pc, t)
             block = demand.block
             t = demand.ready_time if demand.ready_time > t else t
             level = "translate"
 
         t += _transfer_cycles(block)
-        t += self.network.latency(hops, payload_words=len(block.instrs))
+        t += self.network.message(
+            t, hops, payload_words=len(block.instrs), src="manager", dst="execution"
+        )
         self.l15.insert(block)
         t = self._install(block, t, prev_pc, indirect)
         return CodeLookupResult(block, t, level, False)

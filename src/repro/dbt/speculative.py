@@ -34,7 +34,15 @@ from repro.dbt.block import TranslatedBlock
 from repro.dbt.frontend import TranslationError
 from repro.dbt.predictor import predict_successors
 from repro.dbt.translator import Translator
+from repro.obs.events import NULL_TRACER
+from repro.obs.metrics import MetricsRegistry
 from repro.tiled.resource import Resource
+
+#: Bucket bounds for the queue-depth histogram (queues cap at 4x64).
+_DEPTH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Bucket bounds for translated-block guest-instruction counts.
+_BLOCK_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 #: Number of priority levels; deeper speculation folds into the last.
 PRIORITY_LEVELS = 4
@@ -90,6 +98,8 @@ class TranslationSubsystem:
         slave_count: int,
         manager: Resource,
         speculative: bool = True,
+        tracer=NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if slave_count < 1:
             raise ValueError("need at least one translation slave")
@@ -101,6 +111,8 @@ class TranslationSubsystem:
         self._entries: Dict[int, _Entry] = {}
         self._queue_high_water = 0
         self.stats = StatSet("translation_subsystem")
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry("translation")
 
     # -- configuration (morphing) ------------------------------------------
 
@@ -158,6 +170,12 @@ class TranslationSubsystem:
         if depth_now > self._queue_high_water:
             self._queue_high_water = depth_now
         self.stats.bump("enqueued")
+        self.metrics.observe("specq.depth", depth_now, _DEPTH_BUCKETS)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                time, "specq", "enqueue", "manager",
+                pc=pc, depth=depth, qlen=depth_now,
+            )
 
     def _pop_work(self, by_time: int) -> Optional[_WorkItem]:
         for queue in self._queues:
@@ -185,6 +203,15 @@ class TranslationSubsystem:
         start = max(slave.busy_until, item.enqueue_time)
         entry = self._entries[item.pc]
         entry.state = _State.RUNNING
+        slave_tile = f"slave{slave.index}"
+        if self.tracer.enabled:
+            self.tracer.emit(
+                start, "specq", "dequeue", "manager",
+                pc=item.pc, depth=item.depth, qlen=self.queue_length(),
+            )
+            self.tracer.emit(
+                start, "translate", "start", slave_tile, pc=item.pc, depth=item.depth
+            )
         try:
             block = self.translator.translate(item.pc)
         except (TranslationError, GuestFault) as err:
@@ -194,6 +221,11 @@ class TranslationSubsystem:
             entry.state = _State.FAILED
             entry.error = str(err)
             self.stats.bump("speculation_failures")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    start + 200, "translate", "end", slave_tile,
+                    pc=item.pc, cycles=200, error=str(err),
+                )
             return
         completion = start + block.translation_cycles
         # Parsing is the cheap front of the pipeline: successors are
@@ -214,6 +246,17 @@ class TranslationSubsystem:
             self.stats.bump("demand_translations")
         else:
             self.stats.bump("speculative_translations")
+        self.metrics.observe("translate.latency", completion - start)
+        self.metrics.observe(
+            "translate.block_guest_instrs", block.guest_instr_count, _BLOCK_SIZE_BUCKETS
+        )
+        self.metrics.observe("translate.queue_wait", start - item.enqueue_time)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                completion, "translate", "end", slave_tile,
+                pc=item.pc, cycles=completion - start,
+                host_words=len(block.instrs), guest_instrs=block.guest_instr_count,
+            )
 
         if self.speculative and item.depth < MAX_SPECULATION_DEPTH:
             for prediction in predict_successors(block):
@@ -276,6 +319,11 @@ class TranslationSubsystem:
         if entry is None:
             self._entries[pc] = _Entry(_State.QUEUED, 0)
             self._queues[0].append(_WorkItem(pc, 0, now))
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    now, "specq", "enqueue", "manager",
+                    pc=pc, depth=0, qlen=self.queue_length(), demand=True,
+                )
         else:
             # escalate an already-queued speculative item to demand priority
             for queue in self._queues[1:]:

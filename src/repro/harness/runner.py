@@ -1,15 +1,32 @@
-"""Run-grid execution with per-process memoization."""
+"""Run-grid execution with bounded per-process memoization.
+
+Timing runs are expensive (seconds each) and the figures share them
+(5, 6 and 7 reuse one sweep), so results are memoized.  The memo is an
+:class:`~repro.common.lru.LruDict` — bounded, so a long-lived process
+sweeping many scales cannot grow without limit — and its hit/miss
+behaviour is recorded in a :class:`~repro.obs.metrics.MetricsRegistry`
+(surfaced by ``benchmarks/run_all.py`` into ``BENCH_results.json``).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
+from repro.common.lru import LruDict
 from repro.morph.config import PRESETS, VirtualArchConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.vm.timing import TimingRunResult, run_timing
 from repro.workloads import build_workload
 
+#: Memoized runs kept.  The full figure grid is ~80 (workload, config,
+#: scale) cells; 256 keeps several scales resident while staying bounded.
+RUN_CACHE_CAPACITY = 256
+
 #: (workload, config name, scale) -> result
-_CACHE: Dict[Tuple[str, str, float], TimingRunResult] = {}
+_CACHE: "LruDict[Tuple[str, str, float], TimingRunResult]" = LruDict(RUN_CACHE_CAPACITY)
+
+#: Harness-level metrics (run-cache hits/misses, runs executed).
+METRICS = MetricsRegistry("harness.runner")
 
 
 def run_one(workload: str, config_name: str, scale: float = 1.0) -> TimingRunResult:
@@ -17,16 +34,24 @@ def run_one(workload: str, config_name: str, scale: float = 1.0) -> TimingRunRes
     key = (workload, config_name, scale)
     cached = _CACHE.get(key)
     if cached is not None:
+        METRICS.bump("run_cache.hits")
         return cached
+    METRICS.bump("run_cache.misses")
     config: VirtualArchConfig = PRESETS[config_name]
     result = run_timing(build_workload(workload, scale=scale), config)
-    _CACHE[key] = result
+    _CACHE.put(key, result)
     return result
 
 
 def clear_cache() -> None:
     """Forget memoized runs (tests use this)."""
     _CACHE.clear()
+    METRICS.bump("run_cache.clears")
+
+
+def cache_stats() -> dict:
+    """Snapshot of the memo's effectiveness (for run reports)."""
+    return {"size": len(_CACHE), "capacity": _CACHE.capacity, **METRICS.as_dict()}
 
 
 class RunGrid:

@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro.common.stats import StatSet
 from repro.memsys.pagetable import PAGE_SHIFT, PageFault, PageTable
+from repro.obs.events import NULL_TRACER
 from repro.memsys.tlb import Tlb
 from repro.tiled.datacache import DataCacheModel
 from repro.tiled.machine import TILE_DCACHE_BYTES, TileGrid, TileRole
@@ -86,10 +87,12 @@ class PipelinedMemorySystem:
         grid: TileGrid,
         network: Optional[Network] = None,
         hardware_mmu: bool = False,
+        tracer=NULL_TRACER,
     ) -> None:
         self.grid = grid
         self.network = network or Network()
         self.hardware_mmu = hardware_mmu
+        self.tracer = tracer
         self.l1_hit_latency = 3 if hardware_mmu else L1_HIT_LATENCY
         self._mmu_occupancy = 2 if hardware_mmu else MMU_OCCUPANCY
         self._walk_touch_cost = 8 if hardware_mmu else WALK_TOUCH_COST
@@ -152,7 +155,9 @@ class PipelinedMemorySystem:
 
         self.stats.bump("l1_misses")
         # ship the request to the MMU tile
-        t = now + self.network.latency(self.grid.hops(self.execution, self.mmu_coord))
+        t = now + self.network.message(
+            now, self.grid.hops(self.execution, self.mmu_coord), src="execution", dst="mmu"
+        )
         try:
             host_address, walk_touches = self.tlb.translate(address)
         except PageFault:
@@ -166,6 +171,11 @@ class PipelinedMemorySystem:
         mmu_occupancy = self._mmu_occupancy + self._walk_touch_cost * walk_touches
         if walk_touches:
             self.stats.bump("tlb_misses")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    t, "mem", "tlb_miss", "mmu",
+                    address=address, walk_touches=walk_touches,
+                )
         t = self.mmu.service(t, mmu_occupancy)
 
         bank = self._bank_for(host_address)
@@ -175,7 +185,10 @@ class PipelinedMemorySystem:
             bank_hit = False
             self.stats.bump("dram_accesses")
         else:
-            t += self.network.latency(self.grid.hops(self.mmu_coord, bank.coord))
+            t += self.network.message(
+                t, self.grid.hops(self.mmu_coord, bank.coord),
+                src="mmu", dst=bank.resource.name,
+            )
             bank_result = bank.cache.access(self._bank_local_address(host_address), is_write)
             service = BANK_OCCUPANCY
             if not bank_result.hit:
@@ -185,7 +198,10 @@ class PipelinedMemorySystem:
                 service += WRITEBACK_COST
             t = bank.resource.service(t, service)
             bank_hit = bank_result.hit
-            t += self.network.latency(self.grid.hops(bank.coord, self.execution))
+            t += self.network.message(
+                t, self.grid.hops(bank.coord, self.execution),
+                src=bank.resource.name, dst="execution",
+            )
 
         # the block cost already charged the L1-hit latency; only the
         # excess is an extra stall

@@ -12,7 +12,7 @@ costs on every flip.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.common.stats import StatSet
 from repro.dbt.speculative import TranslationSubsystem
@@ -22,6 +22,8 @@ from repro.morph.policy import (
     SHAPE_MEMORY_HEAVY,
     SHAPE_TRANSLATION_HEAVY,
 )
+from repro.obs.events import NULL_TRACER
+from repro.obs.metrics import MetricsRegistry
 
 #: Check the queue length every N block executions (sampling keeps the
 #: monitoring cost inconsequential, as the paper prescribes).
@@ -46,12 +48,16 @@ class MorphController:
         subsystem: TranslationSubsystem,
         policy: QueueLengthPolicy,
         all_bank_coords: List[tuple],
+        tracer=NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if len(all_bank_coords) < 4:
             raise ValueError("morphing needs the 4-bank floorplan to trade from")
         self.memsys = memsys
         self.subsystem = subsystem
         self.policy = policy
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry("morph")
         self.shapes = {
             SHAPE_TRANSLATION_HEAVY: MorphShape(
                 SHAPE_TRANSLATION_HEAVY, translator_tiles=9, bank_coords=all_bank_coords[:1]
@@ -65,6 +71,7 @@ class MorphController:
         self._apply(self.shapes[self.current_shape], now=0, charge=False)
         self.stats = StatSet("morph")
         self._blocks_since_sample = 0
+        self._emit_reconfig(0, old=None, new=self.current_shape, cost=0)
 
     def on_block_executed(self, now: int) -> int:
         """Sampled policy check; returns reconfiguration cost in cycles."""
@@ -78,14 +85,45 @@ class MorphController:
         """Run the policy once; returns the cycles spent reconfiguring."""
         self.stats.bump("samples")
         queue_length = self.subsystem.take_queue_high_water()
+        self.metrics.sample("morph.queue_high_water", now, queue_length)
         decision = self.policy.decide(now, queue_length, self.current_shape)
         if decision is None:
             return 0
+        old_shape = self.current_shape
         cost = self._apply(self.shapes[decision], now, charge=True)
         self.current_shape = decision
         self.stats.bump("reconfigurations")
         self.stats.bump("reconfiguration_cycles", cost)
+        self.metrics.observe("morph.reconfig_cost", cost)
+        self._emit_reconfig(now, old=old_shape, new=decision, cost=cost,
+                            queue_length=queue_length)
         return cost
+
+    def _emit_reconfig(
+        self,
+        now: int,
+        old: Optional[str],
+        new: str,
+        cost: int,
+        queue_length: Optional[int] = None,
+    ) -> None:
+        """Stamp a ``morph.reconfig`` event describing the tile trade."""
+        if not self.tracer.enabled:
+            return
+        new_shape = self.shapes[new]
+        old_shape = self.shapes[old] if old else None
+        self.tracer.emit(
+            now, "morph", "reconfig", "manager",
+            old=old or "(initial)",
+            new=new,
+            old_translators=old_shape.translator_tiles if old_shape else 0,
+            new_translators=new_shape.translator_tiles,
+            old_banks=len(old_shape.bank_coords) if old_shape else 0,
+            new_banks=len(new_shape.bank_coords),
+            bank_coords=[list(c) for c in new_shape.bank_coords],
+            queue_length=queue_length if queue_length is not None else -1,
+            cost=cost,
+        )
 
     def _apply(self, shape: MorphShape, now: int, charge: bool) -> int:
         cost = 0

@@ -1,0 +1,209 @@
+"""Plain-text run reports and report diffing.
+
+A *run report* is a JSON-safe dict distilled from a
+:class:`~repro.vm.timing.TimingRunResult`: the headline timing numbers,
+the fetch-level mix, translation-subsystem behaviour, histogram
+summaries and the sampled time series.  Reports are what the harness
+persists (``BENCH_results.json``), what ``python -m repro.obs report``
+prints, and what ``python -m repro.obs diff`` compares between two
+runs — the honest before/after for every perf PR.
+
+The builder duck-types the result object so this module stays
+import-light (no dependency on the VM package).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+#: Counters surfaced in the text report even when zero.
+_HEADLINE_COUNTERS = (
+    "spec.blocks_translated",
+    "spec.demand_misses",
+    "spec.enqueued",
+    "code.l2_accesses",
+    "code.l2_misses",
+    "code.chain_patches",
+    "mem.tlb_misses",
+    "mem.stall_cycles",
+)
+
+
+def build_report(result) -> Dict[str, object]:
+    """Distill a ``TimingRunResult`` into a JSON-safe report dict."""
+    report: Dict[str, object] = {
+        "workload": result.workload,
+        "config": result.config_name,
+        "exit_code": result.exit_code,
+        "guest_instructions": result.guest_instructions,
+        "cycles": result.cycles,
+        "piii_cycles": result.piii_cycles,
+        "slowdown": round(result.slowdown, 4),
+        "blocks_executed": result.blocks_executed,
+        "blocks_translated": result.blocks_translated,
+        "reconfigurations": result.reconfigurations,
+        "l2_code_accesses": result.l2_code_accesses,
+        "l2_code_misses": result.l2_code_misses,
+        "l2_miss_rate": round(result.l2_miss_rate, 4),
+        "counters": dict(result.stats),
+    }
+    metrics = getattr(result, "metrics", None)
+    if metrics:
+        report["histograms"] = metrics.get("histograms", {})
+        report["timeseries"] = metrics.get("timeseries", {})
+    return report
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Read a report JSON previously written by the CLI/harness."""
+    with open(path) as handle:
+        loaded = json.load(handle)
+    if not isinstance(loaded, dict) or "workload" not in loaded:
+        raise ValueError(f"{path}: not a repro.obs run report")
+    return loaded
+
+
+def save_report(path: str, report: Dict[str, object]) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_report(report: Dict[str, object]) -> str:
+    """Human-readable run report."""
+    lines = [
+        f"== run report: {report['workload']} / {report['config']} ==",
+        f"guest instructions   {_fmt_value(report['guest_instructions'])}",
+        f"cycles               {_fmt_value(report['cycles'])}",
+        f"PIII cycles          {_fmt_value(report['piii_cycles'])}",
+        f"slowdown             {_fmt_value(report['slowdown'])}x",
+        f"blocks executed      {_fmt_value(report['blocks_executed'])}",
+        f"blocks translated    {_fmt_value(report['blocks_translated'])}",
+        f"reconfigurations     {_fmt_value(report['reconfigurations'])}",
+        f"L2 code accesses     {_fmt_value(report['l2_code_accesses'])}"
+        f"  (miss rate {_fmt_value(report['l2_miss_rate'])})",
+    ]
+    counters = report.get("counters", {})
+    if isinstance(counters, dict) and counters:
+        lines.append("-- key counters --")
+        for key in _HEADLINE_COUNTERS:
+            if key in counters:
+                lines.append(f"{key:<28} {_fmt_value(counters[key])}")
+    histograms = report.get("histograms", {})
+    if isinstance(histograms, dict) and histograms:
+        lines.append("-- distributions --")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = hist.get("count", 0)
+            if not count:
+                continue
+            lines.append(
+                f"{name:<28} n={_fmt_value(count)} mean={_fmt_value(hist.get('mean', 0))}"
+                f" min={_fmt_value(hist.get('min'))} max={_fmt_value(hist.get('max'))}"
+            )
+    timeseries = report.get("timeseries", {})
+    if isinstance(timeseries, dict) and timeseries:
+        lines.append("-- time series (sampled) --")
+        for name in sorted(timeseries):
+            series = timeseries[name]
+            samples = series.get("samples", [])
+            lines.append(
+                f"{name:<28} {len(samples)} samples"
+                f" (stride {series.get('stride', 1)},"
+                f" {series.get('observed', len(samples))} observed)"
+            )
+    return "\n".join(lines)
+
+
+#: Scalar fields compared by :func:`diff_reports`.
+_DIFF_FIELDS = (
+    "guest_instructions",
+    "cycles",
+    "piii_cycles",
+    "slowdown",
+    "blocks_executed",
+    "blocks_translated",
+    "reconfigurations",
+    "l2_code_accesses",
+    "l2_code_misses",
+    "l2_miss_rate",
+)
+
+
+def diff_reports(
+    before: Dict[str, object], after: Dict[str, object]
+) -> List[Dict[str, object]]:
+    """Structured field-by-field comparison of two run reports."""
+    rows: List[Dict[str, object]] = []
+    for fld in _DIFF_FIELDS:
+        old = before.get(fld)
+        new = after.get(fld)
+        if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+            continue
+        delta = new - old
+        rows.append(
+            {
+                "field": fld,
+                "before": old,
+                "after": new,
+                "delta": delta,
+                "percent": (100.0 * delta / old) if old else None,
+            }
+        )
+    before_counters = before.get("counters", {}) or {}
+    after_counters = after.get("counters", {}) or {}
+    if isinstance(before_counters, dict) and isinstance(after_counters, dict):
+        for key in sorted(set(before_counters) | set(after_counters)):
+            old = before_counters.get(key, 0)
+            new = after_counters.get(key, 0)
+            if old == new or not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+                continue
+            rows.append(
+                {
+                    "field": f"counters.{key}",
+                    "before": old,
+                    "after": new,
+                    "delta": new - old,
+                    "percent": (100.0 * (new - old) / old) if old else None,
+                }
+            )
+    return rows
+
+
+def render_diff(
+    before: Dict[str, object],
+    after: Dict[str, object],
+    *,
+    all_counters: bool = False,
+) -> str:
+    """Human-readable diff of two run reports."""
+    header = (
+        f"== report diff: {before.get('workload')}/{before.get('config')} -> "
+        f"{after.get('workload')}/{after.get('config')} =="
+    )
+    rows = diff_reports(before, after)
+    if not all_counters:
+        rows = [r for r in rows if not str(r["field"]).startswith("counters.")] + [
+            r for r in rows if str(r["field"]).startswith("counters.")
+        ][:12]
+    if not rows:
+        return header + "\nno differences"
+    width = max(len(str(r["field"])) for r in rows)
+    lines = [header]
+    for row in rows:
+        pct = row["percent"]
+        pct_text = f" ({pct:+.1f}%)" if isinstance(pct, float) else ""
+        lines.append(
+            f"{str(row['field']):<{width}}  {_fmt_value(row['before'])} -> "
+            f"{_fmt_value(row['after'])}  [{_fmt_value(row['delta'])}{pct_text}]"
+        )
+    return "\n".join(lines)

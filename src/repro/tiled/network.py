@@ -9,8 +9,10 @@ to make spatial placement (hop counts) matter the way the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
+
+from repro.obs.events import NULL_TRACER
 
 Coord = Tuple[int, int]
 
@@ -32,11 +34,30 @@ class Network:
     per_hop: int = PER_HOP
     endpoint_overhead: int = ENDPOINT_OVERHEAD
     per_word: int = PER_WORD
+    tracer: object = field(default=NULL_TRACER, repr=False, compare=False)
 
     def latency(self, hops: int, payload_words: int = 1) -> int:
         """One-way latency for a message of ``payload_words``."""
         extra_words = max(0, payload_words - 1)
         return self.endpoint_overhead + self.per_hop * hops + self.per_word * extra_words
+
+    def message(
+        self,
+        now: int,
+        hops: int,
+        payload_words: int = 1,
+        src: str = "net",
+        dst: str = "",
+    ) -> int:
+        """Like :meth:`latency`, but cycle-aware: when tracing is on, a
+        ``net.msg`` event is stamped at injection time ``now`` on the
+        sending tile."""
+        cost = self.latency(hops, payload_words)
+        if self.tracer.enabled:  # type: ignore[attr-defined]
+            self.tracer.emit(  # type: ignore[attr-defined]
+                now, "net", "msg", src, dst=dst, hops=hops, words=payload_words
+            )
+        return cost
 
     def round_trip(self, hops: int, request_words: int = 1, reply_words: int = 1) -> int:
         """Request/reply latency excluding service occupancy."""

@@ -27,6 +27,8 @@ from repro.dbt.speculative import TranslationSubsystem
 from repro.dbt.translator import TranslationConfig, Translator
 from repro.memsys.memsystem import PipelinedMemorySystem
 from repro.morph import MorphController, QueueLengthPolicy, VirtualArchConfig
+from repro.obs.events import NULL_TRACER
+from repro.obs.metrics import MetricsRegistry
 from repro.refmachine.pentium3 import PentiumIIIModel
 from repro.tiled.machine import TileGrid, TileRole, default_placement
 from repro.tiled.network import Network
@@ -37,6 +39,10 @@ SYSCALL_TILE_OCCUPANCY = 160
 
 #: Cost of a self-modifying-code invalidation (page scan + cache drops).
 SMC_INVALIDATION_COST = 600
+
+#: Block executions between periodic metrics samples (queue depth,
+#: busy-slave count, cycle progress) — cheap enough to stay always-on.
+METRICS_SAMPLE_INTERVAL_BLOCKS = 32
 
 
 class _TimingObserver(AccessObserver):
@@ -76,6 +82,10 @@ class TimingRunResult:
     blocks_translated: int
     reconfigurations: int
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Metrics-registry snapshot: counters + histogram distributions
+    #: (translation latency, queue depth, block size) + sampled time
+    #: series (queue length vs cycles, busy slaves vs cycles).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def slowdown(self) -> float:
@@ -103,9 +113,15 @@ class TimingVM:
         program: GuestProgram,
         config: VirtualArchConfig,
         stdin: bytes = b"",
+        tracer=None,
     ) -> None:
         self.program = program
         self.config = config
+        #: Event sink shared by every subsystem.  ``None`` (the default)
+        #: means the zero-cost null sink: no events, no allocations.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Always-on metrics registry (histograms + periodic samples).
+        self.metrics = MetricsRegistry("timing_run")
 
         # floorplan: morphing needs the 4-bank layout to trade from
         banks_to_place = 4 if config.morphing else config.l2_bank_tiles
@@ -115,9 +131,10 @@ class TimingVM:
             l2_bank_tiles=banks_to_place,
             l15_bank_tiles=config.l15_banks,
         )
-        self.network = Network()
+        self.network = Network(tracer=self.tracer)
         self.memsys = PipelinedMemorySystem(
-            self.grid, self.network, hardware_mmu=config.hardware_mmu
+            self.grid, self.network, hardware_mmu=config.hardware_mmu,
+            tracer=self.tracer,
         )
 
         self.observer = _TimingObserver(self)
@@ -139,6 +156,8 @@ class TimingVM:
             slave_count=config.translator_tiles,
             manager=self.manager,
             speculative=config.speculative,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         # a hardware instruction cache acts as a large virtual L1 code
         # cache with chaining across the whole instruction working set
@@ -150,6 +169,7 @@ class TimingVM:
             self.subsystem,
             l15_banks=config.l15_banks,
             l1_capacity=l1_code_capacity,
+            tracer=self.tracer,
         )
         self.syscall_tile = Resource("syscall_tile")
         self.piii = PentiumIIIModel()
@@ -158,11 +178,15 @@ class TimingVM:
         if config.morphing:
             policy = QueueLengthPolicy(threshold=config.morph_threshold)
             bank_coords = self.grid.tiles_with_role(TileRole.L2_BANK)
-            self.morph = MorphController(self.memsys, self.subsystem, policy, bank_coords)
+            self.morph = MorphController(
+                self.memsys, self.subsystem, policy, bank_coords,
+                tracer=self.tracer, metrics=self.metrics,
+            )
 
         self.now = 0
         self.pending_stall = 0
         self.stats = StatSet("timing_vm")
+        self._blocks_since_metrics = 0
         # self-modifying code bookkeeping
         self.code_pages: Dict[int, set] = {}  # page -> guest block addresses
         self.pending_smc: set = set()
@@ -223,12 +247,21 @@ class TimingVM:
             hops = self.grid.hops(
                 self.hierarchy.execution, self.grid.find_one(TileRole.SYSCALL)
             )
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.now, "net", "msg", "execution", dst="syscall_tile", hops=hops, words=1
+                )
             self.now += self.network.round_trip(hops)
             self.now = self.syscall_tile.service(self.now, SYSCALL_TILE_OCCUPANCY)
             self.stats.bump("syscalls")
 
         if self.morph is not None:
             self.now += self.morph.on_block_executed(self.now)
+
+        self._blocks_since_metrics += 1
+        if self._blocks_since_metrics >= METRICS_SAMPLE_INTERVAL_BLOCKS:
+            self._blocks_since_metrics = 0
+            self._sample_metrics()
 
         if self.pending_smc:
             self._invalidate_smc_pages()
@@ -252,6 +285,16 @@ class TimingVM:
     def result(self) -> TimingRunResult:
         """Result of a finished (or interrupted) stepping run."""
         return self._result(self._executed_instructions)
+
+    def _sample_metrics(self) -> None:
+        """Periodic time-series samples: with these, queue-length-vs-
+        cycles (Figure 9) and translation/execution overlap (Figure 1)
+        are reconstructable from any run, traced or not."""
+        now = self.now
+        self.metrics.sample("specq.depth", now, self.subsystem.queue_length())
+        busy = sum(1 for slave in self.subsystem.slaves if slave.busy_until > now)
+        self.metrics.sample("slaves.busy", now, busy)
+        self.metrics.sample("guest.instructions", now, self._executed_instructions)
 
     def _invalidate_smc_pages(self) -> None:
         """Invalidate translations for written code pages (at a block
@@ -289,6 +332,7 @@ class TimingVM:
                 **{f"mem.{k}": v for k, v in self.memsys.stats.as_dict().items()},
                 **{f"spec.{k}": v for k, v in self.subsystem.stats.as_dict().items()},
             },
+            metrics=self.metrics.snapshot(),
         )
 
 
@@ -296,6 +340,11 @@ def run_timing(
     program: GuestProgram,
     config: VirtualArchConfig,
     stdin: bytes = b"",
+    tracer=None,
 ) -> TimingRunResult:
-    """Convenience wrapper: build a :class:`TimingVM` and run it."""
-    return TimingVM(program, config, stdin=stdin).run()
+    """Convenience wrapper: build a :class:`TimingVM` and run it.
+
+    Pass a :class:`repro.obs.events.Tracer` to capture a cycle-stamped
+    event trace; by default the zero-cost null sink is used.
+    """
+    return TimingVM(program, config, stdin=stdin, tracer=tracer).run()

@@ -1,0 +1,46 @@
+; Tiny deterministic workload for the golden Perfetto-export test.
+;
+; A counted loop that writes and re-reads a small array through a
+; helper function: enough basic blocks to exercise translation,
+; speculation, all three code-cache levels' bookkeeping and the data
+; memory path, while staying small enough that the full event trace is
+; a reviewable golden file.
+
+_start:
+    mov edi, array      ; array base (.data section)
+    mov ecx, 8          ; element count
+    mov eax, 0          ; running sum
+fill_loop:
+    cmp ecx, 0
+    je sum_phase
+    mov [edi], ecx      ; store the counter
+    add edi, 4
+    sub ecx, 1
+    jmp fill_loop
+
+sum_phase:
+    mov edi, array
+    mov ecx, 8
+sum_loop:
+    cmp ecx, 0
+    je done
+    call add_element
+    add edi, 4
+    sub ecx, 1
+    jmp sum_loop
+
+; eax += [edi]
+add_element:
+    mov edx, [edi]
+    add eax, edx
+    ret
+
+done:
+    mov ebx, eax        ; exit code = sum (36)
+    mov eax, 1          ; sys_exit
+    int 0x80
+    hlt
+
+.data
+array:
+    dd 0, 0, 0, 0, 0, 0, 0, 0

@@ -1,0 +1,164 @@
+"""Perfetto trace_event export: pairing, schema validation, golden file.
+
+Regenerate the golden with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_obs_perfetto.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.guest.assembler import assemble
+from repro.morph.config import PRESETS
+from repro.obs.events import Tracer
+from repro.obs.perfetto import to_perfetto, validate_trace_events, write_trace
+from repro.vm.timing import TimingVM
+
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_PATH = DATA_DIR / "perfetto_golden.json"
+
+
+def _synthetic_tracer():
+    tracer = Tracer()
+    tracer.emit(100, "specq", "enqueue", "manager", pc=0x100, qlen=1)
+    tracer.emit(110, "translate", "start", "slave0", pc=0x100)
+    tracer.emit(150, "specq", "dequeue", "manager", pc=0x200, qlen=0)
+    tracer.emit(400, "translate", "end", "slave0", pc=0x100, cycles=290)
+    tracer.emit(500, "codecache", "hit", "execution", level="l1", pc=0x100)
+    tracer.emit(600, "translate", "start", "slave1", pc=0x300)  # never ends
+    return tracer
+
+
+class TestToPerfetto:
+    def test_thread_metadata_one_per_tile(self):
+        doc = to_perfetto(_synthetic_tracer().events(), process_name="test")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e["args"]["name"] for e in meta}
+        assert names["process_name"] == "test"
+        thread_names = sorted(
+            e["args"]["name"] for e in meta if e["name"] == "thread_name"
+        )
+        assert thread_names == ["execution", "manager", "slave0", "slave1"]
+        # execution gets the lowest tid: it is the headline timeline
+        tids = {
+            e["args"]["name"]: e["tid"] for e in meta if e["name"] == "thread_name"
+        }
+        assert tids["execution"] < tids["manager"] < tids["slave0"]
+
+    def test_translate_pairs_become_complete_events(self):
+        doc = to_perfetto(_synthetic_tracer().events())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(complete) == 1
+        (event,) = complete
+        assert event["name"] == "translate 0x100"
+        assert event["ts"] == 110
+        assert event["dur"] == 290
+
+    def test_unpaired_start_becomes_instant(self):
+        doc = to_perfetto(_synthetic_tracer().events())
+        leftovers = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "i" and e["name"] == "translate.start"
+        ]
+        assert len(leftovers) == 1
+        assert leftovers[0]["ts"] == 600
+
+    def test_specq_events_drive_counter_track(self):
+        doc = to_perfetto(_synthetic_tracer().events())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [c["args"]["depth"] for c in counters] == [1, 0]
+        assert all(c["name"] == "specq.depth" for c in counters)
+
+    def test_synthetic_doc_validates_clean(self):
+        doc = to_perfetto(_synthetic_tracer().events())
+        assert validate_trace_events(doc) == []
+
+    def test_empty_trace_still_validates(self):
+        doc = to_perfetto([])
+        assert validate_trace_events(doc) == []
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"traceEvents": "nope"}) != []
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0}]}
+        problems = validate_trace_events(doc)
+        assert any("unknown phase" in p for p in problems)
+
+    def test_rejects_missing_ts(self):
+        doc = {"traceEvents": [{"ph": "i", "name": "x", "pid": 1, "tid": 1}]}
+        problems = validate_trace_events(doc)
+        assert any("'ts'" in p for p in problems)
+
+    def test_rejects_backwards_timestamps_per_thread(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "i", "s": "t", "name": "a", "pid": 1, "tid": 1, "ts": 100},
+                {"ph": "i", "s": "t", "name": "b", "pid": 1, "tid": 2, "ts": 5},
+                {"ph": "i", "s": "t", "name": "c", "pid": 1, "tid": 1, "ts": 50},
+            ]
+        }
+        problems = validate_trace_events(doc)
+        assert len(problems) == 1
+        assert "goes backwards" in problems[0]
+
+    def test_rejects_negative_duration(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 10, "dur": -1}
+            ]
+        }
+        problems = validate_trace_events(doc)
+        assert any("dur" in p for p in problems)
+
+
+def _traced_workload_doc():
+    source = (DATA_DIR / "trace_workload.asm").read_text()
+    program = assemble(source, name="trace_workload")
+    tracer = Tracer()
+    vm = TimingVM(program, PRESETS["speculative_4"], tracer=tracer)
+    result = vm.run()
+    assert result.exit_code == 36  # the workload's checksum: run went as scripted
+    return to_perfetto(
+        tracer.events(),
+        metadata={"workload": "trace_workload", "config": "speculative_4"},
+    )
+
+
+class TestGoldenExport:
+    def test_small_workload_matches_golden(self, tmp_path):
+        doc = _traced_workload_doc()
+        assert validate_trace_events(doc) == []
+        if os.environ.get("REGEN_GOLDEN"):
+            write_trace(str(GOLDEN_PATH), doc)
+        golden = json.loads(GOLDEN_PATH.read_text())
+        # compare via a round-trip so both sides have pure-JSON types
+        assert json.loads(json.dumps(doc, sort_keys=True)) == golden, (
+            "Perfetto export changed; if intentional, regenerate with "
+            "REGEN_GOLDEN=1 and review the golden diff"
+        )
+        # the golden on disk is exactly what write_trace produces
+        out = tmp_path / "roundtrip.json"
+        write_trace(str(out), doc)
+        assert out.read_text() == GOLDEN_PATH.read_text()
+
+    def test_golden_run_covers_headline_categories(self):
+        doc = _traced_workload_doc()
+        categories = {e.get("cat") for e in doc["traceEvents"]}
+        for category in ("translate", "codecache", "specq", "net", "mem"):
+            assert category in categories, f"golden run has no {category} events"
+
+    def test_timestamps_monotone_per_tile_thread(self):
+        doc = _traced_workload_doc()
+        last = {}
+        for event in doc["traceEvents"]:
+            if event["ph"] == "M":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last.get(key, 0)
+            last[key] = event["ts"]

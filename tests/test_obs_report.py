@@ -1,0 +1,156 @@
+"""Run reports, report diffing, the obs CLI, and the bounded run cache."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.guest.assembler import assemble
+from repro.harness import runner
+from repro.morph.config import PRESETS
+from repro.obs.cli import main
+from repro.obs.report import (
+    build_report,
+    diff_reports,
+    load_report,
+    render_diff,
+    render_report,
+    save_report,
+)
+from repro.vm.timing import TimingVM
+
+DATA_DIR = Path(__file__).parent / "data"
+ASM_PATH = str(DATA_DIR / "trace_workload.asm")
+
+
+@pytest.fixture(scope="module")
+def result():
+    source = (DATA_DIR / "trace_workload.asm").read_text()
+    program = assemble(source, name="trace_workload")
+    return TimingVM(program, PRESETS["speculative_4"]).run()
+
+
+class TestReport:
+    def test_build_report_headline_fields(self, result):
+        report = build_report(result)
+        assert report["workload"] == "trace_workload"
+        assert report["config"] == "speculative_4"
+        assert report["exit_code"] == 36
+        assert report["cycles"] == result.cycles
+        assert report["slowdown"] == round(result.slowdown, 4)
+        assert isinstance(report["counters"], dict)
+        assert "histograms" in report and "timeseries" in report
+        json.dumps(report)  # the whole report must be JSON-safe
+
+    def test_report_roundtrips_through_disk(self, result, tmp_path):
+        report = build_report(result)
+        path = tmp_path / "report.json"
+        save_report(str(path), report)
+        assert load_report(str(path)) == json.loads(json.dumps(report))
+
+    def test_load_rejects_non_reports(self, tmp_path):
+        path = tmp_path / "not_a_report.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_report(str(path))
+
+    def test_render_report_mentions_headlines(self, result):
+        text = render_report(build_report(result))
+        assert "run report: trace_workload / speculative_4" in text
+        assert "slowdown" in text
+        assert "-- distributions --" in text
+        assert "translate.latency" in text
+
+    def test_diff_reports_flags_changed_fields(self, result):
+        before = build_report(result)
+        after = dict(before)
+        after["cycles"] = before["cycles"] + 100
+        after["counters"] = dict(before["counters"])
+        after["counters"]["spec.blocks_translated"] = 999_999
+        rows = {row["field"]: row for row in diff_reports(before, after)}
+        assert rows["cycles"]["delta"] == 100
+        assert rows["counters.spec.blocks_translated"]["after"] == 999_999
+        assert "slowdown" not in rows or rows["slowdown"]["delta"] == 0
+
+    def test_diff_identical_reports_is_quiet(self, result):
+        report = build_report(result)
+        scalar_rows = [
+            row for row in diff_reports(report, report) if row["delta"] != 0
+        ]
+        assert scalar_rows == []
+        text = render_diff(report, report)
+        assert "trace_workload" in text
+
+
+class TestCli:
+    def test_trace_writes_valid_perfetto_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main([
+            "trace", "--workload", ASM_PATH, "--config", "speculative_4",
+            "--out", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert main(["validate", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "events retained" in printed
+        assert "valid trace_event JSON" in printed
+
+    def test_trace_capacity_bounds_retained_events(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main([
+            "trace", "--workload", ASM_PATH, "--config", "speculative_4",
+            "--out", str(out), "--capacity", "10",
+        ]) == 0
+        assert "dropped" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        timed = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        # 10 retained events; translate start/end pairs may fold into one
+        assert 0 < len(timed) <= 2 * 10
+
+    def test_report_and_diff_roundtrip(self, tmp_path, capsys):
+        before = tmp_path / "before.json"
+        after = tmp_path / "after.json"
+        for path, config in ((before, "speculative_4"), (after, "conservative_1")):
+            assert main([
+                "report", "--workload", ASM_PATH, "--config", config,
+                "--json", str(path),
+            ]) == 0
+        assert main(["diff", str(before), str(after)]) == 0
+        text = capsys.readouterr().out
+        assert "report diff" in text
+        assert "cycles" in text
+
+    def test_validate_rejects_broken_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 1, "ts": 0}]
+        }))
+        assert main(["validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_with_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "trace", "--workload", "999.nope",
+                "--out", str(tmp_path / "x.json"),
+            ])
+
+
+class TestRunnerCache:
+    def test_run_one_memoizes_and_counts(self):
+        runner.clear_cache()
+        before = runner.cache_stats()
+        first = runner.run_one("164.gzip", "default", scale=0.05)
+        second = runner.run_one("164.gzip", "default", scale=0.05)
+        assert first is second
+        stats = runner.cache_stats()
+        assert stats["run_cache.misses"] == before.get("run_cache.misses", 0) + 1
+        assert stats["run_cache.hits"] == before.get("run_cache.hits", 0) + 1
+        assert stats["size"] >= 1
+        runner.clear_cache()
+
+    def test_cache_is_bounded(self):
+        assert runner.cache_stats()["capacity"] == runner.RUN_CACHE_CAPACITY
+        assert runner._CACHE.capacity == 256
