@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Micro-benchmark of the simulator's hot loops.
+
+Measures blocks-executed-per-second and guest-instructions-per-second
+for the timing VM (which exercises the interpreter's block fast path),
+plus raw interpreter instructions-per-second.  ``run_all.py`` embeds
+the numbers in ``BENCH_results.json`` so the performance trajectory of
+the inner loop is trackable across PRs.
+
+    python benchmarks/perf_smoke.py [--scale S] [--workload NAME] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.guest.interpreter import GuestInterpreter
+from repro.morph.config import PRESETS
+from repro.vm.timing import TimingVM
+from repro.workloads import build_workload
+
+DEFAULT_WORKLOAD = "164.gzip"
+DEFAULT_SCALE = 0.3
+
+
+def measure(workload: str = DEFAULT_WORKLOAD, scale: float = DEFAULT_SCALE) -> dict:
+    """One timing-VM run + one raw interpreter run, with throughputs."""
+    program = build_workload(workload, scale=scale)
+
+    started = time.perf_counter()
+    vm = TimingVM(program, PRESETS["speculative_4"])
+    result = vm.run()
+    vm_seconds = time.perf_counter() - started
+
+    program = build_workload(workload, scale=scale)
+    started = time.perf_counter()
+    interp = GuestInterpreter.for_program(program)
+    interp.run()
+    interp_seconds = time.perf_counter() - started
+
+    return {
+        "workload": workload,
+        "scale": scale,
+        "timing_vm": {
+            "seconds": round(vm_seconds, 4),
+            "blocks_executed": result.blocks_executed,
+            "guest_instructions": result.guest_instructions,
+            "blocks_per_second": round(result.blocks_executed / vm_seconds, 1),
+            "instructions_per_second": round(result.guest_instructions / vm_seconds, 1),
+        },
+        "interpreter": {
+            "seconds": round(interp_seconds, 4),
+            "instructions": interp.stats["instructions"],
+            "instructions_per_second": round(
+                interp.stats["instructions"] / interp_seconds, 1
+            ),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument("--json", action="store_true", help="print JSON only")
+    args = parser.parse_args()
+    doc = measure(args.workload, args.scale)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return
+    vm = doc["timing_vm"]
+    print(
+        f"{doc['workload']} @ scale {doc['scale']}: "
+        f"{vm['blocks_per_second']:.0f} blocks/s, "
+        f"{vm['instructions_per_second']:.0f} guest instr/s (timing VM); "
+        f"{doc['interpreter']['instructions_per_second']:.0f} instr/s (raw interpreter)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -54,7 +54,13 @@ class StatSet:
 
     def bump(self, key: str, amount: int = 1) -> None:
         """Increment counter ``key`` by ``amount``."""
-        self.counter(key).add(amount)
+        found = self._counters.get(key)
+        if found is None:
+            found = Counter(key)
+            self._counters[key] = found
+        if amount < 0:
+            raise ValueError(f"counter {key}: negative increment {amount}")
+        found.value += amount
 
     def __getitem__(self, key: str) -> int:
         return self._counters[key].value if key in self._counters else 0

@@ -51,9 +51,7 @@ _HILO_WRITERS = frozenset({HostOp.MULT, HostOp.MULTU, HostOp.DIV, HostOp.DIVU})
 _HILO_READERS = frozenset({HostOp.MFHI, HostOp.MFLO})
 
 
-def instruction_occupancy(instr: HostInstr) -> int:
-    """Issue-slot cycles this instruction holds the pipeline."""
-    op = instr.op
+def _occupancy(op: HostOp) -> int:
     if op in LOAD_OPS:
         return LOAD_OCCUPANCY
     if op in STORE_OPS:
@@ -63,6 +61,16 @@ def instruction_occupancy(instr: HostInstr) -> int:
     if op in _BRANCH_OPS:
         return BRANCH_OCCUPANCY
     return 1
+
+
+#: Per-opcode occupancy, precomputed: this sits on the scheduler's and
+#: cost estimator's per-instruction paths.
+OCCUPANCY: dict = {op: _occupancy(op) for op in HostOp}
+
+
+def instruction_occupancy(instr: HostInstr) -> int:
+    """Issue-slot cycles this instruction holds the pipeline."""
+    return OCCUPANCY[instr.op]
 
 
 def estimate_block_cost(
@@ -84,24 +92,21 @@ def estimate_block_cost(
     ready = [0] * 32
     hilo_ready = 0
     cycle = 0
+    occupancy_of = OCCUPANCY
+    zero = HostReg.ZERO
     for instr in instrs:
+        op = instr.op
+        is_load = op in LOAD_OPS
         start = cycle
         for src in instr.reads():
-            if src is not HostReg.ZERO and ready[src] > start:
+            if src is not zero and ready[src] > start:
                 start = ready[src]
-        if instr.op in _HILO_READERS and hilo_ready > start:
+        if op in _HILO_READERS and hilo_ready > start:
             start = hilo_ready
-        if instr.op in LOAD_OPS:
-            occupancy = load_occupancy
-        else:
-            occupancy = instruction_occupancy(instr)
-        cycle = start + occupancy
+        cycle = start + (load_occupancy if is_load else occupancy_of[op])
         dst = instr.writes()
-        if dst is not None and dst is not HostReg.ZERO:
-            if instr.op in LOAD_OPS:
-                ready[dst] = start + load_latency
-            else:
-                ready[dst] = cycle
-        if instr.op in _HILO_WRITERS:
+        if dst is not None and dst is not zero:
+            ready[dst] = start + load_latency if is_load else cycle
+        if op in _HILO_WRITERS:
             hilo_ready = start + MULDIV_LATENCY
     return cycle

@@ -15,7 +15,7 @@ A :class:`IRBlock` covers one guest basic block and carries exactly one
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.guest.isa import ConditionCode, Flag, Register
@@ -23,6 +23,7 @@ from repro.guest.isa import ConditionCode, Flag, Register
 
 class UOpKind(enum.Enum):
     """Micro-operation kinds."""
+    __hash__ = object.__hash__  # optimizer dict key; identity == equality
 
     CONST = "const"  # dst <- imm
     GET = "get"  # dst <- guest reg
@@ -60,6 +61,7 @@ class UOpKind(enum.Enum):
 
 class FlagSem(enum.Enum):
     """Which guest operation's flag semantics a FLAGS uop implements."""
+    __hash__ = object.__hash__
 
     ADD = "add"
     SUB = "sub"  # also CMP and the compare part of NEG
@@ -143,14 +145,35 @@ class UOp:
         return tuple(out)
 
     def with_sources(self, mapping: Dict[int, int]) -> "UOp":
-        """A copy with source temps rewritten through ``mapping``."""
-        return replace(
-            self,
-            a=mapping.get(self.a, self.a) if self.a is not None else None,
-            b=mapping.get(self.b, self.b) if self.b is not None else None,
-            result=mapping.get(self.result, self.result) if self.result is not None else None,
-            count=mapping.get(self.count, self.count) if self.count is not None else None,
-        )
+        """A copy with source temps rewritten through ``mapping``.
+
+        This is the optimizer passes' per-uop inner loop (every rename
+        pass calls it once per uop per iteration), so the copy is built
+        directly instead of through :func:`dataclasses.replace`, which
+        re-runs ``__init__`` field-by-field and dominated translation
+        profiles.
+        """
+        a, b, result, count = self.a, self.b, self.result, self.count
+        get = mapping.get
+        if a is not None:
+            a = get(a, a)
+        if b is not None:
+            b = get(b, b)
+        if result is not None:
+            result = get(result, result)
+        if count is not None:
+            count = get(count, count)
+        if a == self.a and b == self.b and result == self.result and count == self.count:
+            # Nothing remapped: safe to alias, since every pass rebuilds
+            # its uop list and the superseded list is discarded.
+            return self
+        clone = UOp.__new__(UOp)
+        clone.__dict__.update(self.__dict__)
+        clone.a = a
+        clone.b = b
+        clone.result = result
+        clone.count = count
+        return clone
 
     @property
     def has_side_effect(self) -> bool:
@@ -199,6 +222,7 @@ _SIDE_EFFECT_KINDS = frozenset(
 
 class ExitKind(enum.Enum):
     """How a block transfers control at its end."""
+    __hash__ = object.__hash__
 
     JUMP = "jump"  # unconditional direct
     BRANCH = "branch"  # conditional direct (cc), two targets

@@ -13,10 +13,11 @@ with all other memory operations (no alias analysis at host level).
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, Iterable, List, Set
 
 from repro.host.isa import HostInstr, HostOp, HostReg, LOAD_OPS, STORE_OPS
-from repro.dbt.cost import LOAD_LATENCY, instruction_occupancy
+from repro.dbt.cost import LOAD_LATENCY, OCCUPANCY
 
 PASS_NAME = "scheduler"
 
@@ -128,7 +129,8 @@ def _schedule_segment(segment: List[HostInstr]) -> List[HostInstr]:
     # critical-path priority (latency-weighted height)
     height = [0] * count
     for i in range(count - 1, -1, -1):
-        latency = LOAD_LATENCY if segment[i].op in LOAD_OPS else instruction_occupancy(segment[i])
+        op = segment[i].op
+        latency = LOAD_LATENCY if op in LOAD_OPS else OCCUPANCY[op]
         best = 0
         for succ in succs[i]:
             if height[succ] > best:
@@ -136,18 +138,19 @@ def _schedule_segment(segment: List[HostInstr]) -> List[HostInstr]:
         height[i] = best + latency
 
     remaining = [len(preds[i]) for i in range(count)]
-    ready = [i for i in range(count) if remaining[i] == 0]
+    # pick the ready instruction with the greatest height; break ties by
+    # original order for determinism — a min-heap on (-height, index)
+    # makes the same choice as sorting the ready list each step
+    ready = [(-height[i], i) for i in range(count) if remaining[i] == 0]
+    heapq.heapify(ready)
     order: List[int] = []
     while ready:
-        # pick the ready instruction with the greatest height; break ties
-        # by original order for determinism
-        ready.sort(key=lambda i: (-height[i], i))
-        chosen = ready.pop(0)
+        chosen = heapq.heappop(ready)[1]
         order.append(chosen)
         for succ in succs[chosen]:
             remaining[succ] -= 1
             if remaining[succ] == 0:
-                ready.append(succ)
+                heapq.heappush(ready, (-height[succ], succ))
 
     if len(order) != count:  # pragma: no cover - DAG by construction
         raise RuntimeError("scheduler failed to order segment")

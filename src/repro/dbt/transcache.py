@@ -1,0 +1,131 @@
+"""Cross-run translation reuse — the FX!32 idea applied to the sweep.
+
+The figure grid runs the *same workload* under many virtual-architecture
+configurations, and almost none of those knobs (tile counts, bank
+counts, morphing thresholds) change what the translator produces — they
+only change where and when translations happen.  Production DBT systems
+(FX!32, DynamoRIO) persist translations across runs for exactly this
+reason; here the :class:`TranslationCache` does it across the cells of
+one harness process.
+
+Soundness:
+
+* The cache key is ``(program key, translator knobs, code generation,
+  guest pc)``.  The knobs tuple covers every :class:`TranslationConfig`
+  field that affects output (``optimize``, ``optimizer_iterations``,
+  ``load_latency``, ``load_occupancy``, ``checked``), so e.g. Figure 8's
+  optimization ablation and the hardware-MMU presets get their own
+  namespaces.
+* ``generation`` is a caller-supplied counter of guest stores into
+  executable sections (see ``TimingVM.code_writes``).  Any write that
+  could change bytes the translator reads bumps it, so self-modifying
+  code can never be served a stale translation.  Callers whose guests
+  execute code outside the tracked sections must not pass a cache.
+* The translator is deterministic, so a cache hit returns a block
+  field-for-field identical to what a fresh translation would produce,
+  and :meth:`CachingTranslator.translate` replays the exact stats bumps
+  of the uncached path — timing results with the cache on are
+  bit-identical to results with it off (asserted by the test suite).
+
+Blocks are stored pristine (straight out of the pipeline) and handed
+out as shallow clones: nothing in the timing path mutates a
+``TranslatedBlock`` after translation, but the clone keeps the cache
+immune to callers (like ``FunctionalVM``) that stamp placement state
+onto block objects.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Hashable, Tuple
+
+from repro.common.lru import LruDict
+from repro.dbt.block import TranslatedBlock
+from repro.dbt.frontend import CodeReader
+from repro.dbt.translator import TranslationConfig, Translator
+
+#: Distinct (program, knobs) namespaces kept live.  The sweep visits a
+#: workload's configurations consecutively, so a dozen namespaces is
+#: plenty while bounding worst-case footprint.
+NAMESPACE_CAPACITY = 12
+
+
+def translator_knobs(config: TranslationConfig) -> Tuple:
+    """The :class:`TranslationConfig` fields that affect translator output."""
+    return (
+        config.optimize,
+        config.optimizer_iterations,
+        config.load_latency,
+        config.load_occupancy,
+        config.checked,
+    )
+
+
+class TranslationCache:
+    """Process-wide store of translated blocks, namespaced per program."""
+
+    def __init__(self, capacity: int = NAMESPACE_CAPACITY) -> None:
+        self._spaces: "LruDict[Hashable, Dict]" = LruDict(capacity)
+        self.hits = 0
+        self.misses = 0
+
+    def space(self, namespace: Hashable) -> Dict:
+        """The ``(generation, pc) -> block`` map for one namespace."""
+        space = self._spaces.get(namespace)
+        if space is None:
+            space = {}
+            self._spaces.put(namespace, space)
+        return space
+
+    def clear(self) -> None:
+        self._spaces.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "namespaces": len(self._spaces),
+            "blocks": sum(len(self._spaces.peek(key)) for key in self._spaces),
+        }
+
+
+class CachingTranslator(Translator):
+    """A :class:`Translator` that reuses prior translations.
+
+    On a hit it returns a shallow clone of the cached block and replays
+    the stats bumps :meth:`Translator.translate` would have made, so a
+    cached translation is observationally identical to a fresh one.
+    """
+
+    def __init__(
+        self,
+        read_code: CodeReader,
+        config: TranslationConfig,
+        cache: TranslationCache,
+        namespace: Hashable,
+        generation: Callable[[], int],
+    ) -> None:
+        super().__init__(read_code, config)
+        self._cache = cache
+        self._space = cache.space((namespace, translator_knobs(config)))
+        self._generation = generation
+
+    def translate(self, guest_pc: int) -> TranslatedBlock:
+        key = (self._generation(), guest_pc)
+        master = self._space.get(key)
+        if master is None:
+            # failures (speculation into non-code bytes) propagate and
+            # stay uncached; they are cheap scans and deterministic
+            block = super().translate(guest_pc)
+            self._cache.misses += 1
+            self._space[key] = copy.copy(block)
+            return block
+        self._cache.hits += 1
+        stats = self.stats
+        stats.bump("blocks_translated")
+        stats.bump("guest_instructions", master.guest_instr_count)
+        stats.bump("host_instructions", len(master.instrs))
+        stats.bump("translation_cycles", master.translation_cycles)
+        return copy.copy(master)

@@ -73,6 +73,8 @@ class _Statement:
     operands: Tuple[str, ...] = ()
     address: int = 0
     size: int = 0
+    #: final encoding, when it is provably identical in every pass
+    cached: Optional[bytes] = None
 
 
 _TOKEN_RE = re.compile(
@@ -422,17 +424,110 @@ class _Layout:
     entry_symbol: Optional[str]
 
 
+@dataclass
+class _Line:
+    """One lexed source line, shared by every layout pass.
+
+    Lexing (comment stripping, label peeling, operand splitting) never
+    depends on symbol values, so it runs once per source instead of
+    once per pass.  ``fixed_encoding`` additionally caches the bytes of
+    statements whose encoding is provably pass-invariant.
+    """
+
+    line_number: int
+    labels: Tuple[str, ...] = ()
+    kind: Optional[str] = None  # "equ"|"section"|"entry"|"align"|"data"|"instr"
+    head: str = ""  # section name for "section"; db/dd/dz for "data"
+    rest: str = ""  # equ/entry/align/.data expression text
+    name: str = ""  # equ name
+    mnemonic: str = ""
+    operands: Tuple[str, ...] = ()
+    symbol_free: bool = False
+    fixed_encoding: Optional[bytes] = None
+
+
+def _operands_symbol_free(operands: Tuple[str, ...]) -> bool:
+    """True when no operand can reference a symbol.
+
+    A lexical scan: any identifier token that is not a register name
+    might be a label or ``equ`` constant, so the statement must be
+    rebuilt whenever symbol values change.  Conservative (identifiers
+    inside string literals count as symbols), which only costs caching.
+    """
+    for text in operands:
+        for match in _TOKEN_RE.finditer(text):
+            name = match.group("name")
+            if name is not None and name.lower() not in REGISTER_NAMES:
+                return False
+    return True
+
+
+def _lex(source: str) -> List[_Line]:
+    """Lex source text into per-line records (symbol-independent)."""
+    lines: List[_Line] = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw).strip()
+        if not text:
+            continue
+
+        equ = _EQU_RE.match(text)
+        if equ:
+            lines.append(
+                _Line(line_number, kind="equ", name=equ.group(1), rest=equ.group(2))
+            )
+            continue
+
+        labels: List[str] = []
+        while True:
+            label = _LABEL_RE.match(text)
+            if not label:
+                break
+            labels.append(label.group(1))
+            text = text[label.end() :].strip()
+        record = _Line(line_number, labels=tuple(labels))
+        if not text:
+            lines.append(record)
+            continue
+
+        parts = text.split(None, 1)
+        head = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if head in (".text", ".data"):
+            record.kind, record.head, record.rest = "section", head[1:], rest
+        elif head == ".entry":
+            record.kind, record.rest = "entry", rest
+        elif head == ".align":
+            record.kind, record.rest = "align", rest
+        elif head in ("db", "dd", "dz"):
+            record.kind, record.head = "data", head
+            record.operands = _split_operands(rest)
+            record.symbol_free = _operands_symbol_free(record.operands)
+        else:
+            record.kind, record.mnemonic = "instr", parts[0]
+            record.operands = _split_operands(rest)
+            # Branches are excluded: their encodings are PC-relative,
+            # so identical operands still encode differently per pass.
+            record.symbol_free = (
+                not head.startswith("j")
+                and head != "call"
+                and _operands_symbol_free(record.operands)
+            )
+        lines.append(record)
+    return lines
+
+
 def _layout_pass(
-    source: str,
+    lines: List[_Line],
     known_symbols: Dict[str, int],
     text_base: int,
     data_base: int,
 ) -> _Layout:
-    """Parse and lay out the program using last iteration's symbols.
+    """Lay out the program using last iteration's symbols.
 
     Unknown symbols evaluate to a large placeholder (forcing long
     encodings) on the first iteration; later iterations use the real
-    values, so encodings settle to their final sizes.
+    values, so encodings settle to their final sizes.  Symbol-free
+    statements encode once, on the first pass, via ``fixed_encoding``.
     """
     symbols: Dict[str, int] = dict(known_symbols)
     defined: set = set()
@@ -449,49 +544,36 @@ def _layout_pass(
         defined.add(name)
         symbols[name] = value
 
-    for line_number, raw in enumerate(source.splitlines(), start=1):
-        line = _strip_comment(raw).strip()
-        if not line:
-            continue
+    for record in lines:
+        line_number = record.line_number
+        kind = record.kind
 
-        equ = _EQU_RE.match(line)
-        if equ:
+        if kind == "equ":
             define(
-                equ.group(1),
-                _evaluate(equ.group(2), symbols, line_number, strict=False),
+                record.name,
+                _evaluate(record.rest, symbols, line_number, strict=False),
                 line_number,
             )
             continue
 
-        while True:
-            label = _LABEL_RE.match(line)
-            if not label:
-                break
-            define(label.group(1), location[section], line_number)
-            line = line[label.end() :].strip()
-        if not line:
+        for label in record.labels:
+            define(label, location[section], line_number)
+        if kind is None:
             continue
 
-        parts = line.split(None, 1)
-        head = parts[0].lower()
-        rest = parts[1] if len(parts) > 1 else ""
-
-        if head == ".text":
-            section = "text"
-            continue
-        if head == ".data":
-            section = "data"
-            if rest:
+        if kind == "section":
+            section = record.head
+            if section == "data" and record.rest:
                 if data_emitted:
                     raise AssemblyError(line_number, ".data address set after data emitted")
-                location["data"] = _evaluate(rest, symbols, line_number, strict=False)
+                location["data"] = _evaluate(record.rest, symbols, line_number, strict=False)
                 bases["data"] = location["data"]
             continue
-        if head == ".entry":
-            entry_symbol = rest.strip()
+        if kind == "entry":
+            entry_symbol = record.rest.strip()
             continue
-        if head == ".align":
-            alignment = _evaluate(rest, symbols, line_number, strict=False)
+        if kind == "align":
+            alignment = _evaluate(record.rest, symbols, line_number, strict=False)
             padding = (-location[section]) % max(1, alignment)
             stmt = _Statement(line_number, section, "dz", operands=(str(padding),))
             stmt.address = location[section]
@@ -499,23 +581,36 @@ def _layout_pass(
             statements.append(stmt)
             location[section] += padding
             continue
-        if head in ("db", "dd", "dz"):
+        if kind == "data":
             if section == "data":
                 data_emitted = True
-            stmt = _Statement(line_number, section, head, operands=_split_operands(rest))
+            stmt = _Statement(line_number, section, record.head, operands=record.operands)
             stmt.address = location[section]
-            stmt.size = len(_data_bytes(stmt, symbols, strict=False))
+            if record.fixed_encoding is not None:
+                stmt.cached = record.fixed_encoding
+            else:
+                payload = _data_bytes(stmt, symbols, strict=False)
+                if record.symbol_free:
+                    record.fixed_encoding = stmt.cached = payload
+            stmt.size = len(stmt.cached) if stmt.cached is not None else len(payload)
             statements.append(stmt)
             location[section] += stmt.size
             continue
 
         stmt = _Statement(
-            line_number, section, "instr", mnemonic=parts[0], operands=_split_operands(rest)
+            line_number, section, "instr",
+            mnemonic=record.mnemonic, operands=record.operands,
         )
         stmt.address = location[section]
-        instr = _build_instruction(stmt, symbols, strict=False)
-        instr.address = stmt.address
-        stmt.size = len(encode_instruction(instr, allow_short=False))
+        if record.fixed_encoding is not None:
+            stmt.cached = record.fixed_encoding
+        else:
+            instr = _build_instruction(stmt, symbols, strict=False)
+            instr.address = stmt.address
+            encoded = encode_instruction(instr, allow_short=False)
+            if record.symbol_free:
+                record.fixed_encoding = stmt.cached = encoded
+        stmt.size = len(stmt.cached) if stmt.cached is not None else len(encoded)
         statements.append(stmt)
         location[section] += stmt.size
 
@@ -537,10 +632,11 @@ def assemble(
     long-form placeholders and shrink to their final encodings once
     symbol values are known (classic assembler relaxation).
     """
+    lines = _lex(source)
     symbols: Dict[str, int] = {}
     layout: Optional[_Layout] = None
     for _ in range(_MAX_LAYOUT_ITERATIONS):
-        layout = _layout_pass(source, symbols, text_base, data_base)
+        layout = _layout_pass(lines, symbols, text_base, data_base)
         if layout.symbols == symbols:
             break
         symbols = layout.symbols
@@ -555,7 +651,11 @@ def assemble(
         image = images[stmt.section]
         if stmt.address != cursor[stmt.section]:
             raise AssemblyError(stmt.line_number, "internal: layout drift")
-        if stmt.kind == "instr":
+        if stmt.cached is not None:
+            # Symbol-free: the strict rebuild could not differ (there is
+            # no symbol to be undefined and no PC-relative field).
+            encoded = stmt.cached
+        elif stmt.kind == "instr":
             instr = _build_instruction(stmt, symbols, strict=True)
             instr.address = stmt.address
             encoded = encode_instruction(instr, allow_short=False)

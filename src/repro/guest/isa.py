@@ -20,6 +20,7 @@ from typing import Optional, Tuple, Union
 
 class Register(enum.IntEnum):
     """The eight 32-bit architectural registers (x86 order)."""
+    __hash__ = int.__hash__  # dict-key hot path; Enum hashes the *name*
 
     EAX = 0
     ECX = 1
@@ -45,6 +46,8 @@ class Flag(enum.IntEnum):
     The positions match IA-32 EFLAGS so dumps read familiarly.
     """
 
+    __hash__ = int.__hash__
+
     CF = 0
     PF = 2
     ZF = 6
@@ -61,6 +64,7 @@ FLAGS_MASK = sum(1 << flag for flag in ALL_FLAGS)
 
 class ConditionCode(enum.IntEnum):
     """The sixteen IA-32 condition codes used by Jcc and SETcc."""
+    __hash__ = int.__hash__
 
     O = 0
     NO = 1
@@ -137,6 +141,7 @@ CONDITION_FLAG_USES = {
 
 class Op(enum.Enum):
     """Semantic opcodes of VX86 (post-decode, width carried separately)."""
+    __hash__ = object.__hash__  # interpreter dispatch key; identity == equality
 
     # two-operand ALU group (dst, src); CMP/TEST write only flags
     ADD = "add"

@@ -2,11 +2,13 @@
 
 Each runner executes the required (workload, configuration) grid on the
 timing VM and formats rows the way the paper's figure reports them.
-Results are cached per-process so figures sharing runs (5, 6 and 7 use
-the same sweep) don't recompute.
+Results are cached per-process *and* persisted to ``.runcache/`` so
+figures sharing runs (5, 6 and 7 use the same sweep) don't recompute,
+warm re-runs cost file reads, and cold cells can fan out over worker
+processes (every figure runner takes ``jobs=N``).
 """
 
-from repro.harness.runner import RunGrid, run_one
+from repro.harness.runner import RunGrid, configure_disk_cache, run_many, run_one
 from repro.harness.figures import (
     FigureResult,
     figure1_timeline,
@@ -22,6 +24,8 @@ from repro.harness.figures import (
 
 __all__ = [
     "RunGrid",
+    "configure_disk_cache",
+    "run_many",
     "run_one",
     "FigureResult",
     "figure1_timeline",

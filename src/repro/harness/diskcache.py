@@ -1,0 +1,183 @@
+"""Durable on-disk result cache for timing runs.
+
+Real DBT systems (FX!32, DynamoRIO) ship persistent translation caches
+so that work survives process exit; this module applies the same idea
+to the simulator's own experiment grid.  Each (workload, config, scale)
+cell is one JSON file under ``.runcache/``, keyed by a content hash of
+the workload name + scale, every :class:`VirtualArchConfig` field, and
+a *code-version stamp* — a hash over the ``repro`` package sources — so
+entries written by an older revision of the simulator self-invalidate
+instead of serving stale timing numbers.
+
+The cache is safe under concurrent writers (``run_many`` worker
+processes): files are written to a temp name and atomically renamed,
+and two workers racing on the same cell write identical content
+because every run is deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.morph.config import VirtualArchConfig
+from repro.vm.timing import TimingRunResult
+
+#: Default cache directory (repo/cwd-relative), overridable via env.
+DEFAULT_ROOT = ".runcache"
+
+#: Environment variable naming the cache directory.
+ROOT_ENV = "REPRO_RUNCACHE_DIR"
+
+#: Set to ``0``/``off``/``no`` to disable the disk cache entirely.
+ENABLE_ENV = "REPRO_RUNCACHE"
+
+#: Bumped when the serialized result format changes incompatibly.
+FORMAT_VERSION = 1
+
+_version_stamp: Optional[str] = None
+
+
+def code_version_stamp() -> str:
+    """Hash of every ``repro`` source file (cached per process).
+
+    Any edit to the simulator — cost model, workload generator,
+    interpreter — changes the stamp, so cached results can never
+    outlive the code that produced them.
+    """
+    global _version_stamp
+    if _version_stamp is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _version_stamp = digest.hexdigest()[:16]
+    return _version_stamp
+
+
+def config_digest(config: VirtualArchConfig) -> str:
+    """Stable content hash of every field of ``config``.
+
+    This (not the preset *name*) is what cache keys carry, so a mutated
+    or custom configuration can never alias a preset's cached result.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def result_to_dict(result: TimingRunResult) -> dict:
+    """Serialize a run result to plain JSON-safe data."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: dict) -> TimingRunResult:
+    """Rebuild a :class:`TimingRunResult` from :func:`result_to_dict`."""
+    return TimingRunResult(**data)
+
+
+class DiskCache:
+    """JSON-per-cell persistent store for :class:`TimingRunResult`.
+
+    Layout: ``<root>/v<FORMAT_VERSION>-<code stamp>/<cell key>.json``.
+    A new code version gets a fresh subdirectory, which is how stale
+    entries self-invalidate (old subdirectories are simply never read).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None, version: Optional[str] = None) -> None:
+        base = Path(root if root is not None else os.environ.get(ROOT_ENV, DEFAULT_ROOT))
+        self.version = version if version is not None else code_version_stamp()
+        self.root = base / f"v{FORMAT_VERSION}-{self.version}"
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys -------------------------------------------------------------
+
+    def cell_key(self, workload: str, config: VirtualArchConfig, scale: float) -> str:
+        """Filename stem for one grid cell (readable prefix + hash)."""
+        digest = hashlib.sha256(
+            json.dumps([workload, scale, config_digest(config)]).encode()
+        ).hexdigest()[:20]
+        safe = f"{workload}_{config.name}".replace("/", "_")
+        return f"{safe}_{digest}"
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- access -----------------------------------------------------------
+
+    def load(
+        self, workload: str, config: VirtualArchConfig, scale: float
+    ) -> Optional[TimingRunResult]:
+        """Return the cached result for a cell, or ``None``."""
+        path = self._path(self.cell_key(workload, config, scale))
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(doc["result"])
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(
+        self, workload: str, config: VirtualArchConfig, scale: float, result: TimingRunResult
+    ) -> Path:
+        """Persist one cell atomically; returns the file path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.cell_key(workload, config, scale))
+        doc = {
+            "format": FORMAT_VERSION,
+            "version": self.version,
+            "workload": workload,
+            "config": dataclasses.asdict(config),
+            "scale": scale,
+            "result": result_to_dict(result),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit/miss/store counts plus the derived hit rate."""
+        looked = self.hits + self.misses
+        return {
+            "root": str(self.root),
+            "version": self.version,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hits / looked if looked else 0.0,
+        }
+
+
+def enabled_by_env() -> bool:
+    """Whether the environment allows disk caching (default: yes)."""
+    return os.environ.get(ENABLE_ENV, "1").strip().lower() not in ("0", "off", "no", "false")

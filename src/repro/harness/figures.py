@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Sequence
 
 from repro.analysis import decompose, expected_slowdown_floor, memory_slowdown_factor
-from repro.harness.runner import RunGrid, run_one
+from repro.harness.runner import RunGrid, run_many, run_one
 from repro.refmachine.intrinsics import (
     EMULATOR_INTRINSICS,
     FLAG_OVERHEAD_FACTOR,
@@ -55,9 +55,15 @@ def _fmt(value: float, places: int = 1) -> str:
 # ---------------------------------------------------------------------------
 
 
-def figure1_timeline(workload: str = "197.parser", scale: float = 1.0) -> FigureResult:
+def figure1_timeline(
+    workload: str = "197.parser", scale: float = 1.0, jobs: int = 1
+) -> FigureResult:
     """Sequential-style vs. speculative parallel translation: the same
     program finishes earlier when translation leaves the critical path."""
+    run_many(
+        [(workload, "conservative_1", scale), (workload, "speculative_4", scale)],
+        jobs=jobs,
+    )
     sequential = run_one(workload, "conservative_1", scale)
     parallel = run_one(workload, "speculative_4", scale)
     delta = sequential.cycles - parallel.cycles
@@ -83,10 +89,10 @@ _FIG4_LABELS = ["no L1.5", "64K 1-bank", "128K 2-bank"]
 
 
 def figure4_l15_cache(
-    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0, jobs: int = 1
 ) -> FigureResult:
     """Slowdown under the three L1.5 code cache configurations."""
-    grid = RunGrid(workloads, _FIG4_CONFIGS, scale)
+    grid = RunGrid(workloads, _FIG4_CONFIGS, scale).materialize(jobs=jobs)
     result = FigureResult(
         "Figure 4", "Comparison of L1.5 code cache sizes (slowdown vs PIII)",
         ["benchmark"] + _FIG4_LABELS,
@@ -118,10 +124,10 @@ _FIG5_LABELS = ["1 cons", "1 spec", "2 spec", "4 spec", "6 spec", "9 spec"]
 
 
 def figure5_translators(
-    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0, jobs: int = 1
 ) -> FigureResult:
     """Slowdown with differing numbers of translation tiles."""
-    grid = RunGrid(workloads, _FIG5_CONFIGS, scale)
+    grid = RunGrid(workloads, _FIG5_CONFIGS, scale).materialize(jobs=jobs)
     result = FigureResult(
         "Figure 5", "Comparison with differing numbers of translation tiles",
         ["benchmark"] + _FIG5_LABELS,
@@ -134,10 +140,10 @@ def figure5_translators(
 
 
 def figure6_l2_accesses(
-    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0, jobs: int = 1
 ) -> FigureResult:
     """L2 code cache accesses per cycle (shares Figure 5's runs)."""
-    grid = RunGrid(workloads, _FIG5_CONFIGS, scale)
+    grid = RunGrid(workloads, _FIG5_CONFIGS, scale).materialize(jobs=jobs)
     result = FigureResult(
         "Figure 6", "L2 code cache accesses per cycle",
         ["benchmark"] + _FIG5_LABELS,
@@ -152,10 +158,10 @@ def figure6_l2_accesses(
 
 
 def figure7_l2_miss_rate(
-    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0, jobs: int = 1
 ) -> FigureResult:
     """L2 code cache misses per access (shares Figure 5's runs)."""
-    grid = RunGrid(workloads, _FIG5_CONFIGS, scale)
+    grid = RunGrid(workloads, _FIG5_CONFIGS, scale).materialize(jobs=jobs)
     result = FigureResult(
         "Figure 7", "L2 code cache misses per L2 code cache access",
         ["benchmark"] + _FIG5_LABELS,
@@ -174,10 +180,10 @@ def figure7_l2_miss_rate(
 
 
 def figure8_optimization(
-    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0, jobs: int = 1
 ) -> FigureResult:
     """Runtime with and without translation-time optimization."""
-    grid = RunGrid(workloads, ["morph_noopt", "morph_opt"], scale)
+    grid = RunGrid(workloads, ["morph_noopt", "morph_opt"], scale).materialize(jobs=jobs)
     result = FigureResult(
         "Figure 8", "No code optimization vs code optimization (6->9 morphing config)",
         ["benchmark", "without opt", "with opt", "ratio"],
@@ -208,10 +214,10 @@ _FIG9_LABELS = ["1M/9T", "4M/6T", "morph15", "morph0", "morph5"]
 
 
 def figure9_reconfiguration(
-    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0, jobs: int = 1
 ) -> FigureResult:
     """Trading silicon between L2 data cache and translation."""
-    grid = RunGrid(workloads, _FIG9_CONFIGS, scale)
+    grid = RunGrid(workloads, _FIG9_CONFIGS, scale).materialize(jobs=jobs)
     result = FigureResult(
         "Figure 9", "Trading silicon resources between L2 data cache and translation",
         ["benchmark"] + _FIG9_LABELS + ["reconfigs(15/0/5)"],
@@ -226,11 +232,11 @@ def figure9_reconfiguration(
 
 
 def figure10_relative(
-    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0
+    workloads: Sequence[str] = SPECINT_NAMES, scale: float = 1.0, jobs: int = 1
 ) -> FigureResult:
     """Figure 9 normalized to the 1-mem/9-trans configuration (higher =
     faster, in percent)."""
-    grid = RunGrid(workloads, _FIG9_CONFIGS, scale)
+    grid = RunGrid(workloads, _FIG9_CONFIGS, scale).materialize(jobs=jobs)
     result = FigureResult(
         "Figure 10",
         "Relative performance vs 1 Mem / 9 Trans configuration (% faster)",
@@ -253,7 +259,9 @@ def figure10_relative(
 # ---------------------------------------------------------------------------
 
 
-def table11_intrinsics(measured_low_end: float = None, scale: float = 1.0) -> FigureResult:
+def table11_intrinsics(
+    measured_low_end: float = None, scale: float = 1.0, jobs: int = 1
+) -> FigureResult:
     """Architecture intrinsics and the Section 4.5 slowdown accounting."""
     result = FigureResult(
         "Figure 11 (table)", "Architecture intrinsics (latency, occupancy)",

@@ -1,57 +1,268 @@
-"""Run-grid execution with bounded per-process memoization.
+"""Run-grid execution: memoized, disk-persistent, and parallel.
 
 Timing runs are expensive (seconds each) and the figures share them
-(5, 6 and 7 reuse one sweep), so results are memoized.  The memo is an
-:class:`~repro.common.lru.LruDict` — bounded, so a long-lived process
-sweeping many scales cannot grow without limit — and its hit/miss
-behaviour is recorded in a :class:`~repro.obs.metrics.MetricsRegistry`
-(surfaced by ``benchmarks/run_all.py`` into ``BENCH_results.json``).
+(5, 6 and 7 reuse one sweep), so results are cached at two levels:
+
+* an in-process :class:`~repro.common.lru.LruDict` memo — bounded, so a
+  long-lived process sweeping many scales cannot grow without limit;
+* a durable :class:`~repro.harness.diskcache.DiskCache` under
+  ``.runcache/`` (the FX!32 / DynamoRIO persistent-cache idea applied
+  to the simulator itself), keyed by workload + scale + the full
+  :class:`VirtualArchConfig` contents + a code-version stamp, so a warm
+  re-run of the whole figure grid costs file reads instead of
+  simulation.
+
+Cache keys carry a content hash of the *config object*, not just its
+preset name — a mutated or custom config can never alias a preset's
+cached result.
+
+Below the result caches sit two reuse layers that attack the cold-run
+cost itself: assembled workloads are memoized per (name, scale), and
+translated blocks are shared across configuration columns through a
+:class:`~repro.dbt.transcache.TranslationCache` (config knobs move
+tiles around; they almost never change what the translator emits).
+Both are exact — cached and uncached runs are bit-identical.
+
+:func:`run_many` executes a deduplicated work-list of grid cells on a
+``ProcessPoolExecutor``; every run is deterministic, so parallel
+results are bit-identical to serial ones.  Hit/miss behaviour is
+recorded in a :class:`~repro.obs.metrics.MetricsRegistry` (surfaced by
+``benchmarks/run_all.py`` into ``BENCH_results.json``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.lru import LruDict
+from repro.dbt.transcache import TranslationCache
+from repro.guest.program import GuestProgram
+from repro.harness.diskcache import DiskCache, config_digest, enabled_by_env
 from repro.morph.config import PRESETS, VirtualArchConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.vm.timing import TimingRunResult, run_timing
 from repro.workloads import build_workload
 
+#: A grid cell: (workload name, preset name or config object, scale).
+ConfigLike = Union[str, VirtualArchConfig]
+Cell = Tuple[str, ConfigLike, float]
+
 #: Memoized runs kept.  The full figure grid is ~80 (workload, config,
 #: scale) cells; 256 keeps several scales resident while staying bounded.
 RUN_CACHE_CAPACITY = 256
 
-#: (workload, config name, scale) -> result
-_CACHE: "LruDict[Tuple[str, str, float], TimingRunResult]" = LruDict(RUN_CACHE_CAPACITY)
+#: (workload, config name, config content hash, scale) -> result
+_CACHE: "LruDict[Tuple[str, str, str, float], TimingRunResult]" = LruDict(RUN_CACHE_CAPACITY)
+
+#: Assembled workloads, keyed (name, scale).  Builds are deterministic
+#: and programs are immutable once assembled (the loader copies them
+#: into fresh guest memory), so every cell of a grid row shares one.
+PROGRAM_CACHE_CAPACITY = 16
+_PROGRAMS: "LruDict[Tuple[str, float], GuestProgram]" = LruDict(PROGRAM_CACHE_CAPACITY)
+
+#: Translated blocks shared across cells (see repro.dbt.transcache):
+#: config columns of a grid row re-run the same guest code, and almost
+#: no VirtualArchConfig knob changes what the translator emits.
+_TRANSLATIONS = TranslationCache()
 
 #: Harness-level metrics (run-cache hits/misses, runs executed).
 METRICS = MetricsRegistry("harness.runner")
 
+#: Lazily constructed process-wide disk cache (None = disabled).
+_DISK: Optional[DiskCache] = None
+_DISK_ENABLED: Optional[bool] = None  # None = follow the environment
 
-def run_one(workload: str, config_name: str, scale: float = 1.0) -> TimingRunResult:
-    """Run ``workload`` under preset ``config_name`` (memoized)."""
-    key = (workload, config_name, scale)
+
+def configure_disk_cache(enabled: bool = True, root: Optional[os.PathLike] = None) -> None:
+    """Enable/disable the persistent cache (and optionally relocate it).
+
+    ``benchmarks/run_all.py --no-cache`` and the tests use this; by
+    default the cache is on, rooted at ``.runcache/`` (or
+    ``$REPRO_RUNCACHE_DIR``).
+    """
+    global _DISK, _DISK_ENABLED
+    _DISK_ENABLED = enabled
+    _DISK = DiskCache(root) if (enabled and root is not None) else None
+
+
+def disk_cache() -> Optional[DiskCache]:
+    """The active :class:`DiskCache`, or ``None`` when disabled."""
+    global _DISK
+    enabled = _DISK_ENABLED if _DISK_ENABLED is not None else enabled_by_env()
+    if not enabled:
+        return None
+    if _DISK is None:
+        _DISK = DiskCache()
+    return _DISK
+
+
+def resolve_config(config: ConfigLike) -> VirtualArchConfig:
+    """Accept a preset name or a config object; return the object."""
+    if isinstance(config, VirtualArchConfig):
+        return config
+    return PRESETS[config]
+
+
+def _memo_key(workload: str, config: VirtualArchConfig, scale: float):
+    return (workload, config.name, config_digest(config), scale)
+
+
+def run_one(workload: str, config: ConfigLike, scale: float = 1.0) -> TimingRunResult:
+    """Run ``workload`` under ``config`` (preset name or object), cached.
+
+    Lookup order: in-process memo, then disk cache, then simulate (and
+    populate both).
+    """
+    cfg = resolve_config(config)
+    key = _memo_key(workload, cfg, scale)
     cached = _CACHE.get(key)
     if cached is not None:
         METRICS.bump("run_cache.hits")
         return cached
     METRICS.bump("run_cache.misses")
-    config: VirtualArchConfig = PRESETS[config_name]
-    result = run_timing(build_workload(workload, scale=scale), config)
+    disk = disk_cache()
+    if disk is not None:
+        loaded = disk.load(workload, cfg, scale)
+        if loaded is not None:
+            METRICS.bump("disk_cache.hits")
+            _CACHE.put(key, loaded)
+            return loaded
+        METRICS.bump("disk_cache.misses")
+    result = run_timing(
+        _program(workload, scale), cfg,
+        translation_cache=_TRANSLATIONS, program_key=(workload, scale),
+    )
     _CACHE.put(key, result)
+    if disk is not None:
+        disk.store(workload, cfg, scale, result)
     return result
 
 
+def _program(workload: str, scale: float) -> GuestProgram:
+    """Assemble ``workload`` at ``scale``, memoized per process."""
+    key = (workload, scale)
+    program = _PROGRAMS.get(key)
+    if program is None:
+        METRICS.bump("program_cache.misses")
+        program = build_workload(workload, scale=scale)
+        _PROGRAMS.put(key, program)
+    else:
+        METRICS.bump("program_cache.hits")
+    return program
+
+
+def _worker_run(cells: Sequence[Tuple[str, VirtualArchConfig, float]],
+                disk_enabled: bool, disk_root: Optional[str]) -> List[TimingRunResult]:
+    """Execute a group of cells in a worker process (module-level: picklable).
+
+    Groups are one workload each (see :func:`run_many`), so the worker's
+    program memo and translation cache stay warm across its cells.
+    """
+    configure_disk_cache(disk_enabled, disk_root)
+    return [run_one(workload, config, scale) for workload, config, scale in cells]
+
+
+def run_many(
+    cells: Iterable[Cell], jobs: int = 1
+) -> Dict[Tuple[str, str, float], TimingRunResult]:
+    """Execute a work-list of grid cells, optionally in parallel.
+
+    Cells already present in the memo or disk cache are served without
+    simulation; the remaining misses fan out over a
+    ``ProcessPoolExecutor`` with ``jobs`` workers (``jobs <= 1`` runs
+    serially in-process).  Results land in the in-process memo *and*
+    the disk cache, so subsequent :func:`run_one` calls — e.g. from the
+    figure renderers — are hits.
+
+    Returns ``{(workload, config name, scale): result}``.
+    """
+    resolved: List[Tuple[str, VirtualArchConfig, float]] = []
+    seen = set()
+    for workload, config, scale in cells:
+        cfg = resolve_config(config)
+        key = _memo_key(workload, cfg, scale)
+        if key in seen:
+            continue
+        seen.add(key)
+        resolved.append((workload, cfg, scale))
+
+    results: Dict[Tuple[str, str, float], TimingRunResult] = {}
+    misses: List[Tuple[str, VirtualArchConfig, float]] = []
+    disk = disk_cache()
+    for workload, cfg, scale in resolved:
+        memo = _CACHE.get(_memo_key(workload, cfg, scale))
+        if memo is not None:
+            METRICS.bump("run_cache.hits")
+            results[(workload, cfg.name, scale)] = memo
+            continue
+        if disk is not None:
+            loaded = disk.load(workload, cfg, scale)
+            if loaded is not None:
+                METRICS.bump("run_cache.misses")
+                METRICS.bump("disk_cache.hits")
+                _CACHE.put(_memo_key(workload, cfg, scale), loaded)
+                results[(workload, cfg.name, scale)] = loaded
+                continue
+        misses.append((workload, cfg, scale))
+
+    if not misses:
+        return results
+
+    if jobs <= 1 or len(misses) == 1:
+        for workload, cfg, scale in misses:
+            results[(workload, cfg.name, scale)] = run_one(workload, cfg, scale)
+        return results
+
+    disk_enabled = disk is not None
+    disk_root = None
+    if disk is not None:
+        # workers share the parent's cache directory (not the version
+        # subdir — they recompute the same stamp from the same sources)
+        disk_root = str(disk.root.parent)
+    # Group cells by (workload, scale) and ship whole groups: the cells
+    # of one group share an assembled program and its translations, so
+    # splitting a group across workers would re-translate the same
+    # blocks in each.  Grouping costs no parallelism at grid shape
+    # (#workloads >= #workers) and keeps every worker's caches warm.
+    groups: Dict[Tuple[str, float], List[Tuple[str, VirtualArchConfig, float]]] = {}
+    for workload, cfg, scale in misses:
+        groups.setdefault((workload, scale), []).append((workload, cfg, scale))
+    grouped = list(groups.values())
+    workers = min(jobs, len(grouped))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            (group, pool.submit(_worker_run, group, disk_enabled, disk_root))
+            for group in grouped
+        ]
+        for group, future in futures:
+            for (workload, cfg, scale), result in zip(group, future.result()):
+                METRICS.bump("run_cache.misses")
+                METRICS.bump("runs.parallel")
+                _CACHE.put(_memo_key(workload, cfg, scale), result)
+                results[(workload, cfg.name, scale)] = result
+    return results
+
+
 def clear_cache() -> None:
-    """Forget memoized runs (tests use this)."""
+    """Forget memoized runs, programs and translations (tests use this;
+    the disk cache survives)."""
     _CACHE.clear()
+    _PROGRAMS.clear()
+    _TRANSLATIONS.clear()
     METRICS.bump("run_cache.clears")
 
 
 def cache_stats() -> dict:
-    """Snapshot of the memo's effectiveness (for run reports)."""
-    return {"size": len(_CACHE), "capacity": _CACHE.capacity, **METRICS.as_dict()}
+    """Snapshot of every cache level's effectiveness (for run reports)."""
+    disk = _DISK  # report only if instantiated; don't force creation
+    out = {"size": len(_CACHE), "capacity": _CACHE.capacity, **METRICS.as_dict()}
+    out["programs"] = len(_PROGRAMS)
+    out["translations"] = _TRANSLATIONS.stats()
+    if disk is not None:
+        out["disk"] = disk.stats()
+    return out
 
 
 class RunGrid:
@@ -67,6 +278,20 @@ class RunGrid:
         self.config_names: List[str] = list(config_names)
         self.scale = scale
 
+    def cells(self) -> List[Cell]:
+        """The grid's work-list, row-major."""
+        return [
+            (workload, config, self.scale)
+            for workload in self.workloads
+            for config in self.config_names
+        ]
+
+    def materialize(self, jobs: int = 1) -> "RunGrid":
+        """Compute every cell (fanning out over ``jobs`` workers), so
+        subsequent :meth:`row`/:meth:`column` calls are cache hits."""
+        run_many(self.cells(), jobs=jobs)
+        return self
+
     def result(self, workload: str, config_name: str) -> TimingRunResult:
         return run_one(workload, config_name, self.scale)
 
@@ -75,3 +300,10 @@ class RunGrid:
 
     def row(self, workload: str) -> List[TimingRunResult]:
         return [self.result(workload, c) for c in self.config_names]
+
+
+def grid_cells(
+    workloads: Sequence[str], config_names: Sequence[str], scale: float
+) -> List[Cell]:
+    """Work-list helper for callers assembling multi-figure sweeps."""
+    return RunGrid(workloads, config_names, scale).cells()

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 
 class HostReg(enum.IntEnum):
     """The 32 host registers with MIPS ABI names."""
+    __hash__ = int.__hash__  # dict-key hot path; Enum hashes the *name*
 
     ZERO = 0
     AT = 1
@@ -100,6 +101,7 @@ TEMP_REGS: Tuple[HostReg, ...] = (
 
 class HostOp(enum.Enum):
     """Semantic host opcodes."""
+    __hash__ = object.__hash__  # scheduler/cost dict key; identity == equality
 
     # R-type ALU
     ADDU = "addu"
@@ -159,6 +161,8 @@ class ExitReason(enum.IntEnum):
 
     Encoded in the immediate field of ``EXITB``.
     """
+
+    __hash__ = int.__hash__
 
     BRANCH = 0  # next guest PC in $v0 (chainable for direct targets)
     SYSCALL = 1  # guest INT 0x80; $v0 holds the *resume* guest PC
@@ -262,39 +266,46 @@ class HostInstr:
 
     def reads(self) -> Tuple[HostReg, ...]:
         """Registers this instruction reads (for scheduling/liveness)."""
-        op = self.op
-        if op in R_TYPE_OPS:
-            return (self.rs, self.rt)
-        if op in (HostOp.SLL, HostOp.SRL, HostOp.SRA):
-            return (self.rt,)
-        if op in (HostOp.MULT, HostOp.MULTU, HostOp.DIV, HostOp.DIVU):
-            return (self.rs, self.rt)
-        if op in I_ALU_OPS or op in LOAD_OPS:
-            return (self.rs,)
-        if op in STORE_OPS:
-            return (self.rs, self.rt)
-        if op in BRANCH2_OPS:
-            return (self.rs, self.rt)
-        if op in BRANCH1_OPS or op in (HostOp.JR, HostOp.JALR):
-            return (self.rs,)
-        if op is HostOp.EXITB:
-            return (HostReg.V0,)
-        return ()
+        return _READS[self.op](self)
 
     def writes(self) -> Optional[HostReg]:
         """The register this instruction writes, if any."""
-        op = self.op
-        if op in R_TYPE_OPS or op in (HostOp.SLL, HostOp.SRL, HostOp.SRA):
-            return self.rd
-        if op in (HostOp.MFHI, HostOp.MFLO):
-            return self.rd
-        if op in I_ALU_OPS or op is HostOp.LUI or op in LOAD_OPS:
-            return self.rt
-        if op is HostOp.JAL:
-            return HostReg.RA
-        if op is HostOp.JALR:
-            return self.rd
-        return None
+        return _WRITES[self.op](self)
+
+
+def _reads_fn(op: HostOp):
+    if op in R_TYPE_OPS or op in (HostOp.MULT, HostOp.MULTU, HostOp.DIV, HostOp.DIVU):
+        return lambda i: (i.rs, i.rt)
+    if op in (HostOp.SLL, HostOp.SRL, HostOp.SRA):
+        return lambda i: (i.rt,)
+    if op in I_ALU_OPS or op in LOAD_OPS:
+        return lambda i: (i.rs,)
+    if op in STORE_OPS or op in BRANCH2_OPS:
+        return lambda i: (i.rs, i.rt)
+    if op in BRANCH1_OPS or op in (HostOp.JR, HostOp.JALR):
+        return lambda i: (i.rs,)
+    if op is HostOp.EXITB:
+        return lambda i: (HostReg.V0,)
+    return lambda i: ()
+
+
+def _writes_fn(op: HostOp):
+    if op in R_TYPE_OPS or op in (HostOp.SLL, HostOp.SRL, HostOp.SRA):
+        return lambda i: i.rd
+    if op in (HostOp.MFHI, HostOp.MFLO, HostOp.JALR):
+        return lambda i: i.rd
+    if op in I_ALU_OPS or op is HostOp.LUI or op in LOAD_OPS:
+        return lambda i: i.rt
+    if op is HostOp.JAL:
+        return lambda i: HostReg.RA
+    return lambda i: None
+
+
+#: Per-opcode accessors: ``reads``/``writes`` sit on the scheduler's and
+#: verifier's innermost loops, where the original membership-test chain
+#: showed up in profiles.
+_READS = {op: _reads_fn(op) for op in HostOp}
+_WRITES = {op: _writes_fn(op) for op in HostOp}
 
 
 def nop() -> HostInstr:

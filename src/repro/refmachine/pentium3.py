@@ -32,6 +32,14 @@ class PentiumIIIModel:
     def on_instruction(self) -> None:
         self.instructions += 1
 
+    def on_instructions(self, count: int) -> None:
+        """Batched form of :meth:`on_instruction` (one call per block).
+
+        Exactly equivalent: instruction retirement and data-access
+        stalls accumulate independently, so interleaving doesn't matter.
+        """
+        self.instructions += count
+
     def on_access(self, address: int, is_write: bool) -> None:
         """One data access; charges hierarchy stalls beyond the L1 hit."""
         l1_result = self.l1.access(address, is_write)

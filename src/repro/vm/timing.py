@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.common.stats import StatSet
-from repro.guest.interpreter import AccessObserver, GuestInterpreter, StepEvent
+from repro.guest.interpreter import AccessObserver, GuestInterpreter
 from repro.guest.program import GuestProgram
 from repro.dbt.codecache import CodeCacheHierarchy, L1_CODE_CAPACITY
 from repro.dbt.speculative import TranslationSubsystem
@@ -46,24 +46,41 @@ METRICS_SAMPLE_INTERVAL_BLOCKS = 32
 
 
 class _TimingObserver(AccessObserver):
-    """Feeds each data access to the emulator memsys and the PIII model."""
+    """Feeds each data access to the emulator memsys and the PIII model.
+
+    This is the hottest non-interpreter call path (twice per guest
+    memory instruction), so the stable collaborators — the memory
+    system's ``access`` bound method, the PIII model's ``on_access``,
+    the SMC bookkeeping containers — are bound locally at construction
+    instead of being re-resolved through ``self.vm`` on every access.
+    """
 
     def __init__(self, vm: "TimingVM") -> None:
         self.vm = vm
+        self._memsys_access = vm.memsys.access
+        self._piii_on_access = vm.piii.on_access
+        self._code_pages = vm.code_pages  # mutated in place, never rebound
+        self._pending_smc = vm.pending_smc
+        self._text_start = vm._text_start
+        self._text_end = vm._text_end
 
     def on_read(self, address: int, size: int) -> None:
         self._access(address, False)
 
     def on_write(self, address: int, size: int) -> None:
+        # a store overlapping the executable section may change bytes
+        # the translator reads: age out cached translations
+        if address < self._text_end and address + size > self._text_start:
+            self.vm.code_writes += 1
         self._access(address, True)
 
     def _access(self, address: int, is_write: bool) -> None:
         vm = self.vm
-        outcome = vm.memsys.access(vm.now + vm.pending_stall, address, is_write)
+        outcome = self._memsys_access(vm.now + vm.pending_stall, address, is_write)
         vm.pending_stall += outcome.stall_cycles
-        vm.piii.on_access(address, is_write)
-        if is_write and (address >> 12) in vm.code_pages:
-            vm.pending_smc.add(address >> 12)
+        self._piii_on_access(address, is_write)
+        if is_write and (address >> 12) in self._code_pages:
+            self._pending_smc.add(address >> 12)
 
 
 @dataclass
@@ -114,6 +131,8 @@ class TimingVM:
         config: VirtualArchConfig,
         stdin: bytes = b"",
         tracer=None,
+        translation_cache=None,
+        program_key=None,
     ) -> None:
         self.program = program
         self.config = config
@@ -137,6 +156,21 @@ class TimingVM:
             tracer=self.tracer,
         )
 
+        # self-modifying code bookkeeping (before the observer binds them)
+        self.code_pages: Dict[int, set] = {}  # page -> guest block addresses
+        self.pending_smc: set = set()
+        self.piii = PentiumIIIModel()
+        #: Stores into the executable section — the translation cache's
+        #: generation counter (a write here may change bytes the
+        #: translator reads, so cached translations must not outlive it).
+        self.code_writes = 0
+        try:
+            text = program.text
+            self._text_start, self._text_end = text.address, text.end
+        except ValueError:
+            self._text_start = self._text_end = 0
+            translation_cache = None  # can't track code writes: stay safe
+
         self.observer = _TimingObserver(self)
         self.interp = GuestInterpreter.for_program(program, stdin=stdin, observer=self.observer)
         for section in program.sections:
@@ -149,7 +183,18 @@ class TimingVM:
             # TLB-backed loads: PIII-class L1 hit (Table 11's fix)
             translation_config.load_latency = 3
             translation_config.load_occupancy = 1
-        translator = Translator(self._read_code, translation_config)
+        if translation_cache is not None:
+            from repro.dbt.transcache import CachingTranslator
+
+            translator = CachingTranslator(
+                self._read_code,
+                translation_config,
+                translation_cache,
+                program_key if program_key is not None else program.name,
+                lambda: self.code_writes,
+            )
+        else:
+            translator = Translator(self._read_code, translation_config)
         self.manager = Resource("manager")
         self.subsystem = TranslationSubsystem(
             translator,
@@ -172,7 +217,6 @@ class TimingVM:
             tracer=self.tracer,
         )
         self.syscall_tile = Resource("syscall_tile")
-        self.piii = PentiumIIIModel()
 
         self.morph: Optional[MorphController] = None
         if config.morphing:
@@ -187,9 +231,10 @@ class TimingVM:
         self.pending_stall = 0
         self.stats = StatSet("timing_vm")
         self._blocks_since_metrics = 0
-        # self-modifying code bookkeeping
-        self.code_pages: Dict[int, set] = {}  # page -> guest block addresses
-        self.pending_smc: set = set()
+        # block addresses whose code pages are already registered, and
+        # interned fetch-level stat keys — both avoid per-block rework
+        self._pages_registered: set = set()
+        self._fetch_stat_keys: Dict[str, str] = {}
 
     def _read_code(self, address: int, length: int) -> bytes:
         return self.interp.memory.read_bytes(address, length)
@@ -226,21 +271,29 @@ class TimingVM:
         lookup = self.hierarchy.fetch(self.now, pc, self._prev_pc, self._arrived_indirect)
         self.now = lookup.ready_time
         block = lookup.block
-        self.stats.bump("blocks_executed")
-        self.stats.bump(f"fetch_{lookup.level.replace('.', '_')}")
-        first_page = block.guest_address >> 12
-        last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
-        for page in range(first_page, last_page + 1):
-            self.code_pages.setdefault(page, set()).add(pc)
+        stats = self.stats
+        stats.bump("blocks_executed")
+        level = lookup.level
+        fetch_key = self._fetch_stat_keys.get(level)
+        if fetch_key is None:
+            fetch_key = "fetch_" + level.replace(".", "_")
+            self._fetch_stat_keys[level] = fetch_key
+        stats.bump(fetch_key)
+        if pc not in self._pages_registered:
+            self._pages_registered.add(pc)
+            first_page = block.guest_address >> 12
+            last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
+            for page in range(first_page, last_page + 1):
+                self.code_pages.setdefault(page, set()).add(pc)
 
         # functional execution of the block's guest instructions,
-        # with memory stalls accumulating into pending_stall
+        # with memory stalls accumulating into pending_stall; the
+        # interpreter's block fast path batches fetch/dispatch work and
+        # the PIII per-instruction accounting folds into one call
         self.pending_stall = 0
-        for _ in range(block.guest_instr_count):
-            self.piii.on_instruction()
-            self._executed_instructions += 1
-            if interp.step() is StepEvent.EXITED:
-                break
+        executed = interp.run_block_at(pc, block.guest_instr_count)
+        self.piii.on_instructions(executed)
+        self._executed_instructions += executed
         self.now += block.cost_cycles + self.pending_stall
 
         if block.exit_kind == "syscall" and interp.exit_code is None:
@@ -303,6 +356,8 @@ class TimingVM:
 
         for page in sorted(self.pending_smc):
             victims = self.code_pages.pop(page, set())
+            # victims must re-register their pages on next execution
+            self._pages_registered.difference_update(victims)
             self.subsystem.invalidate_range(page << 12, _PAGE)
             self.hierarchy.l15.invalidate(victims)
             self.hierarchy.l1.flush()
@@ -341,10 +396,18 @@ def run_timing(
     config: VirtualArchConfig,
     stdin: bytes = b"",
     tracer=None,
+    translation_cache=None,
+    program_key=None,
 ) -> TimingRunResult:
     """Convenience wrapper: build a :class:`TimingVM` and run it.
 
     Pass a :class:`repro.obs.events.Tracer` to capture a cycle-stamped
-    event trace; by default the zero-cost null sink is used.
+    event trace; by default the zero-cost null sink is used.  Pass a
+    :class:`repro.dbt.transcache.TranslationCache` (plus a stable
+    ``program_key``) to reuse translations across runs of the same
+    program — results are bit-identical either way.
     """
-    return TimingVM(program, config, stdin=stdin, tracer=tracer).run()
+    return TimingVM(
+        program, config, stdin=stdin, tracer=tracer,
+        translation_cache=translation_cache, program_key=program_key,
+    ).run()

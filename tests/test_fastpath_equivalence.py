@@ -1,0 +1,118 @@
+"""Block fast path vs per-step execution: exact equivalence.
+
+``GuestInterpreter.run_block_at`` must be indistinguishable from the
+same number of ``step()`` calls — identical architectural state, flags,
+instruction counts and exit codes — on the full workload suite and on
+hand-built edge cases (mid-block exits, control-flow deviation from the
+pre-resolved plan, self-modifying code).
+"""
+
+import pytest
+
+from repro.guest.assembler import assemble
+from repro.guest.interpreter import GuestInterpreter, StepEvent
+from repro.workloads import SPECINT_NAMES, build_workload
+
+SCALE = 0.05
+
+#: Chunk sizes stressing plan reuse, fallback and mid-plan exits.
+CHUNKS = (1, 2, 3, 5, 8, 13)
+
+
+def _run_stepwise(program, max_instructions=10_000_000):
+    interp = GuestInterpreter.for_program(program)
+    interp.run(max_instructions=max_instructions)
+    return interp
+
+
+def _run_blockwise(program, max_instructions=10_000_000):
+    """Drive the program exclusively through the block fast path."""
+    interp = GuestInterpreter.for_program(program)
+    executed = 0
+    chunk_index = 0
+    while interp.exit_code is None:
+        count = CHUNKS[chunk_index % len(CHUNKS)]
+        chunk_index += 1
+        executed += interp.run_block_at(interp.state.eip, count)
+        if executed > max_instructions:
+            raise AssertionError("fast path ran away")
+    return interp
+
+
+@pytest.mark.parametrize("name", SPECINT_NAMES)
+def test_workload_suite_equivalence(name):
+    stepwise = _run_stepwise(build_workload(name, scale=SCALE))
+    blockwise = _run_blockwise(build_workload(name, scale=SCALE))
+    assert blockwise.exit_code == stepwise.exit_code
+    assert blockwise.stats["instructions"] == stepwise.stats["instructions"]
+    assert blockwise.state.snapshot() == stepwise.state.snapshot()
+    assert blockwise.stats.as_dict() == stepwise.stats.as_dict()
+
+
+def test_plan_deviation_falls_back_to_stepping():
+    """A taken branch mid-plan must not execute the stale straight-line
+    tail: the fast path follows EIP exactly like step() does."""
+    source = """
+        mov eax, 0
+        cmp eax, 0
+        je  done
+        mov eax, 111
+        mov eax, 222
+    done:
+        mov ebx, 7
+        mov eax, 1
+        int 0x80
+    """
+    program = assemble(source)
+    fast = GuestInterpreter.for_program(program)
+    # one oversized "block": the plan covers the not-taken path, but
+    # execution branches away after 3 instructions
+    fast.run_block_at(fast.state.eip, 8)
+    slow = GuestInterpreter.for_program(program)
+    while slow.exit_code is None:
+        slow.step()
+    assert fast.exit_code == slow.exit_code == 7
+    assert fast.state.snapshot() == slow.state.snapshot()
+    assert fast.stats.as_dict() == slow.stats.as_dict()
+
+
+def test_mid_block_exit_counts_exiting_instruction():
+    source = """
+        mov ecx, 5
+        mov ebx, 3
+        mov eax, 1
+        int 0x80
+        mov ecx, 9
+    """
+    program = assemble(source)
+    interp = GuestInterpreter.for_program(program)
+    executed = interp.run_block_at(interp.state.eip, 5)
+    assert interp.exit_code == 3
+    assert executed == 4  # the INT executes and counts; the tail doesn't
+    assert interp.stats["instructions"] == 4
+
+
+def test_exited_interpreter_executes_nothing():
+    program = assemble("mov ebx, 0\n mov eax, 1\n int 0x80")
+    interp = GuestInterpreter.for_program(program)
+    while interp.exit_code is None:
+        interp.step()
+    assert interp.run_block_at(interp.state.eip, 4) == 0
+
+
+def test_plans_invalidate_on_decode_cache_flush():
+    program = assemble("mov eax, 2\n mov ebx, 0\n mov eax, 1\n int 0x80")
+    interp = GuestInterpreter.for_program(program)
+    interp.run_block_at(interp.state.eip, 1)
+    assert interp._block_plans
+    interp.invalidate_decode_cache()
+    assert not interp._block_plans
+
+
+def test_step_api_unchanged():
+    program = assemble("mov ebx, 0\n mov eax, 1\n int 0x80")
+    interp = GuestInterpreter.for_program(program)
+    assert interp.step() is StepEvent.OK
+    assert interp.step() is StepEvent.OK
+    assert interp.step() is StepEvent.EXITED
+    assert interp.exit_code == 0

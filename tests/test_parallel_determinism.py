@@ -1,0 +1,68 @@
+"""Parallel-vs-serial determinism: the figures must be byte-identical.
+
+Every timing run is deterministic (fixed PRNG seeds, no wall-clock in
+the simulation), so executing the grid on a process pool must produce
+exactly the figures a serial sweep does.
+"""
+
+import pytest
+
+from repro.harness.figures import figure4_l15_cache
+from repro.harness.runner import (
+    RunGrid,
+    clear_cache,
+    configure_disk_cache,
+    run_many,
+    run_one,
+)
+
+SCALE = 0.1
+SMALL = ["164.gzip", "181.mcf"]
+CONFIGS = ["no_l15", "l15_64k"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path):
+    """Each test gets a cold memo and its own throwaway disk root."""
+    configure_disk_cache(enabled=True, root=tmp_path)
+    clear_cache()
+    yield
+    configure_disk_cache(enabled=False)
+    clear_cache()
+
+
+def test_run_many_matches_run_one(tmp_path):
+    cells = [(w, c, SCALE) for w in SMALL for c in CONFIGS]
+    parallel = run_many(cells, jobs=2)
+    configure_disk_cache(enabled=True, root=tmp_path / "serial")
+    clear_cache()
+    for workload, config, scale in cells:
+        serial = run_one(workload, config, scale)
+        result = parallel[(workload, config, scale)]
+        assert result.cycles == serial.cycles
+        assert result.piii_cycles == serial.piii_cycles
+        assert result.guest_instructions == serial.guest_instructions
+        assert result.stats == serial.stats
+
+
+def test_figures_byte_identical_across_job_counts(tmp_path):
+    serial = figure4_l15_cache(workloads=SMALL, scale=SCALE, jobs=1).render()
+    configure_disk_cache(enabled=True, root=tmp_path / "par")
+    clear_cache()
+    parallel = figure4_l15_cache(workloads=SMALL, scale=SCALE, jobs=4).render()
+    assert parallel == serial
+
+
+def test_materialize_populates_memo(tmp_path):
+    grid = RunGrid(SMALL, CONFIGS, SCALE).materialize(jobs=2)
+    # every row is now a memo hit: identical objects on repeat access
+    row1 = grid.row(SMALL[0])
+    row2 = grid.row(SMALL[0])
+    assert all(a is b for a, b in zip(row1, row2))
+
+
+def test_run_many_dedupes_work_list():
+    configure_disk_cache(enabled=False)
+    cells = [("164.gzip", "no_l15", SCALE)] * 3
+    results = run_many(cells, jobs=1)
+    assert len(results) == 1
