@@ -51,7 +51,15 @@ class TranslationConfig:
     #: A violation raises :class:`repro.verify.VerificationError` naming
     #: the stage that introduced it.  Costs roughly 2x translation time;
     #: off in the timing runs, on in the verification suite and CLI.
-    checked: bool = False
+    #: The string ``"equiv"`` additionally runs symbolic translation
+    #: validation (:mod:`repro.verify.equiv`): guest ≡ IR after the
+    #: frontend, IR ≡ IR across every optimizer pass, and IR ≡ host
+    #: after codegen and scheduling.
+    checked: "bool | str" = False
+    #: random input vectors per unproved equivalence obligation and the
+    #: base seed they derive from (``checked="equiv"`` only)
+    equiv_vectors: int = 8
+    equiv_seed: int = 0x5EED
 
 
 class Translator:
@@ -61,6 +69,9 @@ class Translator:
         self.read_code = read_code
         self.config = config or TranslationConfig()
         self.stats = StatSet("translator")
+        #: aggregate :class:`repro.verify.equiv.EquivStats` across all
+        #: blocks this translator checked (``checked="equiv"`` only)
+        self.equiv_stats = None
 
     def translate(self, guest_pc: int) -> TranslatedBlock:
         """Translate the guest basic block at ``guest_pc``."""
@@ -73,14 +84,34 @@ class Translator:
         if self.config.optimize or checked:
             live_out = self._exit_flag_liveness(ir)
         observer = None
+        equiv_checker = None
         if checked:
             from repro.verify.irverify import assert_ir_ok
 
             context = f"block {guest_pc:#x}"
             assert_ir_ok(ir, live_out, stage="frontend", context=context)
-            observer = lambda name, blk: assert_ir_ok(  # noqa: E731
+            static_observer = lambda name, blk: assert_ir_ok(  # noqa: E731
                 blk, live_out, stage=name, context=context
             )
+            observer = static_observer
+            if checked == "equiv":
+                from repro.verify.equiv import EquivChecker, EquivStats
+
+                if self.equiv_stats is None:
+                    self.equiv_stats = EquivStats()
+                equiv_checker = EquivChecker(
+                    guest,
+                    ir,
+                    live_out,
+                    vectors=self.config.equiv_vectors,
+                    seed=self.config.equiv_seed,
+                    context=context,
+                    stats=self.equiv_stats,
+                )
+
+                def observer(name, blk):  # noqa: ANN001
+                    static_observer(name, blk)
+                    equiv_checker.observe(name, blk)
 
         cost = TRANSLATE_BASE_COST + TRANSLATE_PER_GUEST_INSTR * ir.guest_instr_count
         if self.config.optimize:
@@ -97,11 +128,15 @@ class Translator:
             from repro.verify.hostverify import assert_host_ok
 
             assert_host_ok(block, stage="codegen", context=context)
+            if equiv_checker is not None:
+                equiv_checker.check_host(block.instrs, "codegen")
         if self.config.optimize:
             pinned = [stub.offset_words for stub in block.exit_stubs]
             block.instrs = schedule_block(block.instrs, pinned=pinned)
             if checked:
                 assert_host_ok(block, stage=SCHEDULER_PASS_NAME, context=context)
+                if equiv_checker is not None:
+                    equiv_checker.check_host(block.instrs, SCHEDULER_PASS_NAME)
         from repro.dbt.cost import estimate_block_cost
 
         block.cost_cycles = estimate_block_cost(

@@ -1,0 +1,119 @@
+"""Parallel symbolic-equivalence sweep over guest programs.
+
+One row per program: translate every reachable block with
+``TranslationConfig(checked="equiv")`` and aggregate the obligation
+counts.  Rows are plain picklable dataclasses so the sweep can fan out
+over worker processes (``jobs=N``), mirroring the figure runners in
+:mod:`repro.harness.runner`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.dbt.translator import TranslationConfig
+from repro.guest.assembler import AssemblyError, assemble
+from repro.guest.program import GuestProgram
+from repro.verify.equiv import DEFAULT_SEED, DEFAULT_VECTORS
+from repro.verify.findings import VerificationError
+from repro.verify.pipeline import checked_translate_program
+from repro.workloads.suite import SPECINT_NAMES, build_workload
+
+
+@dataclass
+class EquivSweepRow:
+    """Outcome of symbolically validating one program's translation."""
+
+    name: str
+    blocks: int = 0
+    proved: int = 0
+    validated: int = 0
+    refuted: int = 0
+    skipped: int = 0
+    seconds: float = 0.0
+    warnings: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.refuted == 0
+
+    def __str__(self) -> str:
+        if self.error is not None:
+            return f"{self.name}: FAILED ({self.error.splitlines()[0]})"
+        status = "ok" if self.ok else "REFUTED"
+        note = f", {self.skipped} skipped" if self.skipped else ""
+        return (
+            f"{self.name}: {status} — {self.blocks} blocks, "
+            f"{self.proved} proved + {self.validated} validated{note} "
+            f"[{self.seconds:.1f}s]"
+        )
+
+
+def load_program(name: str, scale: float) -> GuestProgram:
+    """A built-in workload by name, or an assembly file by path."""
+    if name in SPECINT_NAMES:
+        return build_workload(name, scale=scale)
+    path = Path(name)
+    if not path.exists():
+        raise ValueError(
+            f"{name!r} is neither a workload ({', '.join(SPECINT_NAMES)}) "
+            "nor an assembly file"
+        )
+    try:
+        return assemble(path.read_text(), name=path.name)
+    except AssemblyError as err:
+        raise ValueError(f"{name}: {err}") from err
+
+
+def sweep_one(
+    name: str,
+    scale: float = 0.1,
+    vectors: int = DEFAULT_VECTORS,
+    seed: int = DEFAULT_SEED,
+) -> EquivSweepRow:
+    """Equivalence-check every reachable block of one program."""
+    row = EquivSweepRow(name=name)
+    started = time.perf_counter()
+    try:
+        program = load_program(name, scale)
+        config = TranslationConfig(checked="equiv", equiv_vectors=vectors, equiv_seed=seed)
+        result = checked_translate_program(program, config)
+    except (ValueError, VerificationError) as err:
+        row.error = str(err)
+        row.seconds = time.perf_counter() - started
+        return row
+    row.seconds = time.perf_counter() - started
+    stats = result.equiv
+    if stats is not None:
+        row.blocks = stats.blocks
+        row.proved = stats.proved
+        row.validated = stats.validated
+        row.refuted = stats.refuted
+        row.skipped = stats.skipped
+        row.warnings = [str(finding) for finding in stats.findings]
+    return row
+
+
+def _sweep_args(args) -> EquivSweepRow:
+    return sweep_one(*args)
+
+
+def run_sweep(
+    names: Optional[Sequence[str]] = None,
+    scale: float = 0.1,
+    vectors: int = DEFAULT_VECTORS,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+) -> List[EquivSweepRow]:
+    """Sweep many programs, optionally across worker processes."""
+    targets = list(names) if names else list(SPECINT_NAMES)
+    work = [(name, scale, vectors, seed) for name in targets]
+    if jobs <= 1 or len(work) <= 1:
+        return [_sweep_args(args) for args in work]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(_sweep_args, work))

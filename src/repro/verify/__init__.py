@@ -13,10 +13,20 @@ Three cooperating analyzers:
   guest VX86 images (unreachable code, overlapping decode, CALL/RET
   imbalance, undefined flag reads).
 
+Plus one dynamic-semantics layer:
+
+* :mod:`repro.verify.equiv` — symbolic translation validation over
+  the bitvector engine in :mod:`repro.verify.symexec`: per translated
+  block it proves guest ≡ IR after the frontend, IR ≡ IR across every
+  optimizer pass (modulo dead flags), and IR ≡ host after codegen and
+  scheduling (``TranslationConfig(checked="equiv")``).
+
 ``python -m repro.verify <program>`` runs the lint plus a checked
-translation sweep over a workload or assembly file.
+translation sweep over a workload or assembly file; ``python -m
+repro.verify equiv`` runs the symbolic equivalence sweep.
 """
 
+from repro.verify.equiv import EquivChecker, EquivStats
 from repro.verify.findings import Finding, Severity, VerificationError, worst_severity
 from repro.verify.guestlint import GuestLintReport, lint_bytes, lint_program
 from repro.verify.hostverify import assert_host_ok, verify_host_block
@@ -37,4 +47,6 @@ __all__ = [
     "lint_bytes",
     "SweepResult",
     "checked_translate_program",
+    "EquivChecker",
+    "EquivStats",
 ]

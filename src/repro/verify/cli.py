@@ -1,52 +1,47 @@
-"""Command line front door: ``python -m repro.verify <program> ...``.
+"""Command line front door: ``python -m repro.verify [command] ...``.
 
-Each positional argument is either the name of a built-in SPECint-like
-workload (see ``--list``) or a path to a VX86 assembly file.  For every
-program the tool runs the guest-binary lint
-(:mod:`repro.verify.guestlint`) and — unless ``--no-translate`` — a
-checked translation sweep (:mod:`repro.verify.pipeline`) that verifies
-the IR after every optimizer pass and the generated host code for every
-reachable block.
+Subcommands (the bare legacy form ``python -m repro.verify <program>``
+still runs lint + checked sweep, unchanged):
 
-Exit status is 1 if any program produced an ERROR-severity finding or
-failed checked translation, 0 otherwise.
+* ``lint`` — guest-binary static analysis only;
+* ``sweep`` — checked translation sweep: IR verified after the
+  frontend and every optimizer pass, host code after codegen and
+  scheduling;
+* ``equiv`` — symbolic translation validation: prove every reachable
+  block's guest ≡ IR ≡ host equivalence (``--jobs`` fans out across
+  processes).
+
+Every command exits non-zero iff it produced a finding of ERROR
+severity (warnings and INFO notes never fail the run), so CI can gate
+on any of them uniformly.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
-from typing import List
+from typing import List, Optional
 
-from repro.guest.assembler import AssemblyError, assemble
-from repro.guest.program import GuestProgram
 from repro.verify.findings import Severity, VerificationError
 from repro.verify.guestlint import lint_program
 from repro.verify.pipeline import checked_translate_program
-from repro.workloads.suite import SPECINT_NAMES, build_workload
+from repro.workloads.suite import SPECINT_NAMES
+
+_COMMANDS = ("lint", "sweep", "equiv")
 
 
-def _load(name: str, scale: float) -> GuestProgram:
-    if name in SPECINT_NAMES:
-        return build_workload(name, scale=scale)
-    path = Path(name)
-    if not path.exists():
-        raise SystemExit(
-            f"error: {name!r} is neither a workload ({', '.join(SPECINT_NAMES)}) "
-            "nor an assembly file"
-        )
+def _load(name: str, scale: float):
+    from repro.harness.equivsweep import load_program
+
     try:
-        return assemble(path.read_text(), name=path.name)
-    except AssemblyError as err:
-        raise SystemExit(f"error: {name}: {err}") from err
+        return load_program(name, scale)
+    except ValueError as err:
+        raise SystemExit(f"error: {err}") from err
 
 
-def _run_one(name: str, args: argparse.Namespace) -> bool:
-    """Lint (and optionally checked-translate) one program; True if clean."""
+def _lint_one(name: str, args: argparse.Namespace) -> bool:
     program = _load(name, args.scale)
     print(f"== {name} ==")
-
     report = lint_program(program)
     print(
         f"guestlint: {report.reachable_instructions} reachable instructions, "
@@ -62,30 +57,51 @@ def _run_one(name: str, args: argparse.Namespace) -> bool:
         print(f"  {finding}")
     if len(shown) > limit:
         print(f"  ... and {len(shown) - limit} more (use -v to see all)")
-    ok = not report.errors
-
-    if not args.no_translate:
-        try:
-            sweep = checked_translate_program(program)
-        except VerificationError as err:
-            print(f"checked translation FAILED:\n{err}")
-            ok = False
-        else:
-            print(
-                f"checked translation: {sweep.block_count} blocks, "
-                f"{sweep.guest_instructions} guest -> {sweep.host_instructions} host "
-                "instructions, all verifier-clean"
-            )
-            if sweep.faults:
-                print(f"  ({len(sweep.faults)} statically undecodable block starts skipped)")
-    return ok
+    return not report.errors
 
 
-def main(argv: List[str] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.verify",
-        description="Static verification of guest programs and their translations.",
+def _sweep_one(name: str, args: argparse.Namespace) -> bool:
+    program = _load(name, args.scale)
+    try:
+        sweep = checked_translate_program(program)
+    except VerificationError as err:
+        print(f"{name}: checked translation FAILED:\n{err}")
+        return False
+    print(
+        f"{name}: checked translation: {sweep.block_count} blocks, "
+        f"{sweep.guest_instructions} guest -> {sweep.host_instructions} host "
+        "instructions, all verifier-clean"
     )
+    if sweep.faults:
+        print(f"  ({len(sweep.faults)} statically undecodable block starts skipped)")
+    return True
+
+
+def _run_equiv(names: List[str], args: argparse.Namespace) -> bool:
+    from repro.harness.equivsweep import run_sweep
+
+    rows = run_sweep(
+        names, scale=args.scale, vectors=args.vectors, seed=args.seed, jobs=args.jobs
+    )
+    clean = True
+    for row in rows:
+        print(row)
+        if args.verbose:
+            for warning in row.warnings:
+                print(f"  {warning}")
+        clean = clean and row.ok
+    total_blocks = sum(row.blocks for row in rows)
+    total_proved = sum(row.proved for row in rows)
+    total_validated = sum(row.validated for row in rows)
+    total_refuted = sum(row.refuted for row in rows)
+    print(
+        f"total: {total_blocks} blocks, {total_proved} proved, "
+        f"{total_validated} validated, {total_refuted} refuted"
+    )
+    return clean
+
+
+def _common_arguments(parser: argparse.ArgumentParser, equiv: bool = False) -> None:
     parser.add_argument(
         "programs", nargs="*",
         help="workload names and/or VX86 .asm files (default: all workloads)",
@@ -93,12 +109,39 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--list", action="store_true", help="list built-in workloads and exit")
     parser.add_argument("--scale", type=float, default=0.1,
                         help="workload scale factor (default 0.1; code size is scale-invariant)")
-    parser.add_argument("--no-translate", action="store_true",
-                        help="guest lint only; skip the checked translation sweep")
     parser.add_argument("--max-findings", type=int, default=10,
                         help="findings shown per program (default 10)")
     parser.add_argument("-v", "--verbose", action="store_true",
-                        help="show INFO findings without truncation")
+                        help="show INFO findings / skip warnings without truncation")
+    if equiv:
+        parser.add_argument("--vectors", type=int, default=8,
+                            help="random vectors per unproved obligation (default 8)")
+        parser.add_argument("--seed", type=int, default=0x5EED,
+                            help="base seed for the refutation vectors")
+        parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the sweep (default 1)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    command = "check"
+    if argv and argv[0] in _COMMANDS:
+        command, argv = argv[0], argv[1:]
+
+    descriptions = {
+        "check": "Static verification of guest programs and their translations.",
+        "lint": "Guest-binary static analysis (CFG recovery, decode and flag lint).",
+        "sweep": "Checked translation sweep with the static IR/host verifiers.",
+        "equiv": "Symbolic translation validation: prove guest = IR = host per block.",
+    }
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.verify{'' if command == 'check' else ' ' + command}",
+        description=descriptions[command],
+    )
+    _common_arguments(parser, equiv=command == "equiv")
+    if command == "check":
+        parser.add_argument("--no-translate", action="store_true",
+                            help="guest lint only; skip the checked translation sweep")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -106,10 +149,16 @@ def main(argv: List[str] = None) -> int:
         return 0
 
     names = list(args.programs) or list(SPECINT_NAMES)
-    clean = True
-    for name in names:
-        if not _run_one(name, args):
-            clean = False
+    if command == "equiv":
+        clean = _run_equiv(names, args)
+    else:
+        clean = True
+        for name in names:
+            if command in ("check", "lint") and not _lint_one(name, args):
+                clean = False
+            if command == "sweep" or (command == "check" and not args.no_translate):
+                if not _sweep_one(name, args):
+                    clean = False
     if not clean:
         print("FAIL: errors found", file=sys.stderr)
     return 0 if clean else 1

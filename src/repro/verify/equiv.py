@@ -1,0 +1,372 @@
+"""Per-block symbolic translation validation (guest ≡ IR ≡ host).
+
+For every translated block, :class:`EquivChecker` builds symbolic final
+states with the three evaluators in :mod:`repro.verify.symexec` and
+proves a chain of proof obligations:
+
+* **frontend** — the decoded guest block and the freshly lowered IR
+  compute the same registers, flags, memory, exit and faults;
+* **one obligation per optimizer pass** — the IR before and after the
+  pass agree *modulo dead flags*: flags outside the block's live-out
+  demand (successor flag liveness, re-derived independently of the
+  deadflags pass, plus any flags the terminator's condition reads) are
+  exempt;
+* **codegen / scheduler** — the final IR and the emitted R32 host code
+  agree under the same modulo rule, with the host semantics derived
+  purely from the R32 ISA (packed ``$t8`` flag word and all).
+
+Discharge is by normalization first: both sides intern into one
+hash-consed expression table, so equal-after-rewriting terms are the
+*same object* and the obligation is **proved**.  Anything left over is
+evaluated on K seeded random input vectors (repaired to satisfy the
+block's guard assumptions): a mismatch is a genuine counterexample and
+raises :class:`~repro.verify.findings.VerificationError` naming the
+offending stage; agreement downgrades the obligation to **validated**.
+No SMT solver is involved anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bitops import MASK32
+from repro.dbt.frontend import GuestBlock
+from repro.dbt.ir import ALL_FLAGS_MASK, ExitKind, IRBlock
+from repro.guest.isa import ALL_FLAGS, CONDITION_FLAG_USES, Register
+from repro.host.isa import HostInstr
+
+from repro.verify.findings import Finding, Severity, VerificationError
+from repro.verify.symexec import expr as E
+from repro.verify.symexec import guest_sem, host_sem, ir_sem
+from repro.verify.symexec.concrete import Value, evaluate, make_vector, values_equal
+from repro.verify.symexec.expr import Expr
+from repro.verify.symexec.state import SymState, UnsupportedBlock, initial_state
+
+DEFAULT_VECTORS = 8
+DEFAULT_SEED = 0x5EED
+
+#: jump/branch/indirect all exit to "some next guest PC" — the PC
+#: expression obligation enforces the rest — while syscall and halt
+#: exits dispatch differently at runtime and must stay what they are.
+_EXIT_CLASS = {
+    "jump": "branch",
+    "branch": "branch",
+    "indirect": "branch",
+    "syscall": "syscall",
+    "halt": "halt",
+}
+
+_Obligation = Tuple[str, Expr, Expr]
+
+
+@dataclass
+class EquivStats:
+    """Aggregate outcome of equivalence checking across blocks/stages."""
+
+    blocks: int = 0
+    proved: int = 0
+    validated: int = 0
+    refuted: int = 0
+    skipped: int = 0
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def obligations(self) -> int:
+        return self.proved + self.validated + self.refuted + self.skipped
+
+    def merge(self, other: "EquivStats") -> None:
+        self.blocks += other.blocks
+        self.proved += other.proved
+        self.validated += other.validated
+        self.refuted += other.refuted
+        self.skipped += other.skipped
+        self.findings.extend(other.findings)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.blocks} blocks, {self.obligations} obligations: "
+            f"{self.proved} proved, {self.validated} validated, "
+            f"{self.refuted} refuted, {self.skipped} skipped"
+        )
+
+
+class EquivChecker:
+    """Validates one block's translation, stage by stage.
+
+    Construct it right after the frontend with the decoded guest block,
+    the freshly lowered (not yet optimized) IR and the exit flag
+    liveness; it immediately discharges the guest ≡ IR obligation.
+    Then hand :meth:`observe` to the optimizer as its pass observer, and
+    call :meth:`check_host` after codegen and again after scheduling.
+    """
+
+    def __init__(
+        self,
+        guest: GuestBlock,
+        ir: IRBlock,
+        live_out: int,
+        *,
+        vectors: int = DEFAULT_VECTORS,
+        seed: int = DEFAULT_SEED,
+        context: str = "",
+        stats: Optional[EquivStats] = None,
+    ) -> None:
+        self.vectors = max(1, vectors)
+        self.seed = seed
+        self.context = context
+        self.stats = stats if stats is not None else EquivStats()
+        self.stats.blocks += 1
+        self._disabled = False
+
+        # One intern table per block: all three evaluators share it, so
+        # identical-after-normalization subtrees are identical objects.
+        E.reset()
+        self._initial = initial_state()
+
+        self._mask = live_out
+        term = ir.terminator
+        if term.kind is ExitKind.BRANCH and term.cc is not None:
+            for flag in CONDITION_FLAG_USES[term.cc]:
+                self._mask |= 1 << int(flag)
+
+        try:
+            self._prev: Optional[SymState] = ir_sem.run_block(ir, self._initial.clone())
+        except UnsupportedBlock as err:
+            self._skip("frontend", err)
+            self._prev = None
+            self._disabled = True
+            return
+        try:
+            guest_init = self._initial.clone()
+            # DIV lowering guards EDX (plain or sign-extended); the guest
+            # evaluator keys off these assumptions, so seed them first.
+            guest_init.assumes = list(self._prev.assumes)
+            guest_state = guest_sem.run_block(guest, guest_init)
+        except UnsupportedBlock as err:
+            self._skip("frontend", err)
+        else:
+            # No pass has run yet, so even dead flags must agree.
+            self._compare(guest_state, self._prev, "frontend", ALL_FLAGS_MASK)
+
+    def observe(self, name: str, block: IRBlock) -> None:
+        """Optimizer pass observer: prove the pass preserved semantics."""
+        if self._disabled or self._prev is None:
+            return
+        try:
+            state = ir_sem.run_block(block, self._initial.clone())
+        except UnsupportedBlock as err:
+            self._skip(name, err)
+            self._disabled = True
+            return
+        self._compare(self._prev, state, name, self._mask)
+        self._prev = state
+
+    def check_host(self, instrs: Sequence[HostInstr], stage: str) -> None:
+        """Prove the emitted host code implements the final IR."""
+        if self._disabled or self._prev is None:
+            return
+        try:
+            host_state = host_sem.run_block(list(instrs), self._initial.clone())
+        except UnsupportedBlock as err:
+            self._skip(stage, err)
+            return
+        self._compare(self._prev, host_state, stage, self._mask)
+
+    # -- obligation discharge ---------------------------------------------
+
+    def _skip(self, stage: str, err: UnsupportedBlock) -> None:
+        self.stats.skipped += 1
+        self.stats.findings.append(
+            Finding(
+                analyzer="equiv",
+                severity=Severity.WARNING,
+                code="unsupported-block",
+                message=f"cannot symbolically evaluate: {err}",
+                stage=stage,
+            )
+        )
+
+    def _fail(self, stage: str, code: str, message: str) -> None:
+        self.stats.refuted += 1
+        finding = Finding(
+            analyzer="equiv",
+            severity=Severity.ERROR,
+            code=code,
+            message=message,
+            stage=stage,
+        )
+        self.stats.findings.append(finding)
+        raise VerificationError(stage, [finding], context=self.context)
+
+    def _compare(self, lhs: SymState, rhs: SymState, stage: str, flag_mask: int) -> None:
+        """Discharge lhs ≡ rhs (earlier stage ≡ later stage)."""
+        assert lhs.exit_kind is not None and rhs.exit_kind is not None
+        if _EXIT_CLASS[lhs.exit_kind] != _EXIT_CLASS[rhs.exit_kind]:
+            self._fail(
+                stage,
+                "exit-kind-mismatch",
+                f"exit kind changed: {lhs.exit_kind} vs {rhs.exit_kind}",
+            )
+
+        obligations: List[_Obligation] = []
+        for reg in Register:
+            obligations.append(
+                (f"reg {reg.name.lower()}", lhs.regs[int(reg)], rhs.regs[int(reg)])
+            )
+        for flag in ALL_FLAGS:
+            if flag_mask & (1 << int(flag)):
+                obligations.append(
+                    (f"flag {flag.name.lower()}", lhs.flags[flag], rhs.flags[flag])
+                )
+        obligations.append(("memory", lhs.mem, rhs.mem))
+        assert lhs.next_pc is not None and rhs.next_pc is not None
+        obligations.append(("next pc", lhs.next_pc, rhs.next_pc))
+
+        pending = [(label, a, b) for label, a, b in obligations if a is not b]
+        lhs_fault = _disjunction(lhs.faults)
+        rhs_fault = _disjunction(rhs.faults)
+        fault_pending = lhs_fault is not rhs_fault
+
+        if not pending and not fault_pending:
+            self.stats.proved += 1
+            return
+        self._refute_with_vectors(stage, pending, lhs_fault, rhs_fault, fault_pending, lhs, rhs)
+
+    def _refute_with_vectors(
+        self,
+        stage: str,
+        pending: List[_Obligation],
+        lhs_fault: Expr,
+        rhs_fault: Expr,
+        fault_pending: bool,
+        lhs: SymState,
+        rhs: SymState,
+    ) -> None:
+        assumes = _dedupe(lhs.assumes + rhs.assumes)
+        roots: List[Expr] = [lhs_fault, rhs_fault, *assumes]
+        for _, a, b in pending:
+            roots.append(a)
+            roots.append(b)
+        names: List[str] = []
+        ones_by_name: Dict[str, int] = {}
+        for root in roots:
+            for leaf in E.variables(root):
+                name = leaf.name or ""
+                if name not in ones_by_name:
+                    names.append(name)
+                    ones_by_name[name] = leaf.ones
+        # Registers outside the expressions still need bindings when an
+        # assumption repair rewrites one into view; bind every guest input.
+        for name in ("mem", *(reg.name.lower() for reg in Register)):
+            if name not in ones_by_name:
+                names.append(name)
+                ones_by_name[name] = MASK32
+
+        usable = 0
+        for k in range(self.vectors):
+            env = make_vector(self.seed + k, names, ones_by_name)
+            if fault_pending:
+                fl = evaluate(lhs_fault, env)
+                fr = evaluate(rhs_fault, env)
+                if fl == 1 and fr == 0:
+                    self._fail(
+                        stage,
+                        "fault-divergence",
+                        f"vector {k}: earlier stage faults where later stage does not",
+                    )
+            if not _repair_assumptions(assumes, env):
+                continue
+            usable += 1
+            for label, a, b in pending:
+                va = evaluate(a, env)
+                vb = evaluate(b, env)
+                if not values_equal(va, vb):
+                    self._fail(
+                        stage,
+                        "not-equivalent",
+                        f"{label} diverges on vector {k}: "
+                        f"{_render(va)} (before) vs {_render(vb)} (after)",
+                    )
+        if pending and usable == 0:
+            self.stats.skipped += 1
+            self.stats.findings.append(
+                Finding(
+                    analyzer="equiv",
+                    severity=Severity.WARNING,
+                    code="no-usable-vectors",
+                    message="no input vector satisfied the block's guard assumptions",
+                    stage=stage,
+                )
+            )
+            return
+        self.stats.validated += 1
+
+
+def _render(value: Value) -> str:
+    if isinstance(value, int):
+        return f"{value:#x}"
+    return "<memory image>"
+
+
+def _disjunction(faults: Sequence[Expr]) -> Expr:
+    if not faults:
+        return E.const(0)
+    return E.bor(*(E.ult(E.const(0), f) if f.ones & ~1 else f for f in faults))
+
+
+def _dedupe(exprs: Sequence[Expr]) -> List[Expr]:
+    seen: Dict[int, Expr] = {}
+    for e in exprs:
+        seen.setdefault(e.uid, e)
+    return list(seen.values())
+
+
+def _repair_assumptions(assumes: Sequence[Expr], env: Dict[str, Value]) -> bool:
+    """Nudge ``env`` until every assumption holds; False if we cannot."""
+    for _ in range(4):
+        dirty = False
+        for a in assumes:
+            if evaluate(a, env) == 1:
+                continue
+            if not _repair_one(a, env):
+                return False
+            dirty = True
+        if not dirty:
+            break
+    return all(evaluate(a, env) == 1 for a in assumes)
+
+
+def _repair_one(a: Expr, env: Dict[str, Value]) -> bool:
+    if a.op == "eq":
+        x, y = a.args
+        return _bind(x, y, env, equal=True) or _bind(y, x, env, equal=True)
+    if (
+        a.op == "bxor"
+        and len(a.args) == 2
+        and a.args[0].op == "const"
+        and a.args[0].value == 1
+        and a.args[1].op == "eq"
+    ):
+        x, y = a.args[1].args
+        return _bind(x, y, env, equal=False) or _bind(y, x, env, equal=False)
+    return False
+
+
+def _bind(target: Expr, source: Expr, env: Dict[str, Value], *, equal: bool) -> bool:
+    if target.op != "var" or target.name is None:
+        return False
+    if any(leaf is target for leaf in E.variables(source)):
+        return False
+    value = evaluate(source, env)
+    if not isinstance(value, int):
+        return False
+    if equal:
+        env[target.name] = value & target.ones
+        return env[target.name] == value
+    for delta in (1, 2, 3):
+        candidate = (value + delta) & target.ones
+        if candidate != value:
+            env[target.name] = candidate
+            return True
+    return False

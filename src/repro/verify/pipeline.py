@@ -30,6 +30,8 @@ class SweepResult:
     guest_instructions: int = 0
     host_instructions: int = 0
     faults: List[int] = field(default_factory=list)
+    #: symbolic equivalence statistics (``checked="equiv"`` sweeps only)
+    equiv: "object" = None
 
     @property
     def block_count(self) -> int:
@@ -57,7 +59,10 @@ def checked_translate_program(
     in :attr:`SweepResult.faults` rather than raised, since only
     execution can tell whether they are reachable.
     """
-    config = replace(config, checked=True) if config else TranslationConfig(checked=True)
+    if config is None:
+        config = TranslationConfig(checked=True)
+    elif not config.checked:
+        config = replace(config, checked=True)
     memory = GuestMemory()
     program.load(memory)
     translator = Translator(lambda addr, length: memory.read_bytes(addr, length), config)
@@ -77,4 +82,5 @@ def checked_translate_program(
         result.guest_instructions += block.guest_instr_count
         result.host_instructions += len(block.instrs)
         worklist.extend(_successors(block))
+    result.equiv = translator.equiv_stats
     return result

@@ -1,0 +1,28 @@
+"""Symbolic execution core for translation validation.
+
+A small 32-bit bitvector expression language with a normalizing,
+hash-consing constructor layer (:mod:`~repro.verify.symexec.expr`),
+a concrete evaluator used to refute non-equivalences with random
+vectors (:mod:`~repro.verify.symexec.concrete`), and three symbolic
+evaluators producing a :class:`~repro.verify.symexec.state.SymState`
+each — over decoded guest blocks, over UCode IR, and over generated
+R32 host code.  :mod:`repro.verify.equiv` compares their outputs.
+"""
+
+from repro.verify.symexec import expr
+from repro.verify.symexec.concrete import MemImage, evaluate, make_vector, values_equal
+from repro.verify.symexec.expr import Expr
+from repro.verify.symexec.state import REG_VAR_NAMES, SymState, UnsupportedBlock, initial_state
+
+__all__ = [
+    "expr",
+    "Expr",
+    "MemImage",
+    "evaluate",
+    "make_vector",
+    "values_equal",
+    "SymState",
+    "UnsupportedBlock",
+    "initial_state",
+    "REG_VAR_NAMES",
+]

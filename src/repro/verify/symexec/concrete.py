@@ -1,0 +1,224 @@
+"""Concrete evaluation of symbolic expressions over random input vectors.
+
+When normalization fails to prove two expressions identical, the
+equivalence checker evaluates both over K seeded random vectors.  A
+mismatch is a genuine counterexample (the evaluator implements the same
+total semantics on both sides); agreement on all vectors downgrades the
+obligation from *proved* to *validated*.
+
+Memory is modeled as a deterministic pseudo-random base image (a PRF of
+the vector seed and address) plus an overlay of symbolically-stored
+bytes, so two memory expressions compare equal iff they agree on every
+byte either side ever wrote.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Union
+
+from repro.common.bitops import MASK32, parity8, to_signed32, u32
+
+from repro.verify.symexec.expr import Expr
+
+_INTERESTING = (
+    0,
+    1,
+    2,
+    0x7F,
+    0x80,
+    0xFF,
+    0x100,
+    0x7FFF,
+    0x8000,
+    0xFFFF,
+    0x7FFFFFFF,
+    0x80000000,
+    0xFFFFFFFF,
+    0xFFFFFFFE,
+    0x12345678,
+)
+
+
+class MemImage:
+    """Base PRF image plus an overlay of concretely-written bytes."""
+
+    __slots__ = ("seed", "overlay")
+
+    def __init__(self, seed: int, overlay: Optional[Dict[int, int]] = None) -> None:
+        self.seed = seed
+        self.overlay = overlay if overlay is not None else {}
+
+    def read_byte(self, address: int) -> int:
+        address &= MASK32
+        got = self.overlay.get(address)
+        if got is not None:
+            return got
+        # Cheap deterministic PRF of (seed, address).
+        h = (address * 0x9E3779B1 + self.seed * 0x85EBCA6B + 0x165667B1) & MASK32
+        h ^= h >> 15
+        h = (h * 0x2545F491) & MASK32
+        return (h >> 16) & 0xFF
+
+    def read(self, address: int, width: int) -> int:
+        value = 0
+        for i in range(width):
+            value |= self.read_byte(address + i) << (8 * i)
+        return value
+
+    def written(self, address: int, value: int, width: int) -> "MemImage":
+        overlay = dict(self.overlay)
+        for i in range(width):
+            overlay[(address + i) & MASK32] = (value >> (8 * i)) & 0xFF
+        return MemImage(self.seed, overlay)
+
+    def same_as(self, other: "MemImage") -> bool:
+        if self.seed != other.seed:  # pragma: no cover - checker uses one seed
+            return False
+        for address in set(self.overlay) | set(other.overlay):
+            if self.read_byte(address) != other.read_byte(address):
+                return False
+        return True
+
+
+Value = Union[int, MemImage]
+
+
+def make_vector(seed: int, names: List[str], ones_by_name: Dict[str, int]) -> Dict[str, Value]:
+    """Deterministic input vector: one value per variable name."""
+    rng = random.Random(seed)
+    env: Dict[str, Value] = {}
+    for name in sorted(names):
+        ones = ones_by_name.get(name, MASK32)
+        if name == "mem":
+            env[name] = MemImage(seed)
+        elif ones == 1:
+            env[name] = rng.randrange(2)
+        elif rng.random() < 0.5:
+            env[name] = rng.choice(_INTERESTING) & ones
+        else:
+            env[name] = rng.getrandbits(32) & ones
+    return env
+
+
+def evaluate(root: Expr, env: Dict[str, Value]) -> Value:
+    """Evaluate ``root`` under ``env`` (name → int, "mem" → MemImage)."""
+    memo: Dict[int, Value] = {}
+    # Iterative post-order to dodge recursion limits on deep chains.
+    stack: List[Expr] = [root]
+    while stack:
+        node = stack[-1]
+        if node.uid in memo:
+            stack.pop()
+            continue
+        pending = [a for a in node.args if a.uid not in memo]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        memo[node.uid] = _eval_node(node, memo, env)
+    return memo[root.uid]
+
+
+def _eval_node(node: Expr, memo: Dict[int, Value], env: Dict[str, Value]) -> Value:
+    op = node.op
+    if op == "const":
+        return node.value or 0
+    if op in ("var", "memvar"):
+        try:
+            return env[node.name or ""]
+        except KeyError:
+            raise KeyError(f"no binding for symbolic variable {node.name!r}") from None
+    args = node.args
+    if op == "store":
+        mem = memo[args[0].uid]
+        assert isinstance(mem, MemImage)
+        addr = memo[args[1].uid]
+        val = memo[args[2].uid]
+        assert isinstance(addr, int) and isinstance(val, int)
+        return mem.written(addr, val, node.value or 4)
+    if op == "load":
+        mem = memo[args[0].uid]
+        assert isinstance(mem, MemImage)
+        addr = memo[args[1].uid]
+        assert isinstance(addr, int)
+        return mem.read(addr, node.value or 4)
+    if op == "ite":
+        cond = memo[args[0].uid]
+        return memo[args[1].uid] if cond else memo[args[2].uid]
+
+    vals = [memo[a.uid] for a in args]
+    ints: List[int] = [v for v in vals if isinstance(v, int)]
+    if op == "add":
+        acc = 0
+        for v in ints:
+            acc += v
+        return acc & MASK32
+    if op == "sub":
+        return (ints[0] - ints[1]) & MASK32
+    if op == "band":
+        acc = MASK32
+        for v in ints:
+            acc &= v
+        return acc
+    if op == "bor":
+        acc = 0
+        for v in ints:
+            acc |= v
+        return acc
+    if op == "bxor":
+        acc = 0
+        for v in ints:
+            acc ^= v
+        return acc
+    if op == "shl":
+        return (ints[0] << (ints[1] & 31)) & MASK32
+    if op == "shr":
+        return ints[0] >> (ints[1] & 31)
+    if op == "sar":
+        return u32(to_signed32(ints[0]) >> (ints[1] & 31))
+    if op == "mul":
+        return (ints[0] * ints[1]) & MASK32
+    if op == "mulhu":
+        return (ints[0] * ints[1]) >> 32
+    if op == "mulhs":
+        return u32((to_signed32(ints[0]) * to_signed32(ints[1])) >> 32)
+    if op == "divu":
+        if ints[1] == 0:
+            return MASK32
+        return ints[0] // ints[1]
+    if op == "remu":
+        if ints[1] == 0:
+            return ints[0]
+        return ints[0] % ints[1]
+    if op == "divs":
+        if ints[1] == 0:
+            return MASK32
+        sa, sb = to_signed32(ints[0]), to_signed32(ints[1])
+        quot = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quot = -quot
+        return u32(quot)
+    if op == "rems":
+        if ints[1] == 0:
+            return ints[0]
+        sa, sb = to_signed32(ints[0]), to_signed32(ints[1])
+        quot = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            quot = -quot
+        return u32(sa - quot * sb)
+    if op == "sext8":
+        return u32(to_signed32(u32((ints[0] & 0xFF) << 24)) >> 24)
+    if op == "parity":
+        return parity8(ints[0] & 0xFF)
+    if op == "eq":
+        return 1 if vals[0] == vals[1] else 0
+    if op == "ult":
+        return 1 if ints[0] < ints[1] else 0
+    raise ValueError(f"cannot evaluate {op}")  # pragma: no cover
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    if isinstance(a, MemImage) and isinstance(b, MemImage):
+        return a.same_as(b)
+    return a == b

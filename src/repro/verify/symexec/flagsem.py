@@ -1,0 +1,159 @@
+"""Symbolic flag semantics shared by the guest and IR evaluators.
+
+These formulas transliterate ``repro.guest.flags`` into the expression
+language.  The frontend lowers guest flag updates to ``FLAGS`` uops with
+the same operand shapes the interpreter uses, so building both sides
+through these helpers makes guest ≡ IR flag agreement a structural
+identity — while the host evaluator derives its flag formulas
+independently from the emitted R32 instructions, keeping IR ≡ host an
+actual proof obligation.
+
+Operand convention (mirrors ``UOp`` fields for ``UOpKind.FLAGS``):
+``a`` is the first ALU input (pre-write value), ``b`` the second input
+(for shifts: the count; for MUL/IMUL: the high-half temp), ``result``
+the width-masked ALU result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.bitops import MASK32
+from repro.dbt.ir import FlagSem
+from repro.guest.isa import ConditionCode, Flag
+
+from repro.verify.symexec import expr as E
+from repro.verify.symexec.expr import Expr
+
+_BIT = {8: 7, 32: 31}
+_BOUND_INC = {8: 0x80, 32: 0x80000000}
+_BOUND_DEC = {8: 0x7F, 32: 0x7FFFFFFF}
+
+
+def _bit(value: Expr, position: int) -> Expr:
+    return E.band(E.shr(value, E.const(position)), E.const(1))
+
+
+def _szp(result: Expr, width: int) -> Dict[Flag, Expr]:
+    return {
+        Flag.ZF: E.eq(result, E.const(0)),
+        Flag.SF: _bit(result, _BIT[width]),
+        Flag.PF: E.parity(result),
+    }
+
+
+def _overflow(op_a: Expr, op_b: Expr, result: Expr, width: int, for_sub: bool) -> Expr:
+    """The signed-overflow bit of an add/sub at ``width``."""
+    lhs = E.bxor(op_a, op_b)
+    if not for_sub:
+        lhs = E.bxor(lhs, E.const(MASK32))
+    return _bit(E.band(lhs, E.bxor(op_a, result)), _BIT[width])
+
+
+def _carry_shl(a: Expr, count: Expr, width: int) -> Expr:
+    if width == 32:
+        return _bit(E.shr(a, E.sub(E.const(32), count)), 0)
+    return _bit(E.shr(E.shl(a, count), E.const(8)), 0)
+
+
+def flag_updates(
+    sem: FlagSem,
+    width: int,
+    a: Expr,
+    b: Optional[Expr],
+    result: Expr,
+) -> Dict[Flag, Expr]:
+    """New values for every flag the semantics architecturally writes.
+
+    For shifts ``b`` is the (possibly symbolic) count; the caller is
+    responsible for wrapping each update in ``ite(count == 0, old, new)``
+    when the count is not a known non-zero constant.
+    """
+    out = _szp(result, width)
+    zero = E.const(0)
+    if sem is FlagSem.NEG:
+        out[Flag.CF] = E.ult(zero, a)
+        out[Flag.OF] = _overflow(zero, a, result, width, for_sub=True)
+    elif sem in (FlagSem.ADD, FlagSem.SUB, FlagSem.LOGIC):
+        assert b is not None
+        if sem is FlagSem.ADD:
+            if width == 32:
+                out[Flag.CF] = E.ult(result, a)
+            else:
+                out[Flag.CF] = _bit(E.shr(E.add(a, b), E.const(8)), 0)
+            out[Flag.OF] = _overflow(a, b, result, width, for_sub=False)
+        elif sem is FlagSem.SUB:
+            out[Flag.CF] = E.ult(a, b)
+            out[Flag.OF] = _overflow(a, b, result, width, for_sub=True)
+        else:  # LOGIC
+            out[Flag.CF] = zero
+            out[Flag.OF] = zero
+    elif sem is FlagSem.INC:
+        out[Flag.OF] = E.eq(result, E.const(_BOUND_INC[width]))
+    elif sem is FlagSem.DEC:
+        out[Flag.OF] = E.eq(result, E.const(_BOUND_DEC[width]))
+    elif sem is FlagSem.SHL:
+        assert b is not None
+        carry = _carry_shl(a, b, width)
+        out[Flag.CF] = carry
+        out[Flag.OF] = E.bxor(_bit(result, _BIT[width]), carry)
+    elif sem is FlagSem.SHR:
+        assert b is not None
+        out[Flag.CF] = _bit(E.shr(a, E.add(b, E.const(-1))), 0)
+        out[Flag.OF] = _bit(a, _BIT[width])
+    elif sem is FlagSem.SAR:
+        assert b is not None
+        signed = a if width == 32 else E.sext8(a)
+        out[Flag.CF] = _bit(E.sar(signed, E.add(b, E.const(-1))), 0)
+        out[Flag.OF] = zero
+    elif sem is FlagSem.IMUL:
+        assert b is not None  # b = high half (MULHS temp)
+        overflow = E.ult(zero, E.bxor(E.sar(result, E.const(31)), b))
+        out[Flag.CF] = overflow
+        out[Flag.OF] = overflow
+    elif sem is FlagSem.MUL:
+        assert b is not None  # b = high half (MULHU temp)
+        overflow = E.ult(zero, b)
+        out[Flag.CF] = overflow
+        out[Flag.OF] = overflow
+    else:  # pragma: no cover - exhaustive over FlagSem
+        raise ValueError(f"unknown flag semantics {sem}")
+    return out
+
+
+def cond_expr(cc: ConditionCode, flags: Dict[Flag, Expr]) -> Expr:
+    """1-bit expression for a condition code over symbolic flags."""
+    one = E.const(1)
+    cf, pf, zf = flags[Flag.CF], flags[Flag.PF], flags[Flag.ZF]
+    sf, of = flags[Flag.SF], flags[Flag.OF]
+    if cc is ConditionCode.O:
+        return of
+    if cc is ConditionCode.NO:
+        return E.bxor(of, one)
+    if cc is ConditionCode.B:
+        return cf
+    if cc is ConditionCode.AE:
+        return E.bxor(cf, one)
+    if cc is ConditionCode.E:
+        return zf
+    if cc is ConditionCode.NE:
+        return E.bxor(zf, one)
+    if cc is ConditionCode.BE:
+        return E.bor(cf, zf)
+    if cc is ConditionCode.A:
+        return E.bxor(E.bor(cf, zf), one)
+    if cc is ConditionCode.S:
+        return sf
+    if cc is ConditionCode.NS:
+        return E.bxor(sf, one)
+    if cc is ConditionCode.P:
+        return pf
+    if cc is ConditionCode.NP:
+        return E.bxor(pf, one)
+    if cc is ConditionCode.L:
+        return E.bxor(sf, of)
+    if cc is ConditionCode.GE:
+        return E.bxor(sf, of, one)
+    if cc is ConditionCode.LE:
+        return E.bor(E.bxor(sf, of), zf)
+    return E.bxor(E.bor(E.bxor(sf, of), zf), one)  # G

@@ -1,0 +1,340 @@
+"""Symbolic evaluator over decoded VX86 instructions.
+
+Transliterates :class:`repro.guest.interpreter.GuestInterpreter`'s
+per-instruction semantics (which in turn defer to ``repro.guest.flags``)
+into the expression language.  Operand reads/writes recompute effective
+addresses exactly like the interpreter does — sequentially, against the
+current register state.
+
+Widening divides are modeled only under the translator's speculation
+assumptions (EDX == 0 for DIV, EDX == sign(EAX) for IDIV), which the IR
+evaluator records from ``GUARD`` uops; a divide outside those
+assumptions raises :class:`UnsupportedBlock`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dbt.frontend import GuestBlock
+from repro.dbt.ir import FlagSem
+from repro.guest.isa import (
+    Immediate,
+    Instruction,
+    MemoryOperand,
+    Op,
+    Operand,
+    Register,
+    RegisterOperand,
+)
+
+from repro.verify.symexec import expr as E
+from repro.verify.symexec import flagsem
+from repro.verify.symexec.expr import Expr
+from repro.verify.symexec.state import SymState, UnsupportedBlock
+
+_SHIFT_SEM = {Op.SHL: FlagSem.SHL, Op.SHR: FlagSem.SHR, Op.SAR: FlagSem.SAR}
+_ALU_SEM = {
+    Op.ADD: FlagSem.ADD,
+    Op.SUB: FlagSem.SUB,
+    Op.CMP: FlagSem.SUB,
+    Op.AND: FlagSem.LOGIC,
+    Op.OR: FlagSem.LOGIC,
+    Op.XOR: FlagSem.LOGIC,
+    Op.TEST: FlagSem.LOGIC,
+}
+
+
+def run_block(block: GuestBlock, state: SymState) -> SymState:
+    """Evaluate every instruction of a scanned guest block over ``state``."""
+    evaluator = _GuestEval(state)
+    for instr in block.instructions:
+        evaluator.execute(instr)
+        if state.exit_kind is not None:
+            return state
+    # Block split by the frontend length limit: fall through.
+    last = block.instructions[-1]
+    state.exit_kind = "jump"
+    state.next_pc = E.const(last.next_address)
+    return state
+
+
+class _GuestEval:
+    def __init__(self, state: SymState) -> None:
+        self.state = state
+
+    # -- operand access (mirrors GuestInterpreter) -----------------------
+
+    def _effective_address(self, operand: MemoryOperand) -> Expr:
+        parts: List[Expr] = [E.const(operand.disp)]
+        if operand.base is not None:
+            parts.append(self.state.regs[int(operand.base)])
+        if operand.index is not None:
+            index = self.state.regs[int(operand.index)]
+            if operand.scale != 1:
+                index = E.mul(index, E.const(operand.scale))
+            parts.append(index)
+        return E.add(*parts)
+
+    def _read(self, operand: Operand, width: int) -> Expr:
+        if isinstance(operand, RegisterOperand):
+            value = self.state.regs[int(operand.reg)]
+            return E.band(value, E.const(0xFF)) if width == 8 else value
+        if isinstance(operand, Immediate):
+            return E.const(operand.value & (0xFF if width == 8 else 0xFFFFFFFF))
+        addr = self._effective_address(operand)
+        return E.load(self.state.mem, addr, 1 if width == 8 else 4)
+
+    def _write(self, operand: Operand, value: Expr, width: int) -> None:
+        if isinstance(operand, RegisterOperand):
+            reg = int(operand.reg)
+            if width == 8:
+                self.state.regs[reg] = E.insert8(self.state.regs[reg], value)
+            else:
+                self.state.regs[reg] = value
+            return
+        if isinstance(operand, Immediate):
+            raise UnsupportedBlock("write to immediate operand")
+        addr = self._effective_address(operand)
+        self.state.mem = E.store(self.state.mem, addr, value, 1 if width == 8 else 4)
+
+    def _push(self, value: Expr) -> None:
+        esp = E.add(self.state.regs[int(Register.ESP)], E.const(-4))
+        self.state.regs[int(Register.ESP)] = esp
+        self.state.mem = E.store(self.state.mem, esp, value, 4)
+
+    def _pop(self) -> Expr:
+        esp = self.state.regs[int(Register.ESP)]
+        value = E.load(self.state.mem, esp, 4)
+        self.state.regs[int(Register.ESP)] = E.add(esp, E.const(4))
+        return value
+
+    def _set_flags(self, sem: FlagSem, width: int, a: Expr, b: Optional[Expr],
+                   result: Expr, count: Optional[Expr] = None) -> None:
+        from repro.dbt.ir import FLAG_SEM_WRITES
+
+        updates = flagsem.flag_updates(sem, width, a, b, result)
+        zero_count = E.eq(count, E.const(0)) if count is not None else None
+        for flag in FLAG_SEM_WRITES[sem]:
+            new = updates[flag]
+            if zero_count is not None:
+                new = E.ite(zero_count, self.state.flags[flag], new)
+            self.state.flags[flag] = new
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, instr: Instruction) -> None:
+        op = instr.op
+        handler = getattr(self, f"_exec_{op.value}", None)
+        if handler is None:
+            raise UnsupportedBlock(f"no symbolic model for {op}")
+        handler(instr)
+
+    def _mask(self, value: Expr, width: int) -> Expr:
+        return E.zext8(value) if width == 8 else value
+
+    def _exec_alu(self, instr: Instruction, builder) -> None:
+        width = instr.width
+        a = self._read(instr.dst, width)
+        b = self._read(instr.src, width)
+        result = self._mask(builder(a, b), width)
+        self._set_flags(_ALU_SEM[instr.op], width, a, b, result)
+        if instr.op not in (Op.CMP, Op.TEST):
+            self._write(instr.dst, result, width)
+
+    def _exec_add(self, instr: Instruction) -> None:
+        self._exec_alu(instr, E.add)
+
+    def _exec_sub(self, instr: Instruction) -> None:
+        self._exec_alu(instr, E.sub)
+
+    def _exec_cmp(self, instr: Instruction) -> None:
+        self._exec_alu(instr, E.sub)
+
+    def _exec_and(self, instr: Instruction) -> None:
+        self._exec_alu(instr, E.band)
+
+    def _exec_or(self, instr: Instruction) -> None:
+        self._exec_alu(instr, E.bor)
+
+    def _exec_xor(self, instr: Instruction) -> None:
+        self._exec_alu(instr, E.bxor)
+
+    def _exec_test(self, instr: Instruction) -> None:
+        width = instr.width
+        a = self._read(instr.dst, width)
+        b = self._read(instr.src, width)
+        self._set_flags(FlagSem.LOGIC, width, a, b, E.band(a, b))
+
+    def _exec_mov(self, instr: Instruction) -> None:
+        self._write(instr.dst, self._read(instr.src, instr.width), instr.width)
+
+    def _exec_shift(self, instr: Instruction) -> None:
+        width = instr.width
+        a = self._read(instr.dst, width)
+        if isinstance(instr.src, Immediate):
+            count_value = instr.src.value & 31
+            if count_value == 0:
+                # value unchanged, flags preserved; re-masked write-back
+                self._write(instr.dst, self._mask(a, width), width)
+                return
+            count: Expr = E.const(count_value)
+            dynamic = None
+        else:
+            count = E.band(self._read(instr.src, 32), E.const(31))
+            dynamic = count
+        shift_input = a
+        if instr.op is Op.SAR and width == 8:
+            shift_input = E.sext8(a)
+        builder = {Op.SHL: E.shl, Op.SHR: E.shr, Op.SAR: E.sar}[instr.op]
+        result = self._mask(builder(shift_input, count), width)
+        self._set_flags(_SHIFT_SEM[instr.op], width, a, count, result, count=dynamic)
+        self._write(instr.dst, result, width)
+
+    _exec_shl = _exec_shift
+    _exec_shr = _exec_shift
+    _exec_sar = _exec_shift
+
+    def _exec_inc(self, instr: Instruction) -> None:
+        width = instr.width
+        a = self._read(instr.dst, width)
+        result = self._mask(E.add(a, E.const(1)), width)
+        self._set_flags(FlagSem.INC, width, a, None, result)
+        self._write(instr.dst, result, width)
+
+    def _exec_dec(self, instr: Instruction) -> None:
+        width = instr.width
+        a = self._read(instr.dst, width)
+        result = self._mask(E.sub(a, E.const(1)), width)
+        self._set_flags(FlagSem.DEC, width, a, None, result)
+        self._write(instr.dst, result, width)
+
+    def _exec_neg(self, instr: Instruction) -> None:
+        width = instr.width
+        a = self._read(instr.dst, width)
+        result = self._mask(E.sub(E.const(0), a), width)
+        self._set_flags(FlagSem.NEG, width, a, None, result)
+        self._write(instr.dst, result, width)
+
+    def _exec_not(self, instr: Instruction) -> None:
+        width = instr.width
+        a = self._read(instr.dst, width)
+        self._write(instr.dst, self._mask(E.bnot(a), width), width)
+
+    def _exec_imul(self, instr: Instruction) -> None:
+        a = self._read(instr.dst, 32)
+        b = self._read(instr.src, 32)
+        low = E.mul(a, b)
+        high = E.mulhs(a, b)
+        self._set_flags(FlagSem.IMUL, 32, a, high, low)
+        self._write(instr.dst, low, 32)
+
+    def _exec_mul(self, instr: Instruction) -> None:
+        a = self.state.regs[int(Register.EAX)]
+        b = self._read(instr.src, 32)
+        low = E.mul(a, b)
+        high = E.mulhu(a, b)
+        self._set_flags(FlagSem.MUL, 32, a, high, low)
+        self.state.regs[int(Register.EAX)] = low
+        self.state.regs[int(Register.EDX)] = high
+
+    def _assumed(self, candidate: Expr) -> bool:
+        return any(candidate is known for known in self.state.assumes)
+
+    def _exec_div(self, instr: Instruction) -> None:
+        divisor = self._read(instr.src, 32)
+        self.state.faults.append(E.eq(divisor, E.const(0)))
+        edx = self.state.regs[int(Register.EDX)]
+        eax = self.state.regs[int(Register.EAX)]
+        if not self._assumed(E.eq(edx, E.const(0))):
+            raise UnsupportedBlock("DIV with unconstrained 64-bit dividend")
+        self.state.regs[int(Register.EAX)] = E.divu(eax, divisor)
+        self.state.regs[int(Register.EDX)] = E.remu(eax, divisor)
+
+    def _exec_idiv(self, instr: Instruction) -> None:
+        divisor = self._read(instr.src, 32)
+        self.state.faults.append(E.eq(divisor, E.const(0)))
+        edx = self.state.regs[int(Register.EDX)]
+        eax = self.state.regs[int(Register.EAX)]
+        if not self._assumed(E.eq(edx, E.sar(eax, E.const(31)))):
+            raise UnsupportedBlock("IDIV with unconstrained 64-bit dividend")
+        self.state.regs[int(Register.EAX)] = E.divs(eax, divisor)
+        self.state.regs[int(Register.EDX)] = E.rems(eax, divisor)
+
+    def _exec_lea(self, instr: Instruction) -> None:
+        assert isinstance(instr.src, MemoryOperand)
+        self._write(instr.dst, self._effective_address(instr.src), 32)
+
+    def _exec_movzx(self, instr: Instruction) -> None:
+        self._write(instr.dst, self._read(instr.src, 8), 32)
+
+    def _exec_movsx(self, instr: Instruction) -> None:
+        self._write(instr.dst, E.sext8(self._read(instr.src, 8)), 32)
+
+    def _exec_xchg(self, instr: Instruction) -> None:
+        a = self._read(instr.dst, 32)
+        b = self._read(instr.src, 32)
+        self._write(instr.dst, b, 32)
+        self._write(instr.src, a, 32)
+
+    def _exec_cdq(self, instr: Instruction) -> None:
+        eax = self.state.regs[int(Register.EAX)]
+        self.state.regs[int(Register.EDX)] = E.sar(eax, E.const(31))
+
+    def _exec_push(self, instr: Instruction) -> None:
+        self._push(self._read(instr.dst, 32))
+
+    def _exec_pop(self, instr: Instruction) -> None:
+        self._write(instr.dst, self._pop(), 32)
+
+    def _exec_jcc(self, instr: Instruction) -> None:
+        assert instr.cc is not None
+        cond = flagsem.cond_expr(instr.cc, self.state.flags)
+        self.state.exit_kind = "branch"
+        self.state.next_pc = E.ite(
+            cond, E.const(instr.target or 0), E.const(instr.next_address)
+        )
+
+    def _exec_jmp(self, instr: Instruction) -> None:
+        if instr.target is not None:
+            self.state.exit_kind = "jump"
+            self.state.next_pc = E.const(instr.target)
+        else:
+            target = self._read(instr.dst, 32)
+            self.state.exit_kind = "indirect"
+            self.state.next_pc = target
+
+    def _exec_call(self, instr: Instruction) -> None:
+        if instr.target is not None:
+            target: Expr = E.const(instr.target)
+            kind = "jump"
+        else:
+            target = self._read(instr.dst, 32)
+            kind = "indirect"
+        self._push(E.const(instr.next_address))
+        self.state.exit_kind = kind
+        self.state.next_pc = target
+
+    def _exec_ret(self, instr: Instruction) -> None:
+        target = self._pop()
+        if instr.imm:
+            esp = int(Register.ESP)
+            self.state.regs[esp] = E.add(self.state.regs[esp], E.const(instr.imm))
+        self.state.exit_kind = "indirect"
+        self.state.next_pc = target
+
+    def _exec_int(self, instr: Instruction) -> None:
+        self.state.exit_kind = "syscall"
+        self.state.next_pc = E.const(instr.next_address)
+
+    def _exec_setcc(self, instr: Instruction) -> None:
+        assert instr.cc is not None
+        value = flagsem.cond_expr(instr.cc, self.state.flags)
+        self._write(instr.dst, value, 8)
+
+    def _exec_nop(self, instr: Instruction) -> None:
+        return
+
+    def _exec_hlt(self, instr: Instruction) -> None:
+        self.state.exit_kind = "halt"
+        self.state.next_pc = E.const(0)

@@ -1,0 +1,270 @@
+"""Symbolic evaluator over generated R32 host code.
+
+Walks the emitted instruction list (post-codegen or post-scheduler),
+modeling the 32 host registers, HI/LO, the guest memory image, and the
+translator's private scratch region (spill slots at ``SCRATCH_BASE``,
+the parity table at ``PARITY_TABLE_BASE``).  Conditional branches fork
+the walk; arms are merged componentwise with ``ite`` at their exit
+stubs, so one ``SymState`` comes out the other end — derived purely
+from the R32 semantics, independently of how codegen thinks flags work.
+
+Exit stubs reduce to an exit kind plus a symbolic next guest PC ($v0).
+``EXITB fault`` leaves contribute their path condition to the fault
+list instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dbt.codegen import PARITY_TABLE_BASE, SCRATCH_BASE
+from repro.guest.isa import ALL_FLAGS, Register
+from repro.host.isa import ExitReason, GUEST_REG_HOME, HostInstr, HostOp, HostReg
+
+from repro.verify.symexec import expr as E
+from repro.verify.symexec.expr import Expr
+from repro.verify.symexec.state import SymState, UnsupportedBlock
+
+_FORK_BUDGET = 64
+_SCRATCH_END = SCRATCH_BASE + 0x1000
+_PARITY_END = PARITY_TABLE_BASE + 0x100
+
+
+@dataclass
+class _HostState:
+    regs: List[Expr]
+    hi: Expr
+    lo: Expr
+    mem: Expr
+    scratch: Dict[int, Expr]
+
+    def clone(self) -> "_HostState":
+        return _HostState(list(self.regs), self.hi, self.lo, self.mem, dict(self.scratch))
+
+
+@dataclass
+class _Outcome:
+    reason: ExitReason
+    state: _HostState
+    v0: Expr
+
+
+@dataclass
+class _Walker:
+    instrs: List[HostInstr]
+    faults: List[Expr] = field(default_factory=list)
+    forks: int = 0
+
+
+def run_block(instrs: List[HostInstr], initial: SymState) -> SymState:
+    """Evaluate host code starting from the guest-visible ``initial`` state."""
+    regs: List[Expr] = [E.var(f"h_{reg.name.lower()}") for reg in HostReg]
+    regs[int(HostReg.ZERO)] = E.const(0)
+    for guest_reg in Register:
+        regs[int(GUEST_REG_HOME[int(guest_reg)])] = initial.regs[int(guest_reg)]
+    regs[int(HostReg.T8)] = E.bor(
+        *(E.shl(initial.flags[flag], E.const(int(flag))) for flag in ALL_FLAGS)
+    )
+    undef = E.var("h_undef")
+    host = _HostState(regs=regs, hi=undef, lo=undef, mem=initial.mem, scratch={})
+    walker = _Walker(instrs=instrs)
+    outcome = _run_from(walker, 0, host, E.const(1))
+    if outcome is None:
+        raise UnsupportedBlock("every host path faults")
+
+    final = initial.clone()
+    final.regs = [outcome.state.regs[int(GUEST_REG_HOME[int(reg)])] for reg in Register]
+    t8 = outcome.state.regs[int(HostReg.T8)]
+    final.flags = {
+        flag: E.band(E.shr(t8, E.const(int(flag))), E.const(1)) for flag in ALL_FLAGS
+    }
+    final.mem = outcome.state.mem
+    final.exit_kind = {
+        ExitReason.BRANCH: "branch",
+        ExitReason.SYSCALL: "syscall",
+        ExitReason.HALT: "halt",
+    }[outcome.reason]
+    final.next_pc = outcome.v0
+    final.faults = list(initial.faults) + walker.faults
+    return final
+
+
+def _run_from(walker: _Walker, index: int, host: _HostState, path: Expr) -> Optional[_Outcome]:
+    instrs = walker.instrs
+    while index < len(instrs):
+        instr = instrs[index]
+        op = instr.op
+        if op in (HostOp.BEQ, HostOp.BNE):
+            cond = E.eq(host.regs[int(instr.rs)], host.regs[int(instr.rt)])
+            taken_index = index + 1 + instr.imm
+            if taken_index <= index:
+                raise UnsupportedBlock("backward host branch")
+            if cond.op == "const":
+                taken = bool(cond.value) == (op is HostOp.BEQ)
+                index = taken_index if taken else index + 1
+                continue
+            walker.forks += 1
+            if walker.forks > _FORK_BUDGET:
+                raise UnsupportedBlock("host control flow too branchy to enumerate")
+            eq_target, ne_target = taken_index, index + 1
+            if op is HostOp.BNE:
+                eq_target, ne_target = ne_target, eq_target
+            eq_out = _run_from(
+                walker, eq_target, host.clone(), E.band(path, cond)
+            )
+            ne_out = _run_from(
+                walker, ne_target, host, E.band(path, E.bxor(cond, E.const(1)))
+            )
+            return _merge(cond, eq_out, ne_out)
+        if op is HostOp.EXITB:
+            reason = ExitReason(instr.imm)
+            if reason is ExitReason.FAULT:
+                walker.faults.append(path)
+                return None
+            return _Outcome(reason, host, host.regs[int(HostReg.V0)])
+        _step(instr, host)
+        index += 1
+    raise UnsupportedBlock("host code ran off the end of the block")
+
+
+def _merge(
+    cond: Expr, eq_out: Optional[_Outcome], ne_out: Optional[_Outcome]
+) -> Optional[_Outcome]:
+    if eq_out is None:
+        return ne_out
+    if ne_out is None:
+        return eq_out
+    if eq_out.reason is not ne_out.reason:
+        raise UnsupportedBlock("host paths exit with different reasons")
+    a, b = eq_out.state, ne_out.state
+    if a.mem is not b.mem:
+        raise UnsupportedBlock("diverging memory images across host paths")
+    if set(a.scratch) != set(b.scratch):
+        raise UnsupportedBlock("diverging spill slots across host paths")
+    merged = _HostState(
+        regs=[E.ite(cond, ra, rb) for ra, rb in zip(a.regs, b.regs)],
+        hi=E.ite(cond, a.hi, b.hi),
+        lo=E.ite(cond, a.lo, b.lo),
+        mem=a.mem,
+        scratch={k: E.ite(cond, a.scratch[k], b.scratch[k]) for k in a.scratch},
+    )
+    return _Outcome(eq_out.reason, merged, E.ite(cond, eq_out.v0, ne_out.v0))
+
+
+def _const_addr_parts(addr: Expr) -> Tuple[int, Optional[Expr]]:
+    """Split ``addr`` into (constant offset, symbolic rest or None)."""
+    if addr.op == "const":
+        return addr.value or 0, None
+    if addr.op == "add" and addr.args[0].op == "const":
+        rest = addr.args[1:]
+        rest_expr = rest[0] if len(rest) == 1 else E.add(*rest)
+        return addr.args[0].value or 0, rest_expr
+    return 0, addr
+
+
+def _load(host: _HostState, addr: Expr, width: int) -> Expr:
+    offset, rest = _const_addr_parts(addr)
+    if rest is None and SCRATCH_BASE <= offset < _SCRATCH_END:
+        try:
+            return host.scratch[offset]
+        except KeyError:
+            raise UnsupportedBlock(f"read of uninitialized spill slot {offset:#x}") from None
+    if PARITY_TABLE_BASE <= offset < _PARITY_END and width == 1:
+        index = E.const(offset - PARITY_TABLE_BASE) if rest is None else (
+            E.add(rest, E.const(offset - PARITY_TABLE_BASE))
+            if offset != PARITY_TABLE_BASE
+            else rest
+        )
+        if index.ones & ~0xFF == 0:
+            return E.parity(index)
+        raise UnsupportedBlock("parity-table read with wide index")
+    return E.load(host.mem, addr, width)
+
+
+def _store(host: _HostState, addr: Expr, value: Expr, width: int) -> None:
+    offset, rest = _const_addr_parts(addr)
+    if rest is None and SCRATCH_BASE <= offset < _SCRATCH_END:
+        if width != 4:
+            raise UnsupportedBlock("byte store to spill slot")
+        host.scratch[offset] = value
+        return
+    host.mem = E.store(host.mem, addr, value, width)
+
+
+def _step(instr: HostInstr, host: _HostState) -> None:
+    op = instr.op
+    regs = host.regs
+    rs = regs[int(instr.rs)]
+    rt = regs[int(instr.rt)]
+
+    def write(reg: HostReg, value: Expr) -> None:
+        if reg is not HostReg.ZERO:
+            regs[int(reg)] = value
+
+    if op is HostOp.ADDU:
+        write(instr.rd, E.add(rs, rt))
+    elif op is HostOp.SUBU:
+        write(instr.rd, E.sub(rs, rt))
+    elif op is HostOp.AND:
+        write(instr.rd, E.band(rs, rt))
+    elif op is HostOp.OR:
+        write(instr.rd, E.bor(rs, rt))
+    elif op is HostOp.XOR:
+        write(instr.rd, E.bxor(rs, rt))
+    elif op is HostOp.NOR:
+        write(instr.rd, E.bnot(E.bor(rs, rt)))
+    elif op is HostOp.SLTU:
+        write(instr.rd, E.ult(rs, rt))
+    elif op is HostOp.SLLV:
+        write(instr.rd, E.shl(rt, E.band(rs, E.const(31))))
+    elif op is HostOp.SRLV:
+        write(instr.rd, E.shr(rt, E.band(rs, E.const(31))))
+    elif op is HostOp.SRAV:
+        write(instr.rd, E.sar(rt, E.band(rs, E.const(31))))
+    elif op is HostOp.SLL:
+        write(instr.rd, E.shl(rt, E.const(instr.shamt)))
+    elif op is HostOp.SRL:
+        write(instr.rd, E.shr(rt, E.const(instr.shamt)))
+    elif op is HostOp.SRA:
+        write(instr.rd, E.sar(rt, E.const(instr.shamt)))
+    elif op is HostOp.MULT:
+        host.lo = E.mul(rs, rt)
+        host.hi = E.mulhs(rs, rt)
+    elif op is HostOp.MULTU:
+        host.lo = E.mul(rs, rt)
+        host.hi = E.mulhu(rs, rt)
+    elif op is HostOp.DIV:
+        host.lo = E.divs(rs, rt)
+        host.hi = E.rems(rs, rt)
+    elif op is HostOp.DIVU:
+        host.lo = E.divu(rs, rt)
+        host.hi = E.remu(rs, rt)
+    elif op is HostOp.MFHI:
+        write(instr.rd, host.hi)
+    elif op is HostOp.MFLO:
+        write(instr.rd, host.lo)
+    elif op is HostOp.ADDIU:
+        write(instr.rt, E.add(rs, E.const(instr.imm)))
+    elif op is HostOp.SLTIU:
+        write(instr.rt, E.ult(rs, E.const(instr.imm)))
+    elif op is HostOp.ANDI:
+        write(instr.rt, E.band(rs, E.const(instr.imm & 0xFFFF)))
+    elif op is HostOp.ORI:
+        write(instr.rt, E.bor(rs, E.const(instr.imm & 0xFFFF)))
+    elif op is HostOp.XORI:
+        write(instr.rt, E.bxor(rs, E.const(instr.imm & 0xFFFF)))
+    elif op is HostOp.LUI:
+        write(instr.rt, E.const((instr.imm & 0xFFFF) << 16))
+    elif op is HostOp.LW:
+        write(instr.rt, _load(host, E.add(rs, E.const(instr.imm)), 4))
+    elif op is HostOp.LBU:
+        write(instr.rt, _load(host, E.add(rs, E.const(instr.imm)), 1))
+    elif op is HostOp.LB:
+        write(instr.rt, E.sext8(_load(host, E.add(rs, E.const(instr.imm)), 1)))
+    elif op is HostOp.SW:
+        _store(host, E.add(rs, E.const(instr.imm)), rt, 4)
+    elif op is HostOp.SB:
+        _store(host, E.add(rs, E.const(instr.imm)), rt, 1)
+    else:
+        raise UnsupportedBlock(f"unmodeled host op {op}")

@@ -1,0 +1,162 @@
+"""Symbolic evaluator over UCode :class:`~repro.dbt.ir.IRBlock`.
+
+Interprets each uop over :class:`SymState`, producing expressions for
+the final registers, flags, memory and next PC.  ``DIV0CHECK``/``GUARD``
+record both a fault condition (the path on which the block exits to the
+fault handler) and an assumption (the non-faulting path constraint) that
+downstream comparisons and concrete vectors respect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dbt.ir import ExitKind, FLAG_SEM_WRITES, IRBlock, UOp, UOpKind
+from repro.guest.isa import Flag
+
+from repro.verify.symexec import expr as E
+from repro.verify.symexec import flagsem
+from repro.verify.symexec.expr import Expr
+from repro.verify.symexec.state import SymState, UnsupportedBlock
+
+
+def _flag_word(state: SymState) -> Expr:
+    """Pack the five symbolic flags into one EFLAGS-position word."""
+    return E.bor(
+        *(E.shl(state.flags[flag], E.const(int(flag))) for flag in state.flags)
+    )
+
+
+def _unpack_flags(state: SymState, word: Expr) -> None:
+    for flag in list(state.flags):
+        state.flags[flag] = E.band(E.shr(word, E.const(int(flag))), E.const(1))
+
+
+def run_block(block: IRBlock, state: SymState) -> SymState:
+    """Evaluate ``block`` starting from ``state`` (mutated and returned)."""
+    temps: Dict[int, Expr] = {}
+
+    def src(temp: int) -> Expr:
+        try:
+            return temps[temp]
+        except KeyError:
+            raise UnsupportedBlock(f"read of undefined temp t{temp}") from None
+
+    for uop in block.uops:
+        _step(uop, temps, state, src)
+
+    term = block.terminator
+    if term.kind is ExitKind.JUMP:
+        state.exit_kind = "jump"
+        state.next_pc = E.const(term.target or 0)
+    elif term.kind is ExitKind.BRANCH:
+        assert term.cc is not None
+        cond = flagsem.cond_expr(term.cc, state.flags)
+        state.exit_kind = "branch"
+        state.next_pc = E.ite(cond, E.const(term.target or 0), E.const(term.fallthrough or 0))
+    elif term.kind is ExitKind.INDIRECT:
+        state.exit_kind = "indirect"
+        state.next_pc = src(term.temp or 0)
+    elif term.kind is ExitKind.SYSCALL:
+        state.exit_kind = "syscall"
+        state.next_pc = E.const(term.target or 0)
+    else:
+        state.exit_kind = "halt"
+        state.next_pc = E.const(0)
+    return state
+
+
+def _step(uop: UOp, temps: Dict[int, Expr], state: SymState, src) -> None:
+    kind = uop.kind
+    if kind is UOpKind.CONST:
+        temps[uop.dst or 0] = E.const(uop.imm)
+    elif kind is UOpKind.GET:
+        assert uop.reg is not None
+        temps[uop.dst or 0] = state.regs[int(uop.reg)]
+    elif kind is UOpKind.PUT:
+        assert uop.reg is not None
+        state.regs[int(uop.reg)] = src(uop.a or 0)
+    elif kind is UOpKind.GETF:
+        temps[uop.dst or 0] = _flag_word(state)
+    elif kind is UOpKind.PUTF:
+        _unpack_flags(state, src(uop.a or 0))
+    elif kind is UOpKind.LD:
+        addr = src(uop.a or 0)
+        width = 1 if uop.width == 8 else 4
+        value = E.load(state.mem, addr, width)
+        if uop.signed and uop.width == 8:
+            value = E.sext8(value)
+        temps[uop.dst or 0] = value
+    elif kind is UOpKind.ST:
+        addr = src(uop.a or 0)
+        width = 1 if uop.width == 8 else 4
+        state.mem = E.store(state.mem, addr, src(uop.b or 0), width)
+    elif kind is UOpKind.SETCC:
+        assert uop.cc is not None
+        temps[uop.dst or 0] = flagsem.cond_expr(uop.cc, state.flags)
+    elif kind is UOpKind.FLAGS:
+        _apply_flags(uop, state, src)
+    elif kind is UOpKind.DIV0CHECK:
+        divisor = src(uop.a or 0)
+        is_zero = E.eq(divisor, E.const(0))
+        state.faults.append(is_zero)
+        state.assumes.append(E.bxor(is_zero, E.const(1)))
+    elif kind is UOpKind.GUARD:
+        mismatch = E.bxor(E.eq(src(uop.a or 0), src(uop.b or 0)), E.const(1))
+        state.faults.append(mismatch)
+        state.assumes.append(E.eq(src(uop.a or 0), src(uop.b or 0)))
+    else:
+        temps[uop.dst or 0] = _value_op(kind, uop, src)
+
+
+_BINOPS = {
+    UOpKind.ADD: E.add,
+    UOpKind.SUB: E.sub,
+    UOpKind.AND: E.band,
+    UOpKind.OR: E.bor,
+    UOpKind.XOR: E.bxor,
+    UOpKind.SHL: E.shl,
+    UOpKind.SHR: E.shr,
+    UOpKind.SAR: E.sar,
+    UOpKind.MUL: E.mul,
+    UOpKind.MULHU: E.mulhu,
+    UOpKind.MULHS: E.mulhs,
+    UOpKind.DIVU: E.divu,
+    UOpKind.REMU: E.remu,
+    UOpKind.DIVS: E.divs,
+    UOpKind.REMS: E.rems,
+    UOpKind.INSERT8: E.insert8,
+}
+
+
+def _value_op(kind: UOpKind, uop: UOp, src) -> Expr:
+    if kind is UOpKind.NOT:
+        return E.bnot(src(uop.a or 0))
+    if kind is UOpKind.SEXT8:
+        return E.sext8(src(uop.a or 0))
+    if kind is UOpKind.ZEXT8:
+        return E.zext8(src(uop.a or 0))
+    builder = _BINOPS.get(kind)
+    if builder is None:
+        raise UnsupportedBlock(f"unmodeled uop kind {kind}")
+    return builder(src(uop.a or 0), src(uop.b or 0))
+
+
+def _apply_flags(uop: UOp, state: SymState, src) -> None:
+    assert uop.sem is not None
+    a = src(uop.a or 0)
+    b = src(uop.b) if uop.b is not None else None
+    result = src(uop.result or 0)
+    count = src(uop.count) if uop.count is not None else None
+    if uop.count is not None:
+        b = count if b is None else b
+    updates = flagsem.flag_updates(uop.sem, uop.width, a, b, result)
+    writable = FLAG_SEM_WRITES[uop.sem]
+    zero_count = E.eq(count, E.const(0)) if count is not None else None
+    for flag in Flag:
+        if not (uop.mask & (1 << flag)) or flag not in writable:
+            continue
+        new = updates[flag]
+        if zero_count is not None:
+            new = E.ite(zero_count, state.flags[flag], new)
+        state.flags[flag] = new

@@ -1,0 +1,66 @@
+"""Shared symbolic machine state for the three evaluators.
+
+Guest, IR and host evaluators all reduce a block to one ``SymState``:
+eight GPR expressions, five 1-bit flag expressions, one memory-image
+expression, an exit kind and a symbolic next-PC.  Equivalence checking
+is then a componentwise comparison of two states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.bitops import MASK32
+from repro.guest.isa import ALL_FLAGS, Flag, Register
+
+from repro.verify.symexec import expr as E
+from repro.verify.symexec.expr import Expr
+
+
+class UnsupportedBlock(Exception):
+    """Raised when a block uses a construct the evaluator cannot model.
+
+    The equivalence checker downgrades these to WARNING-level skips —
+    an unsupported block is *unverified*, not wrong.
+    """
+
+
+#: Canonical symbolic input names, index-aligned with ``Register``.
+REG_VAR_NAMES = tuple(reg.name.lower() for reg in Register)
+
+
+@dataclass
+class SymState:
+    """Machine state as symbolic expressions over the block's inputs."""
+
+    regs: List[Expr]
+    flags: Dict[Flag, Expr]
+    mem: Expr
+    exit_kind: Optional[str] = None  # "jump"|"branch"|"indirect"|"syscall"|"halt"
+    next_pc: Optional[Expr] = None
+    assumes: List[Expr] = field(default_factory=list)
+    faults: List[Expr] = field(default_factory=list)
+
+    def clone(self) -> "SymState":
+        return SymState(
+            regs=list(self.regs),
+            flags=dict(self.flags),
+            mem=self.mem,
+            exit_kind=self.exit_kind,
+            next_pc=self.next_pc,
+            assumes=list(self.assumes),
+            faults=list(self.faults),
+        )
+
+
+def initial_state() -> SymState:
+    """Fresh symbolic inputs for one block.
+
+    Call :func:`repro.verify.symexec.expr.reset` first; all evaluators
+    for one block must share one intern table so that identical inputs
+    are identical nodes.
+    """
+    regs = [E.var(name, MASK32) for name in REG_VAR_NAMES]
+    flags = {flag: E.var(flag.name.lower(), 1) for flag in ALL_FLAGS}
+    return SymState(regs=regs, flags=flags, mem=E.memvar("mem"))

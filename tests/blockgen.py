@@ -1,0 +1,153 @@
+"""Random straight-line VX86 block generator for the equivalence tests.
+
+Produces assembly source for a single basic block of random ALU,
+shift, flag, stack and memory traffic, ending in a syscall (so every
+flag is live at the exit and the checker compares all of them).
+
+Deliberately out of scope, to keep generated programs inside the
+translator's (documented) equivalence envelope:
+
+* ``div``/``idiv`` — quotient guards make random operands fault-prone;
+* ``xchg`` with a memory operand — the frontend caches the effective
+  address while the interpreter recomputes it after the first write;
+* memory addressing beyond ``[buf + masked_reg (+ disp)]`` — the
+  interpreter-differential tests need every access inside mapped data.
+
+Dynamic shift counts always come from ``ecx`` (the only register the
+frontend reads for a register count, mirroring x86's CL rule).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+REGS = ("eax", "ecx", "edx", "ebx", "esi", "edi")
+SETCC = ("sete", "setne", "setb", "setae", "setl", "setg", "setbe", "sets", "seto", "setp")
+JCC = ("jz", "jnz", "jb", "jae", "jl", "jg", "jbe", "js", "jo", "jp")
+ALU = ("add", "sub", "and", "or", "xor", "cmp")
+SHIFTS = ("shl", "shr", "sar")
+
+#: data buffer backing all generated memory traffic
+BUF_BYTES = 512
+
+_IMMEDIATES = (0, 1, 2, 5, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0xFFFF, 0x7FFFFFFF, 0x80000000)
+
+
+def _imm(rng: random.Random) -> int:
+    if rng.random() < 0.5:
+        return rng.choice(_IMMEDIATES)
+    return rng.getrandbits(32)
+
+
+def _mem(rng: random.Random, lines: List[str], width: int) -> str:
+    """A `[buf + reg]` operand, first masking the index into bounds."""
+    reg = rng.choice(REGS)
+    mask = (BUF_BYTES - 4) & ~3 if width == 32 else BUF_BYTES - 1
+    lines.append(f"    and {reg}, {mask:#x}")
+    return f"[buf + {reg}]"
+
+
+def _one_instruction(rng: random.Random, lines: List[str], stack_depth: int, shifts: int) -> int:
+    """Append one random instruction (plus any masking prelude).
+
+    Returns the new stack depth; mutates ``lines`` in place.
+    """
+    dst = rng.choice(REGS)
+    src = rng.choice(REGS)
+    kind = rng.randrange(16)
+    if kind == 0:
+        lines.append(f"    mov {dst}, {_imm(rng)}")
+    elif kind == 1:
+        lines.append(f"    mov {dst}, {src}")
+    elif kind == 2:
+        op = rng.choice(ALU)
+        rhs = str(_imm(rng)) if rng.random() < 0.4 else src
+        lines.append(f"    {op} {dst}, {rhs}")
+    elif kind == 3:
+        lines.append(f"    test {dst}, {src}")
+    elif kind == 4:
+        op = rng.choice(SHIFTS)
+        if shifts < 2 and rng.random() < 0.3:
+            lines.append(f"    {op} {dst}, ecx")
+            return stack_depth
+        lines.append(f"    {op} {dst}, {rng.randrange(0, 32)}")
+    elif kind == 5:
+        lines.append(f"    {rng.choice(('inc', 'dec', 'neg', 'not'))} {dst}")
+    elif kind == 6:
+        lines.append(f"    imul {dst}, {src}")
+    elif kind == 7:
+        lines.append(f"    {rng.choice(SETCC)} {dst}")
+    elif kind == 8:
+        scale = rng.choice((1, 2, 4, 8))
+        lines.append(f"    lea {dst}, [{src} + {rng.choice(REGS)}*{scale} + {rng.randrange(64)}]")
+    elif kind == 9:
+        lines.append(f"    push {dst}")
+        return stack_depth + 1
+    elif kind == 10:
+        if stack_depth > 0:
+            lines.append(f"    pop {dst}")
+            return stack_depth - 1
+        lines.append(f"    push {src}")
+        return stack_depth + 1
+    elif kind == 11:
+        lines.append("    cdq")
+    elif kind == 12:
+        lines.append(f"    xchg {dst}, {src}")
+    elif kind == 13:
+        operand = _mem(rng, lines, 32)
+        if rng.random() < 0.5:
+            lines.append(f"    mov {dst}, {operand}")
+        else:
+            lines.append(f"    {rng.choice(('mov', 'add', 'xor'))} {operand}, {dst}")
+    elif kind == 14:
+        operand = _mem(rng, lines, 8)
+        if rng.random() < 0.5:
+            lines.append(f"    {rng.choice(('movzx', 'movsx'))} {dst}, {operand}")
+        else:
+            lines.append(f"    movb {operand}, {dst}")
+    else:
+        op = rng.choice(("addb", "subb", "xorb", "cmpb"))
+        lines.append(f"    {op} {dst}, {src}")
+    return stack_depth
+
+
+def random_block_lines(rng: random.Random, length: int) -> List[str]:
+    """Body instructions only (no label, no terminator)."""
+    lines: List[str] = []
+    depth = 0
+    shifts = 0
+    for _ in range(length):
+        before = len(lines)
+        depth = _one_instruction(rng, lines, depth, shifts)
+        shifts += sum(
+            line.split()[0] in SHIFTS and line.endswith("ecx") for line in lines[before:]
+        )
+    while depth > 0:
+        lines.append(f"    pop {rng.choice(REGS)}")
+        depth -= 1
+    return lines
+
+
+def render_program(body: List[str], terminator: Optional[str] = None) -> str:
+    """Wrap block body lines into a complete assemblable program."""
+    lines = ["_start:"]
+    lines += body
+    if terminator:
+        lines.append(f"    {terminator} done")
+        lines.append("    add eax, 11")
+    lines += [
+        "done:",
+        "    int 0x80",
+        ".data",
+        f"buf: dz {BUF_BYTES}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def random_program(seed: int, length: int = 12) -> str:
+    """One-call generator used by the differential fuzz tests."""
+    rng = random.Random(seed)
+    body = random_block_lines(rng, length)
+    terminator = rng.choice((None, None, *JCC))
+    return render_program(body, terminator)

@@ -1,0 +1,162 @@
+"""Planted optimizer bugs must be caught and attributed to their pass.
+
+Each test wraps one real optimizer pass with a deliberate semantic
+mutation, runs the pipeline under an :class:`EquivChecker` observer,
+and asserts the resulting :class:`VerificationError` names exactly the
+buggy pass (stage ``"<pass>#<iteration>"``) — not the frontend, not a
+later pass.  A control test proves the unmutated pipeline is clean.
+"""
+
+import pytest
+
+from repro.dbt.frontend import lower_block, scan_block
+from repro.dbt.ir import ALL_FLAGS_MASK, UOpKind
+from repro.dbt.optimizer import optimize_block
+from repro.dbt.optimizer.constfold import STRENGTH_PASS_NAME, fold_constants, reduce_strength
+from repro.dbt.optimizer.copyprop import propagate_copies
+from repro.dbt.optimizer.dce import eliminate_dead_code
+from repro.dbt.optimizer.deadflags import eliminate_dead_flags
+from repro.dbt.optimizer.valuenumber import number_values
+from repro.guest.assembler import assemble
+from repro.guest.isa import Register
+from repro.guest.memory import GuestMemory
+from repro.verify.equiv import EquivChecker
+from repro.verify.findings import VerificationError
+
+PROGRAM = """
+_start:
+    add eax, ebx
+    shl ecx, 3
+    mov esi, [buf]
+    mov [buf], eax
+    mov edi, [buf]
+    sub edx, 5
+    int 0x80
+.data
+buf: dd 0
+"""
+
+
+def checker_and_ir():
+    program = assemble(PROGRAM)
+    memory = GuestMemory()
+    program.load(memory)
+    guest = scan_block(lambda addr, n: memory.read_bytes(addr, n), program.entry)
+    ir = lower_block(guest)
+    checker = EquivChecker(guest, ir, ALL_FLAGS_MASK, context="planted")
+    assert checker.stats.refuted == 0, "frontend must be clean before planting"
+    return checker, ir
+
+
+def run_with(checker, ir, name, buggy_pass):
+    optimize_block(
+        ir,
+        iterations=1,
+        flag_live_out=ALL_FLAGS_MASK,
+        observer=checker.observe,
+        passes=[(name, buggy_pass)],
+    )
+
+
+def expect_attribution(name, buggy_pass):
+    checker, ir = checker_and_ir()
+    with pytest.raises(VerificationError) as excinfo:
+        run_with(checker, ir, name, buggy_pass)
+    assert excinfo.value.stage == f"{name}#0"
+    assert checker.stats.refuted == 1
+    return excinfo.value
+
+
+class TestPlantedBugs:
+    def test_copyprop_propagates_wrong_register(self):
+        def buggy(block, live_out):
+            propagate_copies(block)
+            for uop in block.uops:
+                if uop.kind is UOpKind.GET:
+                    uop.reg = Register((int(uop.reg) + 1) % 8)
+                    return
+
+        expect_attribution("copyprop", buggy)
+
+    def test_constfold_off_by_one(self):
+        def buggy(block, live_out):
+            fold_constants(block)
+            for uop in block.uops:
+                if uop.kind is UOpKind.CONST:
+                    uop.imm = (uop.imm + 1) & 0xFFFFFFFF
+                    return
+
+        expect_attribution("constfold", buggy)
+
+    def test_strength_reduction_wrong_shift(self):
+        def buggy(block, live_out):
+            reduce_strength(block)
+            for uop in block.uops:
+                if uop.kind is UOpKind.SHL:
+                    uop.kind = UOpKind.SHR
+                    return
+
+        expect_attribution(STRENGTH_PASS_NAME, buggy)
+
+    def test_valuenumber_reuses_load_across_store(self):
+        def buggy(block, live_out):
+            number_values(block)
+            loads = [uop for uop in block.uops if uop.kind is UOpKind.LD]
+            puts = {uop.reg: uop for uop in block.uops if uop.kind is UOpKind.PUT}
+            # Pretend the post-store load was "the same value" as the
+            # pre-store one: exactly the aliasing bug value numbering
+            # must not commit.
+            puts[Register.EDI].a = loads[0].dst
+
+        expect_attribution("valuenumber", buggy)
+
+    def test_deadflags_ignores_exit_liveness(self):
+        def buggy(block, live_out):
+            eliminate_dead_flags(block, 0)  # pretend nothing is live out
+
+        expect_attribution("deadflags", buggy)
+
+    def test_dce_drops_live_store(self):
+        def buggy(block, live_out):
+            eliminate_dead_code(block)
+            for uop in block.uops:
+                if uop.kind is UOpKind.ST:
+                    block.uops.remove(uop)
+                    return
+
+        expect_attribution("dce", buggy)
+
+    def test_clean_pipeline_verifies(self):
+        checker, ir = checker_and_ir()
+        optimize_block(
+            ir, iterations=2, flag_live_out=ALL_FLAGS_MASK, observer=checker.observe
+        )
+        assert checker.stats.refuted == 0
+        assert checker.stats.proved > 0
+
+    def test_scheduler_reorders_dependent_instructions(self):
+        from repro.dbt.codegen import generate_block
+
+        checker, ir = checker_and_ir()
+        optimize_block(ir, iterations=2, flag_live_out=ALL_FLAGS_MASK, observer=checker.observe)
+        block = generate_block(ir)
+        checker.check_host(block.instrs, "codegen")
+        assert checker.stats.refuted == 0
+
+        instrs = list(block.instrs)
+        swapped = False
+        for i in range(len(instrs) - 1):
+            first, second = instrs[i], instrs[i + 1]
+            if first.op.name in ("BEQ", "BNE", "EXITB") or second.op.name in (
+                "BEQ", "BNE", "EXITB"
+            ):
+                continue
+            written = first.writes()
+            if written is not None and written in second.reads():
+                instrs[i], instrs[i + 1] = second, first
+                swapped = True
+                break
+        assert swapped, "expected a dependent pair to swap"
+        with pytest.raises(VerificationError) as excinfo:
+            checker.check_host(instrs, "scheduler")
+        assert excinfo.value.stage == "scheduler"

@@ -1,0 +1,64 @@
+"""Property: every random straight-line block translates equivalently.
+
+Hypothesis drives :mod:`tests.blockgen` through a shrinkable PRNG and
+asserts the full checked pipeline (frontend ≡ IR, every optimizer
+pass, codegen, scheduler) discharges with zero refutations.  When a
+counterexample is found, its (shrunk) source is persisted under
+``tests/data/`` so it becomes a permanent regression: the replay test
+below re-checks every persisted program on every run.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests import blockgen
+from repro.dbt.translator import TranslationConfig
+from repro.guest.assembler import assemble
+from repro.verify.findings import VerificationError
+from repro.verify.pipeline import checked_translate_program
+
+DATA_DIR = Path(__file__).parent / "data"
+#: Written (and overwritten, ending with the shrunk minimum) whenever
+#: the property below fails; rename to ``equiv_regression_<what>.asm``
+#: when committing one as a permanent regression.
+COUNTEREXAMPLE = DATA_DIR / "equiv_counterexample_latest.asm"
+
+_CONFIG = TranslationConfig(checked="equiv", equiv_vectors=4)
+
+
+def _check_source(source):
+    program = assemble(source)
+    result = checked_translate_program(program, _CONFIG)
+    assert not result.faults, "generated program must decode statically"
+    assert result.equiv is not None
+    assert result.equiv.refuted == 0
+    return result
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.randoms(use_true_random=False), st.integers(2, 14))
+def test_random_blocks_translate_equivalently(rng, length):
+    body = blockgen.random_block_lines(rng, length)
+    terminator = rng.choice((None, *blockgen.JCC))
+    source = blockgen.render_program(body, terminator)
+    try:
+        _check_source(source)
+    except (VerificationError, AssertionError):
+        COUNTEREXAMPLE.write_text(source)
+        raise
+
+
+def _regressions():
+    return sorted(DATA_DIR.glob("equiv_regression_*.asm"))
+
+
+@pytest.mark.parametrize(
+    "path", _regressions() or [None], ids=lambda p: p.name if p else "none"
+)
+def test_persisted_counterexamples_stay_fixed(path):
+    if path is None:
+        pytest.skip("no persisted equivalence regressions")
+    _check_source(path.read_text())

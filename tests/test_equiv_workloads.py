@@ -1,0 +1,78 @@
+"""Equivalence sweep over real workloads plus CLI contract tests.
+
+The full all-workload sweep runs in CI (``python -m repro.verify
+equiv``); here a representative subset keeps the suite fast while still
+exercising every pipeline stage on real guest code, and the CLI exit
+codes are pinned: zero iff no ERROR-severity finding, for every
+subcommand.
+"""
+
+import pytest
+
+from repro.harness.equivsweep import run_sweep, sweep_one
+from repro.verify.cli import main
+
+#: small but diverse: byte loads/stores + short loops, pointer chasing
+WORKLOADS = ("164.gzip", "181.mcf")
+SCALE = 0.03
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_workload_translation_is_equivalent(name):
+    row = sweep_one(name, scale=SCALE, vectors=4)
+    assert row.error is None, row.error
+    assert row.refuted == 0
+    assert row.skipped == 0
+    assert row.blocks > 0
+    assert row.proved > 0
+
+
+def test_parallel_sweep_matches_serial():
+    serial = run_sweep(WORKLOADS, scale=SCALE, vectors=4, jobs=1)
+    parallel = run_sweep(WORKLOADS, scale=SCALE, vectors=4, jobs=2)
+    for a, b in zip(serial, parallel):
+        assert (a.name, a.blocks, a.proved, a.validated, a.refuted, a.skipped) == (
+            b.name, b.blocks, b.proved, b.validated, b.refuted, b.skipped
+        )
+
+
+class TestCliExitCodes:
+    def test_equiv_clean_program_exits_zero(self, tmp_path, capsys):
+        source = "_start:\n    add eax, ebx\n    mov ecx, 7\n    int 0x80\n    hlt\n"
+        path = tmp_path / "ok.asm"
+        path.write_text(source)
+        assert main(["equiv", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "refuted" in out
+
+    def test_legacy_bare_invocation_still_works(self, tmp_path, capsys):
+        source = "_start:\n    mov eax, 1\n    int 0x80\n    hlt\n"
+        path = tmp_path / "ok.asm"
+        path.write_text(source)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "guestlint" in out and "checked translation" in out
+
+    def test_lint_subcommand_exits_zero_on_clean(self, tmp_path, capsys):
+        source = "_start:\n    mov eax, 1\n    int 0x80\n    hlt\n"
+        path = tmp_path / "ok.asm"
+        path.write_text(source)
+        assert main(["lint", str(path)]) == 0
+        assert "checked translation" not in capsys.readouterr().out
+
+    def test_sweep_subcommand_exits_zero_on_clean(self, tmp_path, capsys):
+        source = "_start:\n    mov eax, 1\n    int 0x80\n    hlt\n"
+        path = tmp_path / "ok.asm"
+        path.write_text(source)
+        assert main(["sweep", str(path)]) == 0
+        assert "guestlint" not in capsys.readouterr().out
+
+    def test_unknown_program_is_an_error(self, capsys):
+        assert main(["equiv", "no-such-workload"]) == 1
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["lint", "no-such-workload"])
+
+    def test_list_flag(self, capsys):
+        assert main(["equiv", "--list"]) == 0
+        assert "164.gzip" in capsys.readouterr().out

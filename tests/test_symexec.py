@@ -1,0 +1,225 @@
+"""Unit and property tests for the symbolic execution core.
+
+Three layers:
+
+* normalization units — the rewrite rules the equivalence checker
+  leans on must hold and must intern equal terms to identical objects;
+* metamorphic properties — every smart constructor agrees with direct
+  concrete arithmetic on random operands (normalization never changes
+  meaning), and the known-bits annotation is sound;
+* a concrete differential — the symbolic guest evaluator agrees with
+  the reference :class:`GuestInterpreter` on random straight-line
+  blocks over random input vectors, with symbolic memory backed by the
+  interpreter's own initial image.
+"""
+
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests import blockgen
+from repro.common.bitops import MASK32, parity8, to_signed32, u32
+from repro.dbt.frontend import scan_block
+from repro.guest.assembler import assemble
+from repro.guest.interpreter import GuestInterpreter
+from repro.guest.isa import ALL_FLAGS, Op, Register
+from repro.guest.memory import GuestMemory, MemoryFault
+from repro.verify.symexec import expr as E
+from repro.verify.symexec import guest_sem
+from repro.verify.symexec.concrete import MemImage, evaluate, make_vector
+from repro.verify.symexec.state import initial_state
+
+
+def setup_function(function):
+    E.reset()
+
+
+class TestNormalization:
+    def test_constant_folding_and_interning(self):
+        assert E.add(E.const(2), E.const(3)) is E.const(5)
+        assert E.mul(E.const(6), E.const(7)) is E.const(42)
+        a = E.var("a")
+        assert E.add(a, E.const(0)) is a
+        assert E.band(a, E.const(0)) is E.const(0)
+        assert E.bxor(a, a) is E.const(0)
+        assert E.add(a, E.var("b")) is E.add(E.var("b"), a)
+
+    def test_shift_mask_rules(self):
+        a = E.var("a")
+        assert E.shr(E.shl(a, E.const(8)), E.const(8)) is E.band(a, E.const(0x00FFFFFF))
+        assert E.shl(a, E.const(0)) is a
+        assert E.sar(E.shl(a, E.const(24)), E.const(24)) is E.sext8(a)
+
+    def test_store_to_load_forwarding(self):
+        mem, addr, value = E.memvar("mem"), E.var("p"), E.var("v")
+        stored = E.store(mem, addr, value, 4)
+        assert E.load(stored, addr, 4) is value
+        other = E.add(addr, E.const(8))
+        assert E.load(stored, other, 4) is E.load(mem, other, 4)
+
+    def test_boolean_eq_rules(self):
+        flag = E.var("zf", 1)
+        assert E.eq(flag, E.const(0)) is E.bxor(flag, E.const(1))
+        assert E.eq(flag, E.const(1)) is flag
+
+    def test_ite_same_arms_collapse(self):
+        c, x = E.var("c", 1), E.var("x")
+        assert E.ite(c, x, x) is x
+        assert E.ite(E.const(1), x, E.var("y")) is x
+
+    def test_known_bits_on_constructors(self):
+        a = E.var("a")
+        assert E.band(a, E.const(0xFF)).ones == 0xFF
+        assert E.shl(E.band(a, E.const(0xF)), E.const(4)).ones == 0xF0
+        assert E.eq(a, E.var("b")).ones == 1
+
+
+#: (name, builder, reference) for every pure 2-input operator.
+_BINARY_OPS = [
+    ("add", E.add, lambda x, y: (x + y) & MASK32),
+    ("sub", E.sub, lambda x, y: (x - y) & MASK32),
+    ("band", E.band, lambda x, y: x & y),
+    ("bor", E.bor, lambda x, y: x | y),
+    ("bxor", E.bxor, lambda x, y: x ^ y),
+    ("shl", E.shl, lambda x, y: (x << (y & 31)) & MASK32),
+    ("shr", E.shr, lambda x, y: x >> (y & 31)),
+    ("sar", E.sar, lambda x, y: u32(to_signed32(x) >> (y & 31))),
+    ("mul", E.mul, lambda x, y: (x * y) & MASK32),
+    ("mulhu", E.mulhu, lambda x, y: (x * y) >> 32),
+    ("mulhs", E.mulhs, lambda x, y: u32((to_signed32(x) * to_signed32(y)) >> 32)),
+    ("ult", E.ult, lambda x, y: 1 if x < y else 0),
+    ("eq", E.eq, lambda x, y: 1 if x == y else 0),
+]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, MASK32),
+    st.integers(0, MASK32),
+    st.sampled_from(_BINARY_OPS),
+    st.booleans(),
+    st.booleans(),
+)
+def test_constructors_match_reference_semantics(x, y, op_entry, sym_x, sym_y):
+    """Normalized expressions evaluate exactly like direct arithmetic,
+    whether operands arrive as constants or as bound variables."""
+    E.reset()
+    _, build, reference = op_entry
+    env = {"x": x, "y": y}
+    ex = E.var("x") if sym_x else E.const(x)
+    ey = E.var("y") if sym_y else E.const(y)
+    node = build(ex, ey)
+    assert evaluate(node, env) == reference(x, y)
+    # Known-bits soundness: the concrete value is a submask of `ones`.
+    assert evaluate(node, env) & ~node.ones == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, MASK32), st.booleans())
+def test_unary_constructors_match_reference(x, symbolic):
+    E.reset()
+    env = {"x": x}
+    ex = E.var("x") if symbolic else E.const(x)
+    assert evaluate(E.bnot(ex), env) == x ^ MASK32
+    assert evaluate(E.zext8(ex), env) == x & 0xFF
+    assert evaluate(E.sext8(ex), env) == u32(to_signed32(u32((x & 0xFF) << 24)) >> 24)
+    assert evaluate(E.parity(ex), env) == parity8(x & 0xFF)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.randoms(use_true_random=False), st.integers(0, MASK32))
+def test_random_expression_known_bits_sound(rng, x):
+    """Random operator trees keep `ones` an over-approximation."""
+    E.reset()
+    env = {"a": x, "b": rng.getrandbits(32), "c": rng.getrandbits(32)}
+    pool = [E.var(n) for n in ("a", "b", "c")] + [E.const(rng.getrandbits(32))]
+    for _ in range(20):
+        name, build, _ = rng.choice(_BINARY_OPS)
+        lhs, rhs = rng.choice(pool), rng.choice(pool)
+        node = build(lhs, rhs)
+        assert evaluate(node, env) & ~node.ones == 0, name
+        pool.append(node)
+
+
+class GuestImage(MemImage):
+    """Symbolic-memory base image backed by a real guest memory."""
+
+    def __init__(self, memory, overlay=None):
+        super().__init__(0, overlay)
+        self.memory = memory
+
+    def read_byte(self, address):
+        address &= MASK32
+        got = self.overlay.get(address)
+        if got is not None:
+            return got
+        try:
+            return self.memory.read_bytes(address, 1)[0]
+        except MemoryFault:
+            return 0
+
+    def written(self, address, value, width):
+        overlay = dict(self.overlay)
+        for i in range(width):
+            overlay[(address + i) & MASK32] = (value >> (8 * i)) & 0xFF
+        return GuestImage(self.memory, overlay)
+
+
+_FLAG_NAMES = tuple(flag.name.lower() for flag in ALL_FLAGS)
+_VECTORS = 4
+
+
+def _run_guest_differential(seed):
+    source = blockgen.random_program(seed, length=10)
+    program = assemble(source)
+    pristine = GuestMemory()
+    program.load(pristine)
+    guest = scan_block(lambda addr, n: pristine.read_bytes(addr, n), program.entry)
+
+    E.reset()
+    sym = guest_sem.run_block(guest, initial_state())
+
+    steps = len(guest.instructions)
+    if guest.instructions[-1].op in (Op.INT, Op.HLT):
+        steps -= 1  # stop short of the syscall/halt dispatch itself
+
+    names = [reg.name.lower() for reg in Register] + list(_FLAG_NAMES)
+    ones = {name: 1 for name in _FLAG_NAMES}
+    for k in range(_VECTORS):
+        env = make_vector(seed * 1000 + k, names, ones)
+        interp = GuestInterpreter.for_program(program)
+        env["esp"] = interp.state.regs[Register.ESP]  # keep the stack mapped
+        env["mem"] = GuestImage(pristine)
+        for reg in Register:
+            interp.state.regs[reg] = env[reg.name.lower()]
+        interp.state.flags = 0
+        for flag in ALL_FLAGS:
+            interp.state.flags |= env[flag.name.lower()] << int(flag)
+
+        for _ in range(steps):
+            interp.step()
+
+        for reg in Register:
+            want = evaluate(sym.regs[int(reg)], env)
+            got = interp.state.regs[reg]
+            assert got == want, (
+                f"seed {seed} vector {k}: {reg.name} {got:#x} != {want:#x}\n{source}"
+            )
+        for flag in ALL_FLAGS:
+            want = evaluate(sym.flags[flag], env)
+            got = (interp.state.flags >> int(flag)) & 1
+            assert got == want, f"seed {seed} vector {k}: {flag.name} {got} != {want}\n{source}"
+        if steps == len(guest.instructions):  # block ended in a branch we stepped
+            want_pc = evaluate(sym.next_pc, env)
+            assert interp.state.eip == want_pc, f"seed {seed} vector {k}: eip\n{source}"
+        final = evaluate(sym.mem, env)
+        for address in final.overlay:
+            assert interp.memory.read_bytes(address, 1)[0] == final.read_byte(address), (
+                f"seed {seed} vector {k}: memory at {address:#x}\n{source}"
+            )
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_guest_sem_matches_interpreter(seed):
+    _run_guest_differential(seed)
