@@ -2,20 +2,31 @@
 """Micro-benchmark of the simulator's hot loops.
 
 Measures blocks-executed-per-second and guest-instructions-per-second
-for the timing VM (which exercises the interpreter's block fast path),
-plus raw interpreter instructions-per-second.  ``run_all.py`` embeds
-the numbers in ``BENCH_results.json`` so the performance trajectory of
-the inner loop is trackable across PRs.
+for the timing VM — once with the block JIT off (pure interpreter
+dispatch) and once with it on and warm (compiled closures adopted from
+the shared space, the steady state every sweep cell after the first
+sees) — plus raw interpreter instructions-per-second.  ``run_all.py``
+embeds the numbers in ``BENCH_results.json`` so the performance
+trajectory of the inner loop is trackable across PRs.
 
-    python benchmarks/perf_smoke.py [--scale S] [--workload NAME] [--json]
+``--check`` compares the measured JIT speedup against the committed
+``perf_baseline.json`` and exits non-zero when it regresses more than
+20% — the CI perf gate.  Regenerate the baseline on a quiet machine
+with ``--write-baseline`` when the speedup legitimately moves.
+
+    python benchmarks/perf_smoke.py [--scale S] [--workload NAME]
+                                    [--json] [--check] [--write-baseline]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 import time
+from pathlib import Path
 
+from repro.dbt.transcache import TranslationCache
 from repro.guest.interpreter import GuestInterpreter
 from repro.morph.config import PRESETS
 from repro.vm.timing import TimingVM
@@ -24,15 +35,39 @@ from repro.workloads import build_workload
 DEFAULT_WORKLOAD = "164.gzip"
 DEFAULT_SCALE = 0.3
 
+#: Committed reference numbers for --check (next to this script).
+BASELINE_PATH = Path(__file__).resolve().parent / "perf_baseline.json"
+
+#: --check fails when the measured JIT speedup drops below this
+#: fraction of the committed baseline (80% = a >20% regression).
+REGRESSION_FLOOR = 0.8
+
+
+def _timed_run(program, config, **vm_kwargs):
+    started = time.perf_counter()
+    result = TimingVM(program, config, **vm_kwargs).run()
+    return result, time.perf_counter() - started
+
 
 def measure(workload: str = DEFAULT_WORKLOAD, scale: float = DEFAULT_SCALE) -> dict:
-    """One timing-VM run + one raw interpreter run, with throughputs."""
+    """Timing-VM runs (JIT off / JIT warm) + a raw interpreter run."""
     program = build_workload(workload, scale=scale)
+    config = PRESETS["speculative_4"]
 
-    started = time.perf_counter()
-    vm = TimingVM(program, PRESETS["speculative_4"])
-    result = vm.run()
-    vm_seconds = time.perf_counter() - started
+    result, nojit_seconds = _timed_run(program, config, jit=False)
+
+    # warm the shared spaces (translations + compiled closures), then
+    # measure the steady state a sweep's 2nd..Nth cells run in
+    cache = TranslationCache()
+    program = build_workload(workload, scale=scale)
+    _timed_run(program, config, jit=True,
+               translation_cache=cache, program_key=workload)
+    program = build_workload(workload, scale=scale)
+    jit_result, jit_seconds = _timed_run(
+        program, config, jit=True,
+        translation_cache=cache, program_key=workload,
+    )
+    assert jit_result == result, "JIT-on run diverged from JIT-off run"
 
     program = build_workload(workload, scale=scale)
     started = time.perf_counter()
@@ -44,12 +79,22 @@ def measure(workload: str = DEFAULT_WORKLOAD, scale: float = DEFAULT_SCALE) -> d
         "workload": workload,
         "scale": scale,
         "timing_vm": {
-            "seconds": round(vm_seconds, 4),
+            "seconds": round(nojit_seconds, 4),
             "blocks_executed": result.blocks_executed,
             "guest_instructions": result.guest_instructions,
-            "blocks_per_second": round(result.blocks_executed / vm_seconds, 1),
-            "instructions_per_second": round(result.guest_instructions / vm_seconds, 1),
+            "blocks_per_second": round(result.blocks_executed / nojit_seconds, 1),
+            "instructions_per_second": round(
+                result.guest_instructions / nojit_seconds, 1
+            ),
         },
+        "timing_vm_jit": {
+            "seconds": round(jit_seconds, 4),
+            "blocks_per_second": round(result.blocks_executed / jit_seconds, 1),
+            "instructions_per_second": round(
+                result.guest_instructions / jit_seconds, 1
+            ),
+        },
+        "jit_speedup": round(nojit_seconds / jit_seconds, 3),
         "interpreter": {
             "seconds": round(interp_seconds, 4),
             "instructions": interp.stats["instructions"],
@@ -60,23 +105,67 @@ def measure(workload: str = DEFAULT_WORKLOAD, scale: float = DEFAULT_SCALE) -> d
     }
 
 
+def check_against_baseline(doc: dict) -> int:
+    """Compare ``doc`` to the committed baseline; returns an exit code."""
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except (OSError, ValueError) as err:
+        print(f"perf-smoke: cannot read baseline {BASELINE_PATH}: {err}")
+        return 2
+    reference = baseline.get("jit_speedup")
+    if not isinstance(reference, (int, float)) or reference <= 0:
+        print(f"perf-smoke: baseline has no usable jit_speedup: {reference!r}")
+        return 2
+    measured = doc["jit_speedup"]
+    floor = REGRESSION_FLOOR * reference
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"perf-smoke: jit_speedup {measured:.3f}x "
+        f"(baseline {reference:.3f}x, floor {floor:.3f}x): {verdict}"
+    )
+    return 0 if measured >= floor else 1
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default=DEFAULT_WORKLOAD)
     parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     parser.add_argument("--json", action="store_true", help="print JSON only")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail if jit_speedup regressed >20%% vs perf_baseline.json",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the measured numbers as the new committed baseline",
+    )
     args = parser.parse_args()
     doc = measure(args.workload, args.scale)
+    if args.write_baseline:
+        payload = {
+            "workload": doc["workload"],
+            "scale": doc["scale"],
+            "jit_speedup": doc["jit_speedup"],
+            "timing_vm_blocks_per_second": doc["timing_vm"]["blocks_per_second"],
+            "timing_vm_jit_blocks_per_second": doc["timing_vm_jit"]["blocks_per_second"],
+        }
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {BASELINE_PATH}")
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
-        return
-    vm = doc["timing_vm"]
-    print(
-        f"{doc['workload']} @ scale {doc['scale']}: "
-        f"{vm['blocks_per_second']:.0f} blocks/s, "
-        f"{vm['instructions_per_second']:.0f} guest instr/s (timing VM); "
-        f"{doc['interpreter']['instructions_per_second']:.0f} instr/s (raw interpreter)"
-    )
+    elif not args.check:
+        vm = doc["timing_vm"]
+        jit = doc["timing_vm_jit"]
+        print(
+            f"{doc['workload']} @ scale {doc['scale']}: "
+            f"{vm['blocks_per_second']:.0f} blocks/s (interpreter), "
+            f"{jit['blocks_per_second']:.0f} blocks/s (JIT warm, "
+            f"{doc['jit_speedup']:.2f}x); "
+            f"{doc['interpreter']['instructions_per_second']:.0f} instr/s "
+            f"(raw interpreter)"
+        )
+    if args.check:
+        sys.exit(check_against_baseline(doc))
 
 
 if __name__ == "__main__":

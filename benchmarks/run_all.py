@@ -128,12 +128,20 @@ def _parse_args(argv) -> argparse.Namespace:
         "--scale", type=float, default=SCALE,
         help=f"workload scale factor (default {SCALE}; CI smoke uses less)",
     )
+    parser.add_argument(
+        "--no-jit", action="store_true",
+        help="disable the block JIT (results are bit-identical; only "
+             "wall-clock changes — this flag exists to measure that)",
+    )
     return parser.parse_args(argv)
 
 
 def main(argv=None) -> None:
     args = _parse_args(argv)
     scale = args.scale
+    if args.no_jit:
+        # before any worker pool exists, so every worker inherits it
+        os.environ["REPRO_JIT"] = "0"
     if args.no_cache:
         configure_disk_cache(enabled=False)
     figures = [
@@ -258,6 +266,7 @@ def _write_results_json(args, figure_records, started, low, high) -> None:
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "scale": args.scale,
         "jobs": args.jobs,
+        "jit": not args.no_jit,
         "total_seconds": round(time.time() - started, 2),
         "figures_passed": passed,
         "figures_failed": len(figure_records) - passed,

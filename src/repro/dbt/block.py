@@ -15,6 +15,19 @@ from typing import List, Optional, Tuple
 from repro.host.isa import ExitReason, HostInstr, LOAD_OPS, STORE_OPS
 
 
+def pages_spanned(guest_address: int, guest_length: int) -> range:
+    """Guest page numbers a block's bytes occupy (zero-length counts 1).
+
+    Shared by the self-modifying-code bookkeeping of every fidelity tier
+    — the functional VM's code-page residency sets, the timing VM's SMC
+    invalidation, and the block JIT's share-range checks — so all of
+    them agree on which pages "contain translated code".
+    """
+    first = guest_address >> 12
+    last = (guest_address + max(1, guest_length) - 1) >> 12
+    return range(first, last + 1)
+
+
 @dataclass
 class ExitStub:
     """One exit point of a translated block.

@@ -44,10 +44,12 @@ from repro.dbt.block import TranslatedBlock
 from repro.dbt.frontend import CodeReader
 from repro.dbt.translator import TranslationConfig, Translator
 
-#: Distinct (program, knobs) namespaces kept live.  The sweep visits a
-#: workload's configurations consecutively, so a dozen namespaces is
-#: plenty while bounding worst-case footprint.
-NAMESPACE_CAPACITY = 12
+#: Distinct (program, knobs) namespaces kept live.  The harness's
+#: persistent worker pool accumulates every workload of a multi-figure
+#: grid (11 workloads x up to a few knob variants each), so the bound
+#: must comfortably exceed that product while still capping worst-case
+#: footprint for long-lived processes sweeping many scales.
+NAMESPACE_CAPACITY = 64
 
 
 def translator_knobs(config: TranslationConfig) -> Tuple:
@@ -66,6 +68,7 @@ class TranslationCache:
 
     def __init__(self, capacity: int = NAMESPACE_CAPACITY) -> None:
         self._spaces: "LruDict[Hashable, Dict]" = LruDict(capacity)
+        self._jit_spaces: "LruDict[Hashable, Dict]" = LruDict(capacity)
         self.hits = 0
         self.misses = 0
 
@@ -77,8 +80,25 @@ class TranslationCache:
             self._spaces.put(namespace, space)
         return space
 
+    def jit_space(self, namespace: Hashable) -> Dict:
+        """The block-JIT share map for one namespace.
+
+        Keyed ``(generation, address, count) -> CompiledBlock`` (or the
+        ineligible sentinel) by :class:`repro.guest.blockjit.BlockJit`.
+        Compiled closures depend only on the guest bytes and the block
+        plan, never on translator knobs, so unlike :meth:`space` the
+        namespace is just the program key — every cell of a sweep shares
+        one compile of each hot block.
+        """
+        space = self._jit_spaces.get(namespace)
+        if space is None:
+            space = {}
+            self._jit_spaces.put(namespace, space)
+        return space
+
     def clear(self) -> None:
         self._spaces.clear()
+        self._jit_spaces.clear()
         self.hits = 0
         self.misses = 0
 
@@ -88,6 +108,10 @@ class TranslationCache:
             "misses": self.misses,
             "namespaces": len(self._spaces),
             "blocks": sum(len(self._spaces.peek(key)) for key in self._spaces),
+            "jit_namespaces": len(self._jit_spaces),
+            "jit_blocks": sum(
+                len(self._jit_spaces.peek(key)) for key in self._jit_spaces
+            ),
         }
 
 

@@ -169,6 +169,45 @@ def alu_mul_wide(a: int, b: int, flags: int) -> Tuple[int, int, int]:
     return low, high, _szp(flags, low, 32)
 
 
+#: Parity-flag lookup: ``PF_TABLE[byte]`` is the packed PF *bit* (0 or
+#: ``1 << Flag.PF``) for the low byte of a result.  The block compiler
+#: (:mod:`repro.guest.blockjit`) indexes this instead of calling
+#: :func:`parity8`, but both derive from the same definition.
+PF_TABLE: Tuple[int, ...] = tuple(
+    (1 << Flag.PF) if parity8(byte) else 0 for byte in range(256)
+)
+
+#: Condition tests as Python expressions over a packed flags word.
+#: ``{fl}`` is substituted with the variable name holding the word; the
+#: result is truthy iff :func:`evaluate_condition` returns True.  Kept
+#: here (not in the block compiler) so every flag-semantics rule stays
+#: in this module; ``test_blockjit`` asserts agreement exhaustively.
+_SIGNED_LT = "((({fl}) >> 7) ^ (({fl}) >> 11)) & 1"  # SF != OF
+_CONDITION_TEST_EXPRS = {
+    ConditionCode.O: "({fl}) & 2048",
+    ConditionCode.NO: "not ({fl}) & 2048",
+    ConditionCode.B: "({fl}) & 1",
+    ConditionCode.AE: "not ({fl}) & 1",
+    ConditionCode.E: "({fl}) & 64",
+    ConditionCode.NE: "not ({fl}) & 64",
+    ConditionCode.BE: "({fl}) & 65",
+    ConditionCode.A: "not ({fl}) & 65",
+    ConditionCode.S: "({fl}) & 128",
+    ConditionCode.NS: "not ({fl}) & 128",
+    ConditionCode.P: "({fl}) & 4",
+    ConditionCode.NP: "not ({fl}) & 4",
+    ConditionCode.L: _SIGNED_LT,
+    ConditionCode.GE: "not (" + _SIGNED_LT + ")",
+    ConditionCode.LE: "(({fl}) & 64) or (" + _SIGNED_LT + ")",
+    ConditionCode.G: "not ((({fl}) & 64) or (" + _SIGNED_LT + "))",
+}
+
+
+def condition_expr(cc: ConditionCode, fl: str = "fl") -> str:
+    """A Python boolean expression testing ``cc`` on flags word ``fl``."""
+    return _CONDITION_TEST_EXPRS[cc].format(fl=fl)
+
+
 def evaluate_condition(cc: ConditionCode, flags: int) -> bool:
     """Evaluate an IA-32 condition code against the packed flags word."""
     cf = flag_is_set(flags, Flag.CF)

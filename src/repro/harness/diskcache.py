@@ -163,6 +163,42 @@ class DiskCache:
         self.stores += 1
         return path
 
+    # -- opaque blobs ------------------------------------------------------
+
+    def has_blob(self, name: str) -> bool:
+        """Whether an auxiliary entry exists (no read, just a stat)."""
+        return (self.root / f"{name}.bin").exists()
+
+    def load_blob(self, name: str) -> Optional[bytes]:
+        """Read an auxiliary binary entry (e.g. a JIT code pack).
+
+        Blobs live in the same versioned subdirectory as results, so
+        they self-invalidate on code changes the same way; they do not
+        count toward the hit/miss/store bookkeeping, which tracks
+        result cells only.
+        """
+        try:
+            return (self.root / f"{name}.bin").read_bytes()
+        except OSError:
+            return None
+
+    def save_blob(self, name: str, data: bytes) -> Path:
+        """Atomically persist an auxiliary binary entry."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{name}.bin"
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
     # -- reporting --------------------------------------------------------
 
     def stats(self) -> dict:

@@ -32,12 +32,14 @@ recorded in a :class:`~repro.obs.metrics.MetricsRegistry` (surfaced by
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.lru import LruDict
 from repro.dbt.transcache import TranslationCache
+from repro.guest.blockjit import jit_enabled_by_env, pack_space, unpack_space
 from repro.guest.program import GuestProgram
 from repro.harness.diskcache import DiskCache, config_digest, enabled_by_env
 from repro.morph.config import PRESETS, VirtualArchConfig
@@ -73,6 +75,38 @@ METRICS = MetricsRegistry("harness.runner")
 #: Lazily constructed process-wide disk cache (None = disabled).
 _DISK: Optional[DiskCache] = None
 _DISK_ENABLED: Optional[bool] = None  # None = follow the environment
+
+#: Persistent worker pool for :func:`run_many`.  Kept alive across
+#: calls so the workers' process-global caches — assembled programs,
+#: translated blocks, JIT-compiled closures — stay warm from one
+#: figure's sweep to the next (a multi-figure grid revisits the same
+#: workloads under different configs; tearing the pool down between
+#: figures used to throw that warm state away each time).
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, grown (never shrunk) to ``workers``."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS < workers:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def _shutdown_pool() -> None:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=False)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(_shutdown_pool)
 
 
 def configure_disk_cache(enabled: bool = True, root: Optional[os.PathLike] = None) -> None:
@@ -154,14 +188,67 @@ def _program(workload: str, scale: float) -> GuestProgram:
 
 
 def _worker_run(cells: Sequence[Tuple[str, VirtualArchConfig, float]],
-                disk_enabled: bool, disk_root: Optional[str]) -> List[TimingRunResult]:
+                disk_enabled: bool, disk_root: Optional[str]
+                ) -> Tuple[List[TimingRunResult], Dict[str, int]]:
     """Execute a group of cells in a worker process (module-level: picklable).
 
     Groups are one workload each (see :func:`run_many`), so the worker's
     program memo and translation cache stay warm across its cells.
+
+    Returns the results plus this call's cache-activity *deltas* (disk
+    stores, translation hits/misses) — counted from a snapshot, because
+    the pool reuses worker processes and the worker-global caches carry
+    counts across calls.  Without this the parent's reports showed zero
+    stores for work the workers did (the bug BENCH_results.json used to
+    exhibit: a fully cold run recording ``"stores": 0``).
     """
     configure_disk_cache(disk_enabled, disk_root)
-    return [run_one(workload, config, scale) for workload, config, scale in cells]
+    disk = disk_cache()
+    stores_before = disk.stores if disk is not None else 0
+    hits_before = _TRANSLATIONS.hits
+    misses_before = _TRANSLATIONS.misses
+    # Warm this group's shared JIT space from a sibling worker's code
+    # pack: loading a marshaled code object costs ~5% of compiling the
+    # block, so only the first worker ever to touch a workload pays
+    # codegen.  Packs live in the disk cache's versioned directory and
+    # self-invalidate with it.
+    pack_name = None
+    packed = 0
+    space = None
+    if disk is not None and cells and jit_enabled_by_env():
+        workload, _, scale = cells[0]
+        space = _TRANSLATIONS.jit_space((workload, scale))
+        pack_name = f"jitpack_{workload}_{scale}".replace("/", "_")
+        if not space:
+            data = disk.load_blob(pack_name)
+            if data is not None:
+                try:
+                    space.update(unpack_space(data))
+                except Exception:
+                    pass  # corrupt/stale pack: recompile from scratch
+        packed = len(space)
+    results = [run_one(workload, config, scale) for workload, config, scale in cells]
+    if disk is not None:
+        # A long-lived worker may serve a cell from its in-process memo
+        # (warmed by an earlier run_many against a different cache root)
+        # without ever storing it here.  The parent only dispatched this
+        # cell because the disk missed, so make sure it lands on disk.
+        for (workload, config, scale), result in zip(cells, results):
+            if not disk._path(disk.cell_key(workload, config, scale)).exists():
+                disk.store(workload, config, scale, result)
+    if pack_name is not None and space and (
+        len(space) > packed or not disk.has_blob(pack_name)
+    ):
+        try:
+            disk.save_blob(pack_name, pack_space(space))
+        except Exception:
+            pass  # packing is an optimization; never fail the run
+    deltas = {
+        "disk_stores": (disk.stores - stores_before) if disk is not None else 0,
+        "translation_hits": _TRANSLATIONS.hits - hits_before,
+        "translation_misses": _TRANSLATIONS.misses - misses_before,
+    }
+    return results, deltas
 
 
 def run_many(
@@ -231,17 +318,29 @@ def run_many(
         groups.setdefault((workload, scale), []).append((workload, cfg, scale))
     grouped = list(groups.values())
     workers = min(jobs, len(grouped))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            (group, pool.submit(_worker_run, group, disk_enabled, disk_root))
-            for group in grouped
-        ]
-        for group, future in futures:
-            for (workload, cfg, scale), result in zip(group, future.result()):
-                METRICS.bump("run_cache.misses")
-                METRICS.bump("runs.parallel")
-                _CACHE.put(_memo_key(workload, cfg, scale), result)
-                results[(workload, cfg.name, scale)] = result
+    pool = _pool(workers)
+    futures = [
+        (group, pool.submit(_worker_run, group, disk_enabled, disk_root))
+        for group in grouped
+    ]
+    for group, future in futures:
+        group_results, deltas = future.result()
+        for (workload, cfg, scale), result in zip(group, group_results):
+            METRICS.bump("run_cache.misses")
+            METRICS.bump("runs.parallel")
+            _CACHE.put(_memo_key(workload, cfg, scale), result)
+            results[(workload, cfg.name, scale)] = result
+        # fold the workers' cache activity into the parent's books.
+        # Stores fold into the disk object itself (it is the same
+        # on-disk cache, just touched from another process); lookup
+        # counts are NOT folded — the parent already recorded its
+        # own miss for each shipped cell, and the workers' re-probe
+        # of the same cells would double-count.
+        if disk is not None:
+            disk.stores += deltas["disk_stores"]
+        for key in ("translation_hits", "translation_misses"):
+            if deltas[key]:
+                METRICS.bump("workers." + key, deltas[key])
     return results
 
 

@@ -64,6 +64,11 @@ class MemoryAccessOutcome:
     tlb_hit: bool = True
 
 
+#: The overwhelmingly common outcome (an L1 hit stalls nothing), shared
+#: so the per-access fast path allocates no object.
+_L1_HIT_OUTCOME = MemoryAccessOutcome(stall_cycles=0, l1_hit=True)
+
+
 class _Bank:
     """One L2 data-cache bank tile."""
 
@@ -109,6 +114,8 @@ class PipelinedMemorySystem:
             for i, coord in enumerate(grid.tiles_with_role(TileRole.L2_BANK))
         ]
         self.stats = StatSet("memsys")
+        # bound once: access() runs per guest memory reference
+        self._c_accesses = self.stats.counter("accesses")
 
     # -- configuration ------------------------------------------------------
 
@@ -148,10 +155,9 @@ class PipelinedMemorySystem:
 
     def access(self, now: int, address: int, is_write: bool) -> MemoryAccessOutcome:
         """Charge one data access issued by the execution tile at ``now``."""
-        self.stats.bump("accesses")
-        l1_result = self.l1.access(address, is_write)
-        if l1_result.hit:
-            return MemoryAccessOutcome(stall_cycles=0, l1_hit=True)
+        self._c_accesses.value += 1
+        if self.l1.access(address, is_write).hit:
+            return _L1_HIT_OUTCOME
 
         self.stats.bump("l1_misses")
         # ship the request to the MMU tile

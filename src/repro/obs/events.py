@@ -25,6 +25,8 @@ category       names                    payload (``args``)
 ``morph``      ``reconfig``             ``old``/``new`` shape, tile assignment
 ``mem``        ``tlb_miss``             ``address``, ``walk_touches``
 ``net``        ``msg``                  ``src``, ``dst``, ``hops``, ``words``
+``jit``        ``trace_enter`` /        ``pc``; exit adds ``blocks`` (chain
+               ``trace_exit``           length) and ``reason``
 ``vm``         (free-form)              run-level markers
 =============  =======================  ==========================================
 
@@ -41,7 +43,7 @@ from typing import Deque, Dict, List, Optional
 
 #: Known event categories (free-form categories are allowed; these are
 #: the ones the simulator emits and the exporter styles specially).
-CATEGORIES = ("translate", "codecache", "specq", "morph", "mem", "net", "vm")
+CATEGORIES = ("translate", "codecache", "specq", "morph", "mem", "net", "jit", "vm")
 
 #: Default ring-buffer capacity (events kept; older ones are dropped).
 DEFAULT_TRACE_CAPACITY = 1 << 16

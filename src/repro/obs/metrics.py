@@ -33,6 +33,18 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 #: Default number of retained time-series samples per series.
 DEFAULT_SERIES_CAPACITY = 1024
 
+#: Block-JIT compile latency buckets, in microseconds (compiles are
+#: host-side work; typical block compiles land in the 50-2000us range).
+COMPILE_TIME_BUCKETS: Tuple[float, ...] = (
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 50_000,
+)
+
+#: Superblock chain-length buckets (consecutive compiled blocks executed
+#: without returning to the VM dispatch loop), Fibonacci-spaced.
+CHAIN_LENGTH_BUCKETS: Tuple[float, ...] = (
+    1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233,
+)
+
 
 class Histogram:
     """Bucketed counts over a stream of samples.

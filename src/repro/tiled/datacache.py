@@ -24,6 +24,14 @@ class AccessResult:
     writeback: bool  # a dirty victim was displaced
 
 
+#: Results carry no per-access data, so the three possible outcomes are
+#: shared instances (access() runs once per guest memory reference —
+#: allocating a result object each time showed up in sweep profiles).
+_HIT = AccessResult(hit=True, writeback=False)
+_MISS = AccessResult(hit=False, writeback=False)
+_MISS_WRITEBACK = AccessResult(hit=False, writeback=True)
+
+
 class DataCacheModel:
     """Set-associative tag array with allocate-on-miss and write-back."""
 
@@ -39,20 +47,27 @@ class DataCacheModel:
         self.line_bytes = line_bytes
         self._index = SetAssociativeIndex(size_bytes, line_bytes, ways)
         self.stats = StatSet(name)
+        # the per-access counters, bound once: bump() is a dict probe
+        # per call, and access() is the hottest leaf in a timing run
+        self._c_accesses = self.stats.counter("accesses")
+        self._c_hits = self.stats.counter("hits")
+        self._c_misses = self.stats.counter("misses")
+        self._c_writebacks = self.stats.counter("writebacks")
 
     def access(self, address: int, is_write: bool) -> AccessResult:
         """Look up ``address``; fills on miss (allocate-on-write too)."""
-        self.stats.bump("accesses")
+        self._c_accesses.value += 1
         if self._index.lookup(address):
             if is_write:
                 self._index.mark_dirty(address)
-            self.stats.bump("hits")
-            return AccessResult(hit=True, writeback=False)
-        self.stats.bump("misses")
+            self._c_hits.value += 1
+            return _HIT
+        self._c_misses.value += 1
         victim = self._index.fill(address, dirty=is_write)
         if victim is not None:
-            self.stats.bump("writebacks")
-        return AccessResult(hit=False, writeback=victim is not None)
+            self._c_writebacks.value += 1
+            return _MISS_WRITEBACK
+        return _MISS
 
     def flush(self) -> int:
         """Invalidate everything; returns dirty lines written back.

@@ -24,7 +24,7 @@ from repro.guest.program import GuestProgram
 from repro.guest.syscalls import SyscallProxy
 from repro.host.interpreter import HostCodeSpace, HostFault, HostInterpreter
 from repro.host.isa import ExitReason, FLAGS_HOME, GUEST_REG_HOME, HostInstr, HostOp
-from repro.dbt.block import TranslatedBlock
+from repro.dbt.block import TranslatedBlock, pages_spanned
 from repro.dbt.codegen import PARITY_TABLE_BASE, SCRATCH_BASE, parity_table
 from repro.dbt.frontend import TranslationError
 from repro.dbt.translator import TranslationConfig, Translator
@@ -173,9 +173,7 @@ class FunctionalVM:
         block.host_address = host_address
         self._blocks[guest_pc] = block
         self._host_entry[guest_pc] = host_address
-        first_page = block.guest_address >> 12
-        last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
-        for page in range(first_page, last_page + 1):
+        for page in pages_spanned(block.guest_address, block.guest_length):
             self._code_pages.setdefault(page, set()).add(guest_pc)
         self.stats.bump("blocks_translated")
 
@@ -254,9 +252,7 @@ class FunctionalVM:
             sites[:] = [site for site in sites if not low <= site < high]
         self.code.erase(host_address, block.host_size_bytes)
         # drop the block from other pages' residency sets
-        first_page = block.guest_address >> 12
-        last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
-        for page in range(first_page, last_page + 1):
+        for page in pages_spanned(block.guest_address, block.guest_length):
             members = self._code_pages.get(page)
             if members is not None:
                 members.discard(guest_pc)

@@ -20,15 +20,17 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.common.stats import StatSet
+from repro.guest.blockjit import jit_enabled_by_env
 from repro.guest.interpreter import AccessObserver, GuestInterpreter
 from repro.guest.program import GuestProgram
+from repro.dbt.block import pages_spanned
 from repro.dbt.codecache import CodeCacheHierarchy, L1_CODE_CAPACITY
 from repro.dbt.speculative import TranslationSubsystem
 from repro.dbt.translator import TranslationConfig, Translator
 from repro.memsys.memsystem import PipelinedMemorySystem
 from repro.morph import MorphController, QueueLengthPolicy, VirtualArchConfig
 from repro.obs.events import NULL_TRACER
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import CHAIN_LENGTH_BUCKETS, MetricsRegistry
 from repro.refmachine.pentium3 import PentiumIIIModel
 from repro.tiled.machine import TileGrid, TileRole, default_placement
 from repro.tiled.network import Network
@@ -43,6 +45,11 @@ SMC_INVALIDATION_COST = 600
 #: Block executions between periodic metrics samples (queue depth,
 #: busy-slave count, cycle progress) — cheap enough to stay always-on.
 METRICS_SAMPLE_INTERVAL_BLOCKS = 32
+
+#: Consecutive executions of the same compiled-block successor before
+#: the dispatch loop chains the two closures (the indirect-exit inline
+#: cache; statically known successors chain on first contact).
+CHAIN_STREAK_THRESHOLD = 4
 
 
 class _TimingObserver(AccessObserver):
@@ -133,6 +140,7 @@ class TimingVM:
         tracer=None,
         translation_cache=None,
         program_key=None,
+        jit: Optional[bool] = None,
     ) -> None:
         self.program = program
         self.config = config
@@ -218,6 +226,29 @@ class TimingVM:
         )
         self.syscall_tile = Resource("syscall_tile")
 
+        # block JIT: hot guest blocks compile to specialized closures
+        # (repro.guest.blockjit); the fast run loop chains them into
+        # superblock traces.  Deliberately NOT a VirtualArchConfig knob:
+        # it models nothing, it only accelerates the simulation, and
+        # results are bit-identical with it on or off.  Its metrics live
+        # in a separate registry so TimingRunResult stays byte-stable.
+        self.jit_enabled = jit if jit is not None else jit_enabled_by_env()
+        self.jit_metrics = MetricsRegistry("blockjit")
+        self._chain_links: Dict[int, list] = {}
+        if self.jit_enabled:
+            shared = None
+            if translation_cache is not None and self._text_end > self._text_start:
+                shared = translation_cache.jit_space(
+                    program_key if program_key is not None else program.name
+                )
+            engine = self.interp.enable_jit(
+                shared_space=shared,
+                generation=lambda: self.code_writes,
+                share_range=(self._text_start, self._text_end),
+                metrics=self.jit_metrics,
+            )
+            engine.on_invalidate = self._chain_links.clear
+
         self.morph: Optional[MorphController] = None
         if config.morphing:
             policy = QueueLengthPolicy(threshold=config.morph_threshold)
@@ -281,9 +312,7 @@ class TimingVM:
         stats.bump(fetch_key)
         if pc not in self._pages_registered:
             self._pages_registered.add(pc)
-            first_page = block.guest_address >> 12
-            last_page = (block.guest_address + max(1, block.guest_length) - 1) >> 12
-            for page in range(first_page, last_page + 1):
+            for page in pages_spanned(block.guest_address, block.guest_length):
                 self.code_pages.setdefault(page, set()).add(pc)
 
         # functional execution of the block's guest instructions,
@@ -328,12 +357,201 @@ class TimingVM:
     def run(self, max_guest_instructions: int = 10_000_000) -> TimingRunResult:
         """Run the workload to completion; returns the timing result."""
         self.start()
-        while self.step():
-            if self._executed_instructions > max_guest_instructions:
+        self._run_fast(max_guest_instructions)
+        return self._result(self._executed_instructions)
+
+    def _close_trace(self, trace_len: int, pc: int, reason: str) -> None:
+        """Record the end of a run of consecutive compiled-block executions."""
+        self.jit_metrics.observe("chain.length", trace_len, CHAIN_LENGTH_BUCKETS)
+        self.jit_metrics.bump("trace_exits_" + reason)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.now, "jit", "trace_exit", "execution",
+                pc=pc, blocks=trace_len, reason=reason,
+            )
+
+    def _run_fast(self, max_guest_instructions: int) -> None:
+        """:meth:`run`'s inner loop: :meth:`step` semantics with the
+        dispatch overhead hoisted out.
+
+        Performs exactly the operations :meth:`step` performs, in the
+        same order (results are bit-identical to the stepping path,
+        asserted by the test suite), but binds the per-block
+        collaborators once and — when the block JIT is on — calls
+        compiled closures directly instead of going through
+        ``run_block_at``.  Successor prediction lives in
+        ``self._chain_links``: ``pc -> [fn, count, expected_next,
+        streak, next_entry]``.  Once a block's successor is stable
+        (immediately for statically known successors, after
+        ``CHAIN_STREAK_THRESHOLD`` repeats for indirect exits) the entry
+        holds a direct reference to the successor's entry, so hot loops
+        run closure-to-closure with no dictionary lookups between
+        blocks — the superblock traces the ``chain.length`` histogram
+        and the coarse ``jit`` trace events describe.
+        """
+        interp = self.interp
+        state = interp.state
+        fetch = self.hierarchy.fetch
+        run_block_at = interp.run_block_at
+        jit = interp._jit
+        jit_code = interp._jit_code
+        jit_blocks = jit.blocks if jit is not None else {}
+        links = self._chain_links
+        bump = self.stats.bump
+        fetch_keys = self._fetch_stat_keys
+        pages_registered = self._pages_registered
+        code_pages = self.code_pages
+        pending_smc = self.pending_smc
+        piii_on_instructions = self.piii.on_instructions
+        morph = self.morph
+        tracer = self.tracer
+        epoch = jit.epoch if jit is not None else 0
+        pc = self._pc
+        prev_pc = self._prev_pc
+        arrived_indirect = self._arrived_indirect
+        executed_total = self._executed_instructions
+        exit_kind = self.last_exit_kind
+        prev_entry = None
+        trace_len = 0
+
+        while interp.exit_code is None:
+            lookup = fetch(self.now, pc, prev_pc, arrived_indirect)
+            self.now = lookup.ready_time
+            block = lookup.block
+            bump("blocks_executed")
+            level = lookup.level
+            fetch_key = fetch_keys.get(level)
+            if fetch_key is None:
+                fetch_key = "fetch_" + level.replace(".", "_")
+                fetch_keys[level] = fetch_key
+            bump(fetch_key)
+            if pc not in pages_registered:
+                pages_registered.add(pc)
+                for page in pages_spanned(block.guest_address, block.guest_length):
+                    code_pages.setdefault(page, set()).add(pc)
+
+            count = block.guest_instr_count
+            entry = None
+            if jit is not None:
+                if (
+                    prev_entry is not None
+                    and prev_entry[4] is not None
+                    and prev_entry[2] == pc
+                    and prev_entry[4][1] == count
+                ):
+                    entry = prev_entry[4]  # chained dispatch
+                else:
+                    entry = links.get(pc)
+                    if entry is not None and entry[1] != count:
+                        entry = None
+                    if entry is None:
+                        fn = jit_code.get((pc, count))
+                        if fn is not None:
+                            compiled = jit_blocks.get((pc, count))
+                            succ = (
+                                compiled.static_successor
+                                if compiled is not None else None
+                            )
+                            entry = links[pc] = [
+                                fn, count, succ,
+                                CHAIN_STREAK_THRESHOLD if succ is not None else 0,
+                                None,
+                            ]
+
+            self.pending_stall = 0
+            if entry is not None:
+                if trace_len == 0 and tracer.enabled:
+                    tracer.emit(self.now, "jit", "trace_enter", "execution", pc=pc)
+                executed = entry[0](interp)
+                if executed < 0:  # entry-state mismatch: legacy path
+                    executed = run_block_at(pc, count)
+                    entry = None
+                else:
+                    trace_len += 1
+            else:
+                executed = run_block_at(pc, count)
+            if entry is None and trace_len:
+                self._close_trace(trace_len, pc, "cold")
+                trace_len = 0
+
+            piii_on_instructions(executed)
+            executed_total += executed
+            self.now += block.cost_cycles + self.pending_stall
+
+            if block.exit_kind == "syscall" and interp.exit_code is None:
+                hops = self.grid.hops(
+                    self.hierarchy.execution, self.grid.find_one(TileRole.SYSCALL)
+                )
+                if tracer.enabled:
+                    tracer.emit(
+                        self.now, "net", "msg", "execution",
+                        dst="syscall_tile", hops=hops, words=1,
+                    )
+                self.now += self.network.round_trip(hops)
+                self.now = self.syscall_tile.service(self.now, SYSCALL_TILE_OCCUPANCY)
+                bump("syscalls")
+
+            if morph is not None:
+                self.now += morph.on_block_executed(self.now)
+
+            self._blocks_since_metrics += 1
+            if self._blocks_since_metrics >= METRICS_SAMPLE_INTERVAL_BLOCKS:
+                self._blocks_since_metrics = 0
+                self._executed_instructions = executed_total
+                self._sample_metrics()
+
+            if pending_smc:
+                self._invalidate_smc_pages()
+
+            npc = state.eip
+            if entry is not None:
+                # successor inline cache: chain once the target is stable
+                if entry[2] == npc:
+                    streak = entry[3] + 1
+                    entry[3] = streak
+                    if entry[4] is None and streak >= CHAIN_STREAK_THRESHOLD:
+                        nxt = links.get(npc)
+                        if nxt is not None:
+                            entry[4] = nxt
+                            self.jit_metrics.bump("chains_linked")
+                else:
+                    if entry[4] is not None:
+                        self.jit_metrics.bump("chains_broken")
+                    entry[2] = npc
+                    entry[3] = 1
+                    entry[4] = None
+            if jit is not None and jit.epoch != epoch:
+                # self-modifying code invalidated the JIT inside this
+                # block: local references into stale closures must not
+                # be followed (the dicts themselves were cleared in
+                # place, so lookups are already safe)
+                epoch = jit.epoch
+                entry = None
+                if trace_len:
+                    self._close_trace(trace_len, pc, "smc")
+                    trace_len = 0
+            prev_entry = entry
+            prev_pc = pc
+            pc = npc
+            arrived_indirect = block.exit_kind == "indirect"
+            exit_kind = block.exit_kind
+            if interp.exit_code is None and executed_total > max_guest_instructions:
+                self._pc = pc
+                self._prev_pc = prev_pc
+                self._arrived_indirect = arrived_indirect
+                self._executed_instructions = executed_total
+                self.last_exit_kind = exit_kind
                 raise RuntimeError(
                     f"workload exceeded {max_guest_instructions} guest instructions"
                 )
-        return self._result(self._executed_instructions)
+
+        if trace_len:
+            self._close_trace(trace_len, pc, "guest_exit")
+        self._pc = pc
+        self._prev_pc = prev_pc
+        self._arrived_indirect = arrived_indirect
+        self._executed_instructions = executed_total
+        self.last_exit_kind = exit_kind
 
     def result(self) -> TimingRunResult:
         """Result of a finished (or interrupted) stepping run."""
@@ -398,6 +616,7 @@ def run_timing(
     tracer=None,
     translation_cache=None,
     program_key=None,
+    jit: Optional[bool] = None,
 ) -> TimingRunResult:
     """Convenience wrapper: build a :class:`TimingVM` and run it.
 
@@ -405,9 +624,12 @@ def run_timing(
     event trace; by default the zero-cost null sink is used.  Pass a
     :class:`repro.dbt.transcache.TranslationCache` (plus a stable
     ``program_key``) to reuse translations across runs of the same
-    program — results are bit-identical either way.
+    program — results are bit-identical either way.  ``jit`` overrides
+    the ``REPRO_JIT`` environment default for the block JIT; on or off,
+    results are bit-identical (it only changes wall-clock speed).
     """
     return TimingVM(
         program, config, stdin=stdin, tracer=tracer,
         translation_cache=translation_cache, program_key=program_key,
+        jit=jit,
     ).run()

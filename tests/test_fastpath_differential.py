@@ -74,3 +74,69 @@ def test_step_and_fastpath_agree_on_symexec_vectors(seed):
             stepping.memory.read_bytes(buf, blockgen.BUF_BYTES)
             == blockwise.memory.read_bytes(buf, blockgen.BUF_BYTES)
         ), f"seed {seed} vector {k}: data buffer diverged\n{source}"
+
+
+SELF_PATCHING_LOOP = """
+_start:
+    mov ecx, 40
+loop:
+    mov eax, 5
+    add ebx, eax
+    sub ecx, 1
+    cmp ecx, 20
+    jne skip
+    movb [loop + 2], 9   ; halfway through, grow the per-iteration add
+skip:
+    test ecx, ecx
+    jnz loop
+    mov eax, 1
+    and ebx, 255
+    int 0x80
+"""
+
+#: 20 iterations add 5, the patch lands, 20 iterations add 9.
+_SELF_PATCHING_EXIT = (20 * 5 + 20 * 9) & 255
+
+
+class TestVmSelfModifyingCode:
+    """The VM dispatch loop must de-chain and recompile on code writes.
+
+    A workload hot enough to compile and chain overwrites its own loop
+    body mid-run; with the JIT on, the patched bytes must take effect
+    exactly as they do instruction-by-instruction, and the timing
+    results must stay bit-identical to the interpreter's.
+    """
+
+    def test_jit_dechains_and_matches_interpreter(self):
+        import dataclasses
+
+        from repro.morph.config import PRESETS
+        from repro.vm.timing import TimingVM, run_timing
+
+        program = assemble(SELF_PATCHING_LOOP)
+        config = PRESETS["speculative_4"]
+        off = run_timing(program, config, jit=False)
+        assert off.exit_code == _SELF_PATCHING_EXIT
+
+        vm = TimingVM(program, config, jit=True)
+        on = vm.run()
+        assert dataclasses.asdict(on) == dataclasses.asdict(off)
+        # the JIT really engaged: the loop compiled, chained, was
+        # invalidated by the patch, and recompiled against the new bytes
+        assert vm.jit_metrics["compiles"] >= 2
+        assert vm.jit_metrics["invalidations"] >= 1
+        assert vm.jit_metrics["chains_linked"] >= 1
+
+    def test_interpreter_smc_program_matches_with_jit(self):
+        import dataclasses
+
+        from repro.morph.config import PRESETS
+        from repro.vm.timing import run_timing
+
+        from tests.test_self_modifying_code import SMC_PROGRAM
+
+        program = assemble(SMC_PROGRAM)
+        config = PRESETS["speculative_4"]
+        off = run_timing(program, config, jit=False)
+        on = run_timing(program, config, jit=True)
+        assert dataclasses.asdict(on) == dataclasses.asdict(off)

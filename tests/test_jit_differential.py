@@ -1,0 +1,73 @@
+"""Full-suite differential: the block JIT must be invisible in results.
+
+The JIT is a wall-clock optimization only — every ``TimingRunResult``
+field (cycle counts, cache stats, guest stats, morph events, exit
+codes) must be bit-identical with the JIT on and off, across every
+workload of the suite.  These tests run the whole grid row at small
+scale and compare full ``dataclasses.asdict`` dumps, which is the same
+equality the figure renderers and the disk cache rely on.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.dbt.transcache import TranslationCache
+from repro.morph.config import PRESETS
+from repro.vm.timing import TimingVM, run_timing
+from repro.workloads import SPECINT_NAMES, build_workload
+
+SCALE = 0.05
+
+
+def _doc(result):
+    return dataclasses.asdict(result)
+
+
+class TestSuiteBitIdentity:
+    @pytest.mark.parametrize("workload", SPECINT_NAMES)
+    def test_jit_matches_interpreter(self, workload):
+        program = build_workload(workload, scale=SCALE)
+        config = PRESETS["speculative_4"]
+        off = run_timing(program, config, jit=False)
+        on = run_timing(program, config, jit=True)
+        assert _doc(on) == _doc(off), f"{workload}: JIT changed the results"
+
+    def test_jit_matches_interpreter_when_morphing(self):
+        # reconfiguration interacts with the dispatch loop (stall
+        # accounting, metrics sampling cadence): cover a morphing preset
+        program = build_workload("164.gzip", scale=SCALE)
+        config = PRESETS["morph_threshold_5"]
+        off = run_timing(program, config, jit=False)
+        on = run_timing(program, config, jit=True)
+        assert _doc(on) == _doc(off)
+
+    def test_shared_cache_and_cold_agree(self):
+        # a JIT run adopting a sibling's compiled blocks must be
+        # bit-identical to a cold JIT run and to the interpreter
+        program = build_workload("186.crafty", scale=SCALE)
+        config = PRESETS["speculative_4"]
+        cache = TranslationCache()
+        first = run_timing(
+            program, config, translation_cache=cache, program_key="k", jit=True
+        )
+        warm = run_timing(
+            program, config, translation_cache=cache, program_key="k", jit=True
+        )
+        cold = run_timing(program, config, jit=True)
+        off = run_timing(program, config, jit=False)
+        assert _doc(first) == _doc(warm) == _doc(cold) == _doc(off)
+
+
+class TestRunVersusStep:
+    def test_run_fast_loop_matches_step_loop(self):
+        # TimingVM.run's lean dispatch loop vs the public stepping API
+        program = build_workload("197.parser", scale=SCALE)
+        config = PRESETS["speculative_4"]
+        fast = run_timing(program, config, jit=True)
+        vm = TimingVM(program, config, jit=True)
+        vm.start()
+        while vm.step():
+            pass
+        stepped = vm._result(vm._executed_instructions)
+        assert _doc(fast) == _doc(stepped)

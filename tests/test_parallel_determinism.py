@@ -66,3 +66,42 @@ def test_run_many_dedupes_work_list():
     cells = [("164.gzip", "no_l15", SCALE)] * 3
     results = run_many(cells, jobs=1)
     assert len(results) == 1
+
+
+def test_parallel_stores_are_counted(tmp_path):
+    """Worker disk stores must fold into the parent's bookkeeping.
+
+    The pool reuses worker processes, so store counts must come from
+    per-call deltas — the old implementation reported ``stores: 0`` for
+    fully cold parallel runs (the BENCH_results.json bug), because the
+    workers' DiskCache objects were recreated per dispatch and their
+    counts thrown away.
+    """
+    from repro.harness.runner import disk_cache
+
+    cells = [(w, c, SCALE) for w in SMALL for c in CONFIGS]
+    run_many(cells, jobs=2)
+    disk = disk_cache()
+    assert disk is not None
+    assert disk.stats()["stores"] == len(cells)
+    # the workers also persisted their JIT code packs for each group
+    packs = list(disk.root.glob("jitpack_*.bin"))
+    import os
+    if os.environ.get("REPRO_JIT", "1").strip().lower() not in ("0", "off", "no", "false"):
+        assert len(packs) == len(SMALL)
+
+
+def test_jit_pack_is_loaded_by_sibling_workers(tmp_path):
+    """A second cold parallel sweep must reuse the workers' JIT packs:
+    results stay bit-identical and no result cells are re-stored."""
+    from repro.harness.runner import disk_cache
+
+    cells = [(w, c, SCALE) for w in SMALL for c in CONFIGS]
+    first = run_many(cells, jobs=2)
+    stores_after_first = disk_cache().stats()["stores"]
+    clear_cache()  # cold memo, warm disk + packs
+    second = run_many(cells, jobs=2)
+    assert disk_cache().stats()["stores"] == stores_after_first
+    for key, result in first.items():
+        assert second[key].cycles == result.cycles
+        assert second[key].stats == result.stats
