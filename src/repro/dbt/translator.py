@@ -54,7 +54,9 @@ class TranslationConfig:
     #: The string ``"equiv"`` additionally runs symbolic translation
     #: validation (:mod:`repro.verify.equiv`): guest ≡ IR after the
     #: frontend, IR ≡ IR across every optimizer pass, and IR ≡ host
-    #: after codegen and scheduling.
+    #: after codegen and scheduling.  The string ``"jit"`` instead
+    #: discharges guest ≡ JIT-closure (:mod:`repro.verify.jitverify`)
+    #: for every JIT-eligible block the pipeline visits.
     checked: "bool | str" = False
     #: random input vectors per unproved equivalence obligation and the
     #: base seed they derive from (``checked="equiv"`` only)
@@ -112,6 +114,18 @@ class Translator:
                 def observer(name, blk):  # noqa: ANN001
                     static_observer(name, blk)
                     equiv_checker.observe(name, blk)
+            elif checked == "jit":
+                from repro.verify.equiv import EquivStats
+                from repro.verify.jitverify import JitVerifier
+
+                if self.equiv_stats is None:
+                    self.equiv_stats = EquivStats()
+                JitVerifier(
+                    vectors=self.config.equiv_vectors,
+                    seed=self.config.equiv_seed,
+                    context=context,
+                    stats=self.equiv_stats,
+                ).check_block(guest.instructions, guest_pc)
 
         cost = TRANSLATE_BASE_COST + TRANSLATE_PER_GUEST_INSTR * ir.guest_instr_count
         if self.config.optimize:

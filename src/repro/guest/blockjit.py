@@ -1105,6 +1105,27 @@ class BlockJit:
             self.shared[shared_key] = block
         return block.fn
 
+    def source_for(self, address: int, count: int) -> Optional[str]:
+        """The generated source of an installed closure, always.
+
+        Freshly compiled blocks retain their source; blocks adopted
+        from a marshaled code pack carry the ``"<packed>"`` placeholder
+        and get their source *regenerated* here — codegen is
+        deterministic, and within an SMC generation the guest bytes are
+        unchanged, so the rebuilt text is byte-for-byte the text the
+        sibling process compiled.  The regenerated source is cached on
+        the block (which the shared space aliases, so siblings see it
+        too).  Returns ``None`` for blocks this engine never installed.
+        """
+        block = self.blocks.get((address, count))
+        if block is None:
+            return None
+        if block.source == "<packed>":
+            plan = self.interp._build_block_plan(address, count)
+            rebuilt = compile_block([entry[1] for entry in plan], address, count)
+            block.source = rebuilt.source
+        return block.source
+
     def invalidate(self) -> None:
         """Self-modifying code: drop local closures and failure marks.
 

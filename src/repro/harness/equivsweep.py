@@ -1,10 +1,11 @@
-"""Parallel symbolic-equivalence sweep over guest programs.
+"""Parallel symbolic-verification sweep over guest programs.
 
 One row per program: translate every reachable block with
-``TranslationConfig(checked="equiv")`` and aggregate the obligation
-counts.  Rows are plain picklable dataclasses so the sweep can fan out
-over worker processes (``jobs=N``), mirroring the figure runners in
-:mod:`repro.harness.runner`.
+``TranslationConfig(checked=mode)`` — ``"equiv"`` for the guest ≡ IR ≡
+host ladder, ``"jit"`` for guest ≡ JIT-closure — and aggregate the
+obligation counts.  Rows are plain picklable dataclasses so the sweep
+can fan out over worker processes (``jobs=N``), mirroring the figure
+runners in :mod:`repro.harness.runner`.
 """
 
 from __future__ import annotations
@@ -37,6 +38,7 @@ class EquivSweepRow:
     seconds: float = 0.0
     warnings: List[str] = field(default_factory=list)
     error: Optional[str] = None
+    mode: str = "equiv"
 
     @property
     def ok(self) -> bool:
@@ -46,12 +48,31 @@ class EquivSweepRow:
         if self.error is not None:
             return f"{self.name}: FAILED ({self.error.splitlines()[0]})"
         status = "ok" if self.ok else "REFUTED"
-        note = f", {self.skipped} skipped" if self.skipped else ""
+        # proved / assumed / skipped stay separate columns: a skipped
+        # obligation is NOT a proved one, and hiding the column when it
+        # is zero made the totals ambiguous
         return (
             f"{self.name}: {status} — {self.blocks} blocks, "
-            f"{self.proved} proved + {self.validated} validated{note} "
+            f"{self.proved} proved, {self.validated} assumed, "
+            f"{self.refuted} refuted, {self.skipped} skipped "
             f"[{self.seconds:.1f}s]"
         )
+
+    def as_dict(self) -> dict:
+        """JSON-ready row for the CI artifact."""
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "ok": self.ok,
+            "blocks": self.blocks,
+            "proved": self.proved,
+            "validated": self.validated,
+            "refuted": self.refuted,
+            "skipped": self.skipped,
+            "seconds": round(self.seconds, 3),
+            "warnings": list(self.warnings),
+            "error": self.error,
+        }
 
 
 def load_program(name: str, scale: float) -> GuestProgram:
@@ -75,13 +96,14 @@ def sweep_one(
     scale: float = 0.1,
     vectors: int = DEFAULT_VECTORS,
     seed: int = DEFAULT_SEED,
+    mode: str = "equiv",
 ) -> EquivSweepRow:
-    """Equivalence-check every reachable block of one program."""
-    row = EquivSweepRow(name=name)
+    """Verify every reachable block of one program in the given mode."""
+    row = EquivSweepRow(name=name, mode=mode)
     started = time.perf_counter()
     try:
         program = load_program(name, scale)
-        config = TranslationConfig(checked="equiv", equiv_vectors=vectors, equiv_seed=seed)
+        config = TranslationConfig(checked=mode, equiv_vectors=vectors, equiv_seed=seed)
         result = checked_translate_program(program, config)
     except (ValueError, VerificationError) as err:
         row.error = str(err)
@@ -109,10 +131,11 @@ def run_sweep(
     vectors: int = DEFAULT_VECTORS,
     seed: int = DEFAULT_SEED,
     jobs: int = 1,
+    mode: str = "equiv",
 ) -> List[EquivSweepRow]:
     """Sweep many programs, optionally across worker processes."""
     targets = list(names) if names else list(SPECINT_NAMES)
-    work = [(name, scale, vectors, seed) for name in targets]
+    work = [(name, scale, vectors, seed, mode) for name in targets]
     if jobs <= 1 or len(work) <= 1:
         return [_sweep_args(args) for args in work]
     with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:

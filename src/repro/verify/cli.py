@@ -9,7 +9,11 @@ still runs lint + checked sweep, unchanged):
   scheduling;
 * ``equiv`` — symbolic translation validation: prove every reachable
   block's guest ≡ IR ≡ host equivalence (``--jobs`` fans out across
-  processes).
+  processes);
+* ``jit`` — symbolic closure validation: prove guest ≡ JIT-closure for
+  every JIT-eligible block (same sweep harness and flags as ``equiv``);
+* ``lint-src`` — determinism/soundness AST lint over the simulator's
+  own Python sources.
 
 Every command exits non-zero iff it produced a finding of ERROR
 severity (warnings and INFO notes never fail the run), so CI can gate
@@ -19,6 +23,7 @@ on any of them uniformly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -27,7 +32,7 @@ from repro.verify.guestlint import lint_program
 from repro.verify.pipeline import checked_translate_program
 from repro.workloads.suite import SPECINT_NAMES
 
-_COMMANDS = ("lint", "sweep", "equiv")
+_COMMANDS = ("lint", "sweep", "equiv", "jit", "lint-src")
 
 
 def _load(name: str, scale: float):
@@ -77,11 +82,12 @@ def _sweep_one(name: str, args: argparse.Namespace) -> bool:
     return True
 
 
-def _run_equiv(names: List[str], args: argparse.Namespace) -> bool:
+def _run_equiv(names: List[str], args: argparse.Namespace, mode: str) -> bool:
     from repro.harness.equivsweep import run_sweep
 
     rows = run_sweep(
-        names, scale=args.scale, vectors=args.vectors, seed=args.seed, jobs=args.jobs
+        names, scale=args.scale, vectors=args.vectors, seed=args.seed,
+        jobs=args.jobs, mode=mode,
     )
     clean = True
     for row in rows:
@@ -90,15 +96,34 @@ def _run_equiv(names: List[str], args: argparse.Namespace) -> bool:
             for warning in row.warnings:
                 print(f"  {warning}")
         clean = clean and row.ok
-    total_blocks = sum(row.blocks for row in rows)
-    total_proved = sum(row.proved for row in rows)
-    total_validated = sum(row.validated for row in rows)
-    total_refuted = sum(row.refuted for row in rows)
     print(
-        f"total: {total_blocks} blocks, {total_proved} proved, "
-        f"{total_validated} validated, {total_refuted} refuted"
+        "total: {blocks} blocks, {proved} proved, {validated} assumed, "
+        "{refuted} refuted, {skipped} skipped".format(
+            blocks=sum(row.blocks for row in rows),
+            proved=sum(row.proved for row in rows),
+            validated=sum(row.validated for row in rows),
+            refuted=sum(row.refuted for row in rows),
+            skipped=sum(row.skipped for row in rows),
+        )
     )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump([row.as_dict() for row in rows], fh, indent=2)
+        print(f"wrote {args.json}")
     return clean
+
+
+def _run_lint_src(args: argparse.Namespace) -> bool:
+    from repro.verify.lintsrc import lint_tree
+
+    findings = lint_tree(allowlist=args.allowlist)
+    errors = 0
+    for finding in findings:
+        print(finding)
+        if finding.severity >= Severity.ERROR:
+            errors += 1
+    print(f"lint-src: {len(findings)} findings, {errors} errors")
+    return errors == 0
 
 
 def _common_arguments(parser: argparse.ArgumentParser, equiv: bool = False) -> None:
@@ -120,6 +145,8 @@ def _common_arguments(parser: argparse.ArgumentParser, equiv: bool = False) -> N
                             help="base seed for the refutation vectors")
         parser.add_argument("--jobs", type=int, default=1,
                             help="worker processes for the sweep (default 1)")
+        parser.add_argument("--json", metavar="PATH", default=None,
+                            help="write per-program obligation counts as JSON")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -133,12 +160,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lint": "Guest-binary static analysis (CFG recovery, decode and flag lint).",
         "sweep": "Checked translation sweep with the static IR/host verifiers.",
         "equiv": "Symbolic translation validation: prove guest = IR = host per block.",
+        "jit": "Symbolic closure validation: prove guest = JIT-closure per block.",
+        "lint-src": "Determinism/soundness AST lint over the simulator sources.",
     }
     parser = argparse.ArgumentParser(
         prog=f"python -m repro.verify{'' if command == 'check' else ' ' + command}",
         description=descriptions[command],
     )
-    _common_arguments(parser, equiv=command == "equiv")
+    if command == "lint-src":
+        parser.add_argument("--allowlist", default=None,
+                            help="allowlist file (default: lint-src-allowlist.txt "
+                                 "at the repository root, if present)")
+        args = parser.parse_args(argv)
+        clean = _run_lint_src(args)
+        if not clean:
+            print("FAIL: errors found", file=sys.stderr)
+        return 0 if clean else 1
+
+    _common_arguments(parser, equiv=command in ("equiv", "jit"))
     if command == "check":
         parser.add_argument("--no-translate", action="store_true",
                             help="guest lint only; skip the checked translation sweep")
@@ -149,8 +188,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     names = list(args.programs) or list(SPECINT_NAMES)
-    if command == "equiv":
-        clean = _run_equiv(names, args)
+    if command in ("equiv", "jit"):
+        clean = _run_equiv(names, args, mode=command)
     else:
         clean = True
         for name in names:

@@ -91,21 +91,23 @@ class EquivStats:
         )
 
 
-class EquivChecker:
-    """Validates one block's translation, stage by stage.
+class SymbolicChecker:
+    """Shared intern-identity-else-seeded-vectors obligation discharge.
 
-    Construct it right after the frontend with the decoded guest block,
-    the freshly lowered (not yet optimized) IR and the exit flag
-    liveness; it immediately discharges the guest ≡ IR obligation.
-    Then hand :meth:`observe` to the optimizer as its pass observer, and
-    call :meth:`check_host` after codegen and again after scheduling.
+    Subclasses (:class:`EquivChecker` here, ``JitVerifier`` in
+    :mod:`repro.verify.jitverify`) build pairs of :class:`SymState`
+    finals over one shared intern table and call :meth:`_compare`; the
+    base class turns each register/flag/memory/next-pc obligation into
+    *proved* (hash-cons identity), *validated* (agrees on every seeded
+    vector), *refuted* (raises) or *skipped*, accumulating into a
+    shared :class:`EquivStats`.
     """
+
+    #: finding attribution; subclasses override
+    analyzer = "equiv"
 
     def __init__(
         self,
-        guest: GuestBlock,
-        ir: IRBlock,
-        live_out: int,
         *,
         vectors: int = DEFAULT_VECTORS,
         seed: int = DEFAULT_SEED,
@@ -116,62 +118,6 @@ class EquivChecker:
         self.seed = seed
         self.context = context
         self.stats = stats if stats is not None else EquivStats()
-        self.stats.blocks += 1
-        self._disabled = False
-
-        # One intern table per block: all three evaluators share it, so
-        # identical-after-normalization subtrees are identical objects.
-        E.reset()
-        self._initial = initial_state()
-
-        self._mask = live_out
-        term = ir.terminator
-        if term.kind is ExitKind.BRANCH and term.cc is not None:
-            for flag in CONDITION_FLAG_USES[term.cc]:
-                self._mask |= 1 << int(flag)
-
-        try:
-            self._prev: Optional[SymState] = ir_sem.run_block(ir, self._initial.clone())
-        except UnsupportedBlock as err:
-            self._skip("frontend", err)
-            self._prev = None
-            self._disabled = True
-            return
-        try:
-            guest_init = self._initial.clone()
-            # DIV lowering guards EDX (plain or sign-extended); the guest
-            # evaluator keys off these assumptions, so seed them first.
-            guest_init.assumes = list(self._prev.assumes)
-            guest_state = guest_sem.run_block(guest, guest_init)
-        except UnsupportedBlock as err:
-            self._skip("frontend", err)
-        else:
-            # No pass has run yet, so even dead flags must agree.
-            self._compare(guest_state, self._prev, "frontend", ALL_FLAGS_MASK)
-
-    def observe(self, name: str, block: IRBlock) -> None:
-        """Optimizer pass observer: prove the pass preserved semantics."""
-        if self._disabled or self._prev is None:
-            return
-        try:
-            state = ir_sem.run_block(block, self._initial.clone())
-        except UnsupportedBlock as err:
-            self._skip(name, err)
-            self._disabled = True
-            return
-        self._compare(self._prev, state, name, self._mask)
-        self._prev = state
-
-    def check_host(self, instrs: Sequence[HostInstr], stage: str) -> None:
-        """Prove the emitted host code implements the final IR."""
-        if self._disabled or self._prev is None:
-            return
-        try:
-            host_state = host_sem.run_block(list(instrs), self._initial.clone())
-        except UnsupportedBlock as err:
-            self._skip(stage, err)
-            return
-        self._compare(self._prev, host_state, stage, self._mask)
 
     # -- obligation discharge ---------------------------------------------
 
@@ -179,7 +125,7 @@ class EquivChecker:
         self.stats.skipped += 1
         self.stats.findings.append(
             Finding(
-                analyzer="equiv",
+                analyzer=self.analyzer,
                 severity=Severity.WARNING,
                 code="unsupported-block",
                 message=f"cannot symbolically evaluate: {err}",
@@ -190,7 +136,7 @@ class EquivChecker:
     def _fail(self, stage: str, code: str, message: str) -> None:
         self.stats.refuted += 1
         finding = Finding(
-            analyzer="equiv",
+            analyzer=self.analyzer,
             severity=Severity.ERROR,
             code=code,
             message=message,
@@ -292,7 +238,7 @@ class EquivChecker:
             self.stats.skipped += 1
             self.stats.findings.append(
                 Finding(
-                    analyzer="equiv",
+                    analyzer=self.analyzer,
                     severity=Severity.WARNING,
                     code="no-usable-vectors",
                     message="no input vector satisfied the block's guard assumptions",
@@ -301,6 +247,88 @@ class EquivChecker:
             )
             return
         self.stats.validated += 1
+
+
+class EquivChecker(SymbolicChecker):
+    """Validates one block's translation, stage by stage.
+
+    Construct it right after the frontend with the decoded guest block,
+    the freshly lowered (not yet optimized) IR and the exit flag
+    liveness; it immediately discharges the guest ≡ IR obligation.
+    Then hand :meth:`observe` to the optimizer as its pass observer, and
+    call :meth:`check_host` after codegen and again after scheduling.
+    """
+
+    analyzer = "equiv"
+
+    def __init__(
+        self,
+        guest: GuestBlock,
+        ir: IRBlock,
+        live_out: int,
+        *,
+        vectors: int = DEFAULT_VECTORS,
+        seed: int = DEFAULT_SEED,
+        context: str = "",
+        stats: Optional[EquivStats] = None,
+    ) -> None:
+        super().__init__(vectors=vectors, seed=seed, context=context, stats=stats)
+        self.stats.blocks += 1
+        self._disabled = False
+
+        # One intern table per block: all three evaluators share it, so
+        # identical-after-normalization subtrees are identical objects.
+        E.reset()
+        self._initial = initial_state()
+
+        self._mask = live_out
+        term = ir.terminator
+        if term.kind is ExitKind.BRANCH and term.cc is not None:
+            for flag in CONDITION_FLAG_USES[term.cc]:
+                self._mask |= 1 << int(flag)
+
+        try:
+            self._prev: Optional[SymState] = ir_sem.run_block(ir, self._initial.clone())
+        except UnsupportedBlock as err:
+            self._skip("frontend", err)
+            self._prev = None
+            self._disabled = True
+            return
+        try:
+            guest_init = self._initial.clone()
+            # DIV lowering guards EDX (plain or sign-extended); the guest
+            # evaluator keys off these assumptions, so seed them first.
+            guest_init.assumes = list(self._prev.assumes)
+            guest_state = guest_sem.run_block(guest, guest_init)
+        except UnsupportedBlock as err:
+            self._skip("frontend", err)
+        else:
+            # No pass has run yet, so even dead flags must agree.
+            self._compare(guest_state, self._prev, "frontend", ALL_FLAGS_MASK)
+
+    def observe(self, name: str, block: IRBlock) -> None:
+        """Optimizer pass observer: prove the pass preserved semantics."""
+        if self._disabled or self._prev is None:
+            return
+        try:
+            state = ir_sem.run_block(block, self._initial.clone())
+        except UnsupportedBlock as err:
+            self._skip(name, err)
+            self._disabled = True
+            return
+        self._compare(self._prev, state, name, self._mask)
+        self._prev = state
+
+    def check_host(self, instrs: Sequence[HostInstr], stage: str) -> None:
+        """Prove the emitted host code implements the final IR."""
+        if self._disabled or self._prev is None:
+            return
+        try:
+            host_state = host_sem.run_block(list(instrs), self._initial.clone())
+        except UnsupportedBlock as err:
+            self._skip(stage, err)
+            return
+        self._compare(self._prev, host_state, stage, self._mask)
 
 
 def _render(value: Value) -> str:

@@ -1,0 +1,448 @@
+"""Static verification of JIT-compiled block closures (guest ≡ JIT).
+
+The block JIT (:mod:`repro.guest.blockjit`) compiles hot guest blocks
+to Python closures, bypassing the IR and host tiers whose translations
+are proven by :mod:`repro.verify.equiv`.  :class:`JitVerifier` closes
+that gap: for each JIT-eligible block it
+
+1. **lints the generated source structurally** — unbound names, the
+   ``return -1`` entry-guard contract, the trailing executed-count
+   return, stats bumps against the interpreter's accounting
+   (:func:`expected_stats`), fault-handler shape, flag-mask constants
+   and SMC-notification guards (the latter two surface as
+   :class:`~repro.verify.symexec.jit_sem.ClosureSummary` notes); then
+
+2. **discharges guest ≡ closure semantically** — the decoded
+   instructions run through the guest evaluator, the generated source
+   through :func:`repro.verify.symexec.jit_sem.run_closure`, over one
+   shared intern table, and every register/flag/memory/next-pc
+   obligation is proved by hash-cons identity or validated on seeded
+   vectors, exactly like :class:`~repro.verify.equiv.EquivChecker`.
+
+Structural defects and semantic counterexamples both raise
+:class:`~repro.verify.findings.VerificationError` with a stable defect
+``code``, so a corrupted closure is *attributed*, not just rejected.
+
+:func:`check_chain_links` validates the ``_run_fast`` successor-cache
+invariants (:mod:`repro.vm.timing`) over a live machine's dispatch
+table — the runtime structure the closures are dispatched through.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dbt.ir import ALL_FLAGS_MASK
+from repro.guest.blockjit import Ineligible, compile_block
+from repro.guest.isa import Instruction, MemoryOperand, Op, Register
+
+from repro.verify.equiv import DEFAULT_SEED, DEFAULT_VECTORS, EquivStats, SymbolicChecker
+from repro.verify.findings import Finding, Severity, VerificationError
+from repro.verify.symexec import expr as E
+from repro.verify.symexec import guest_sem, jit_sem
+from repro.verify.symexec.state import SymState, UnsupportedBlock, initial_state
+
+#: names the closure namespace provides (``_base_namespace`` plus the
+#: builtins the emitted source calls); ``_I<n>`` instruction constants
+#: are matched by pattern
+_CLOSURE_GLOBALS = frozenset(
+    {"_MF", "_GF", "_PF", "_FB", "_SITES", "divmod", "abs", "str"}
+)
+_CONST_NAME = re.compile(r"_I\d+\Z")
+
+_Defect = Tuple[str, str]
+
+
+# -- guest side ------------------------------------------------------------
+
+
+class _AssumingGuestEval(guest_sem._GuestEval):
+    """Guest evaluator that *seeds* the divide speculation assumptions.
+
+    On the equiv path the IR's GUARD uops put the DIV/IDIV dividend
+    assumptions into the state before the guest evaluator keys off
+    them; there is no IR here, so record them ourselves — the closure
+    compiles the same speculative divide, guarded by the same faults.
+    """
+
+    def _exec_div(self, instr: Instruction) -> None:
+        edx = self.state.regs[int(Register.EDX)]
+        self.state.assumes.append(E.eq(edx, E.const(0)))
+        super()._exec_div(instr)
+
+    def _exec_idiv(self, instr: Instruction) -> None:
+        edx = self.state.regs[int(Register.EDX)]
+        eax = self.state.regs[int(Register.EAX)]
+        self.state.assumes.append(E.eq(edx, E.sar(eax, E.const(31))))
+        super()._exec_idiv(instr)
+
+
+def run_guest_block(instrs: Sequence[Instruction], state: SymState) -> SymState:
+    """Like :func:`guest_sem.run_block` over a bare instruction list."""
+    evaluator = _AssumingGuestEval(state)
+    for instr in instrs:
+        evaluator.execute(instr)
+        if state.exit_kind is not None:
+            return state
+    state.exit_kind = "jump"
+    state.next_pc = E.const(instrs[-1].next_address)
+    return state
+
+
+# -- stats accounting ------------------------------------------------------
+
+#: ops whose destination operand is read before being (possibly) written
+_READS_DST = frozenset({
+    Op.ADD, Op.SUB, Op.CMP, Op.AND, Op.OR, Op.XOR, Op.TEST,
+    Op.SHL, Op.SHR, Op.SAR, Op.INC, Op.DEC, Op.NEG, Op.NOT,
+    Op.IMUL, Op.XCHG,
+})
+_READS_SRC = frozenset({
+    Op.ADD, Op.SUB, Op.CMP, Op.AND, Op.OR, Op.XOR, Op.TEST, Op.MOV,
+    Op.SHL, Op.SHR, Op.SAR, Op.IMUL, Op.MUL, Op.DIV, Op.IDIV,
+    Op.MOVZX, Op.MOVSX, Op.XCHG,
+})
+_WRITES_DST = frozenset({
+    Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.MOV,
+    Op.SHL, Op.SHR, Op.SAR, Op.INC, Op.DEC, Op.NEG, Op.NOT,
+    Op.IMUL, Op.SETCC, Op.LEA, Op.MOVZX, Op.MOVSX, Op.XCHG,
+})
+
+
+def expected_stats(
+    instrs: Sequence[Instruction],
+) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """The stats bumps a correct closure performs for this block.
+
+    Returns ``(unconditional, conditional)`` bump tables, recomputed
+    from the decoded instructions with the interpreter's accounting
+    rules: one ``reads``/``writes`` per memory operand access (plus the
+    stack traffic of push/pop/call/ret), branch/call/ret/syscall
+    counters on the terminator, ``taken_branches`` behind ``if _t:``
+    for a conditional branch.
+    """
+    plain: Dict[str, int] = {"instructions": len(instrs)}
+    cond: Dict[str, int] = {}
+
+    def bump(table: Dict[str, int], key: str, amount: int = 1) -> None:
+        table[key] = table.get(key, 0) + amount
+
+    for instr in instrs:
+        op = instr.op
+        if op is Op.PUSH:
+            if isinstance(instr.dst, MemoryOperand):
+                bump(plain, "reads")
+            bump(plain, "writes")
+        elif op is Op.POP:
+            bump(plain, "reads")
+            if isinstance(instr.dst, MemoryOperand):
+                bump(plain, "writes")
+        elif op is Op.JCC:
+            bump(plain, "branches")
+            bump(cond, "taken_branches")
+        elif op is Op.JMP:
+            bump(plain, "branches")
+            bump(plain, "taken_branches")
+            if instr.target is None:
+                bump(plain, "indirect_branches")
+                if isinstance(instr.dst, MemoryOperand):
+                    bump(plain, "reads")
+        elif op is Op.CALL:
+            bump(plain, "calls")
+            bump(plain, "writes")  # the pushed return address
+            if instr.target is None:
+                bump(plain, "indirect_branches")
+                if isinstance(instr.dst, MemoryOperand):
+                    bump(plain, "reads")
+        elif op is Op.RET:
+            bump(plain, "reads")  # the popped return address
+            bump(plain, "rets")
+            bump(plain, "indirect_branches")
+        elif op is Op.INT:
+            bump(plain, "syscalls")
+        else:
+            if op in _READS_DST and isinstance(instr.dst, MemoryOperand):
+                bump(plain, "reads")
+            if op in _READS_SRC and isinstance(instr.src, MemoryOperand):
+                bump(plain, "reads")
+            if op in _WRITES_DST and isinstance(instr.dst, MemoryOperand):
+                bump(plain, "writes")
+            if op is Op.XCHG and isinstance(instr.src, MemoryOperand):
+                bump(plain, "writes")
+    return plain, cond
+
+
+# -- structural source lint ------------------------------------------------
+
+
+def _expr_loads(node: ast.AST, scope: set, defects: List[_Defect]) -> None:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+            name = n.id
+            if (name not in scope and name not in _CLOSURE_GLOBALS
+                    and not _CONST_NAME.match(name)):
+                defects.append(("unbound-name", "read of unbound name %r" % name))
+                scope.add(name)  # report each name once
+
+
+def _walk_scope(stmts: Sequence[ast.stmt], scope: set,
+                defects: List[_Defect]) -> None:
+    """Flow-sensitive unbound-name walk; branch arms bind by intersection."""
+    for stmt in stmts:
+        if isinstance(stmt, ast.Assign):
+            _expr_loads(stmt.value, scope, defects)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    scope.add(target.id)
+                elif isinstance(target, ast.Tuple):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            scope.add(elt.id)
+                else:  # subscript/attribute target: base and index are reads
+                    _expr_loads(target, scope, defects)
+        elif isinstance(stmt, ast.If):
+            _expr_loads(stmt.test, scope, defects)
+            then_scope = set(scope)
+            _walk_scope(stmt.body, then_scope, defects)
+            else_scope = set(scope)
+            _walk_scope(stmt.orelse, else_scope, defects)
+            scope |= then_scope & else_scope
+        elif isinstance(stmt, ast.Try):
+            body_scope = set(scope)
+            _walk_scope(stmt.body, body_scope, defects)
+            for handler in stmt.handlers:
+                handler_scope = set(scope)
+                if handler.type is not None:
+                    _expr_loads(handler.type, handler_scope, defects)
+                if handler.name:
+                    handler_scope.add(handler.name)
+                _walk_scope(handler.body, handler_scope, defects)
+            scope |= body_scope  # the non-faulting path falls through
+        elif isinstance(stmt, ast.For):
+            _expr_loads(stmt.iter, scope, defects)
+            loop_scope = set(scope)
+            for n in ast.walk(stmt.target):
+                if isinstance(n, ast.Name):
+                    loop_scope.add(n.id)
+            _walk_scope(stmt.body, loop_scope, defects)
+        elif isinstance(stmt, (ast.Expr, ast.Return, ast.Raise)):
+            _expr_loads(stmt, scope, defects)
+        # anything else is out of grammar; jit_sem rejects it
+
+
+def _check_fault_handler(fn: ast.FunctionDef) -> List[_Defect]:
+    """The ``except (_MF, _GF) as e:`` handler must exist and re-raise."""
+    defects: List[_Defect] = []
+    for stmt in fn.body:
+        if not isinstance(stmt, ast.Try):
+            continue
+        if len(stmt.handlers) != 1:
+            defects.append(("fault-handler", "expected exactly one except handler"))
+            continue
+        handler = stmt.handlers[0]
+        caught = handler.type
+        names = (sorted(getattr(e, "id", "?") for e in caught.elts)
+                 if isinstance(caught, ast.Tuple) else None)
+        if names != ["_GF", "_MF"]:
+            defects.append(("fault-handler", "handler does not catch (_MF, _GF)"))
+        if not (handler.body and isinstance(handler.body[-1], ast.Raise)):
+            defects.append(("fault-handler", "handler does not end in a re-raise"))
+        if not any(
+            isinstance(s, ast.Assign) and isinstance(s.targets[0], ast.Attribute)
+            and s.targets[0].attr == "eip"
+            for s in handler.body
+        ):
+            defects.append(("fault-handler", "handler never rewinds S.eip"))
+    return defects
+
+
+def lint_closure_source(source: str) -> List[_Defect]:
+    """Pure-AST structural lint of one generated closure."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as err:
+        return [("closure-syntax", "closure source does not parse: %s" % err)]
+    if not tree.body or not isinstance(tree.body[0], ast.FunctionDef):
+        return [("closure-syntax", "closure source is not a function")]
+    fn = tree.body[0]
+    defects: List[_Defect] = []
+    _walk_scope(fn.body, {a.arg for a in fn.args.args}, defects)
+    defects.extend(_check_fault_handler(fn))
+    return defects
+
+
+# -- the verifier ----------------------------------------------------------
+
+
+class JitVerifier(SymbolicChecker):
+    """Discharges guest ≡ JIT-closure, one compiled block at a time."""
+
+    analyzer = "jitverify"
+
+    def check_block(self, instrs: Sequence[Instruction], address: int) -> bool:
+        """Compile the block and verify the closure; False if ineligible.
+
+        Ineligible blocks are silently skipped — the engine runs them
+        through the legacy interpreter path, which the equiv ladder
+        already covers.
+        """
+        instrs = list(instrs)
+        try:
+            block = compile_block(instrs, address, len(instrs))
+        except Ineligible:
+            return False
+        self.verify_closure(block.source, instrs, address, len(instrs))
+        return True
+
+    def verify_closure(self, source: str, instrs: Sequence[Instruction],
+                       address: int, count: int) -> None:
+        """Verify one generated closure against its decoded instructions.
+
+        Raises :class:`VerificationError` naming the defect class on any
+        structural violation or semantic counterexample; unsupported
+        constructs downgrade to WARNING-level skips.
+        """
+        instrs = list(instrs)
+        self.stats.blocks += 1
+        defects = lint_closure_source(source)
+
+        E.reset()
+        initial = initial_state()
+        guest_state: Optional[SymState] = None
+        jit_state: Optional[SymState] = None
+        summary = None
+        skip_err: Optional[UnsupportedBlock] = None
+        try:
+            guest_state = run_guest_block(instrs, initial.clone())
+        except UnsupportedBlock as err:
+            skip_err = err
+        if guest_state is not None:
+            jit_init = initial.clone()
+            jit_init.assumes = list(guest_state.assumes)
+            try:
+                jit_state, summary = jit_sem.run_closure(
+                    source, instrs, address, count, jit_init
+                )
+            except UnsupportedBlock as err:
+                skip_err = err
+
+        if summary is not None:
+            defects.extend(summary.notes)
+            if summary.entry_guard != address:
+                defects.append((
+                    "missing-entry-guard",
+                    "closure does not return -1 unless eip == %#x (guard: %r)"
+                    % (address, summary.entry_guard),
+                ))
+            if summary.return_count != count:
+                defects.append((
+                    "bad-return-count",
+                    "closure returns %r, interpreter executes %d instructions"
+                    % (summary.return_count, count),
+                ))
+            expect_plain, expect_cond = expected_stats(instrs)
+            if summary.bumps != expect_plain:
+                defects.append((
+                    "stats-mismatch",
+                    "closure bumps %r, interpreter accounting is %r"
+                    % (summary.bumps, expect_plain),
+                ))
+            if summary.conditional_bumps != expect_cond:
+                defects.append((
+                    "stats-mismatch",
+                    "conditional bumps %r, interpreter accounting is %r"
+                    % (summary.conditional_bumps, expect_cond),
+                ))
+
+        stage = "jit"
+        if defects:
+            findings = [
+                Finding(
+                    analyzer=self.analyzer,
+                    severity=Severity.ERROR,
+                    code=code,
+                    message=message,
+                    address=address,
+                    stage=stage,
+                )
+                for code, message in defects
+            ]
+            self.stats.refuted += 1
+            self.stats.findings.extend(findings)
+            raise VerificationError(stage, findings, context=self.context)
+        # the structural contract held: one discharged obligation
+        self.stats.proved += 1
+
+        if skip_err is not None:
+            self._skip(stage, skip_err)
+            return
+        self._compare(guest_state, jit_state, stage, ALL_FLAGS_MASK)
+
+
+# -- _run_fast chain-link invariants ---------------------------------------
+
+
+def check_chain_links(
+    links: Dict[int, list],
+    code: Dict[Tuple[int, int], object],
+    blocks: Dict[Tuple[int, int], object],
+    threshold: int = 4,
+) -> List[Finding]:
+    """Validate a live ``_run_fast`` successor cache against its JIT.
+
+    ``links`` is ``TiledMachine._chain_links`` (``pc -> [fn, count,
+    expected_next, streak, next_entry]``), ``code``/``blocks`` the
+    engine's ``(pc, count)``-keyed closure and block dicts.  Returns
+    ERROR findings for every broken invariant: entries must reference
+    the current closure for their pc, statically known successors must
+    stay pinned, chained entries must point at the live entry of the
+    expected successor and only after the streak threshold.
+    """
+    findings: List[Finding] = []
+
+    def fail(code_: str, pc: int, message: str) -> None:
+        findings.append(Finding(
+            analyzer="jitverify", severity=Severity.ERROR, code=code_,
+            message=message, address=pc, stage="chain",
+        ))
+
+    for pc, entry in links.items():
+        if not isinstance(entry, list) or len(entry) != 5:
+            fail("chain-shape", pc, "entry is not a 5-element list: %r" % (entry,))
+            continue
+        fn, count, succ, streak, nxt = entry
+        live = code.get((pc, count))
+        if live is not fn:
+            fail("chain-fn-mismatch", pc,
+                 "entry closure is not the engine's closure for (%#x, %d)"
+                 % (pc, count))
+        compiled = blocks.get((pc, count))
+        static = getattr(compiled, "static_successor", None)
+        if static is not None and succ != static:
+            fail("chain-succ-mismatch", pc,
+                 "static successor %#x drifted to %r" % (static, succ))
+        if nxt is not None:
+            if succ is None:
+                fail("chain-stale-link", pc, "chained entry with no successor")
+                continue
+            if streak < threshold:
+                fail("chain-premature-link", pc,
+                     "chained after %d repeats (threshold %d)" % (streak, threshold))
+            if nxt is not links.get(succ):
+                fail("chain-stale-link", pc,
+                     "next_entry is not the live entry for successor %#x" % succ)
+    return findings
+
+
+__all__ = [
+    "DEFAULT_SEED",
+    "DEFAULT_VECTORS",
+    "EquivStats",
+    "JitVerifier",
+    "check_chain_links",
+    "expected_stats",
+    "lint_closure_source",
+    "run_guest_block",
+]

@@ -75,7 +75,7 @@ class MemImage:
     def same_as(self, other: "MemImage") -> bool:
         if self.seed != other.seed:  # pragma: no cover - checker uses one seed
             return False
-        for address in set(self.overlay) | set(other.overlay):
+        for address in {**self.overlay, **other.overlay}:
             if self.read_byte(address) != other.read_byte(address):
                 return False
         return True

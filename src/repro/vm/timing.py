@@ -553,6 +553,24 @@ class TimingVM:
         self._executed_instructions = executed_total
         self.last_exit_kind = exit_kind
 
+    def check_chain_invariants(self):
+        """Audit the ``_run_fast`` dispatch table against its JIT engine.
+
+        Returns the list of :class:`repro.verify.findings.Finding`
+        violations (empty on a healthy machine).  Used by the verifier
+        test-suite and available from a debugger mid-run; never called
+        on the hot path.
+        """
+        from repro.verify.jitverify import check_chain_links
+
+        jit = getattr(self.interp, "_jit", None)
+        if jit is None:
+            return []
+        return check_chain_links(
+            self._chain_links, jit.code, jit.blocks,
+            threshold=CHAIN_STREAK_THRESHOLD,
+        )
+
     def result(self) -> TimingRunResult:
         """Result of a finished (or interrupted) stepping run."""
         return self._result(self._executed_instructions)

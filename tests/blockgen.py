@@ -151,3 +151,83 @@ def random_program(seed: int, length: int = 12) -> str:
     body = random_block_lines(rng, length)
     terminator = rng.choice((None, None, *JCC))
     return render_program(body, terminator)
+
+
+# -- JIT-eligibility-biased profile ---------------------------------------
+#
+# The block JIT compiles a strictly larger envelope than the default
+# profile exercises: divides (speculative, guarded), MUL's 64-bit
+# product, XCHG with a memory operand, and every terminator shape
+# (direct/computed jmp, call, ret, halt).  This profile folds those in
+# so the jitverify property test covers the whole closure grammar.
+
+
+def _one_jit_instruction(rng: random.Random, lines: List[str],
+                         stack_depth: int, shifts: int) -> int:
+    roll = rng.random()
+    if roll < 0.15:
+        choice = rng.randrange(4)
+        if choice == 0:
+            # unsigned divide under the zeroed-EDX convention; a zero
+            # divisor faults identically in closure and interpreter
+            lines.append("    xor edx, edx")
+            lines.append(f"    div {rng.choice(('ebx', 'esi', 'edi'))}")
+        elif choice == 1:
+            # signed divide under the CDQ sign-fill convention
+            lines.append("    cdq")
+            lines.append(f"    idiv {rng.choice(('ebx', 'esi', 'edi'))}")
+        elif choice == 2:
+            lines.append(f"    mul {rng.choice(REGS)}")
+        else:
+            operand = _mem(rng, lines, 32)
+            lines.append(f"    xchg {rng.choice(REGS)}, {operand}")
+        return stack_depth
+    return _one_instruction(rng, lines, stack_depth, shifts)
+
+
+def random_jit_block_lines(rng: random.Random, length: int) -> List[str]:
+    """Like :func:`random_block_lines` with the JIT-biased op mix."""
+    lines: List[str] = []
+    depth = 0
+    shifts = 0
+    for _ in range(length):
+        before = len(lines)
+        depth = _one_jit_instruction(rng, lines, depth, shifts)
+        shifts += sum(
+            line.split()[0] in SHIFTS and line.endswith("ecx") for line in lines[before:]
+        )
+    while depth > 0:
+        lines.append(f"    pop {rng.choice(REGS)}")
+        depth -= 1
+    return lines
+
+
+#: terminator shapes the JIT profile rotates through; each lands on the
+#: trailing `done: int 0x80` epilogue
+_JIT_TERMINATORS = (
+    None,  # fall through into the syscall block
+    "jcc",
+    ("    jmp done",),
+    ("    mov esi, done", "    jmp esi"),  # computed jump
+    ("    push done", "    ret"),  # indirect return
+    ("    call done",),
+)
+
+
+def render_jit_program(body: List[str], terminator) -> str:
+    """Wrap a JIT-profile body with one of the terminator shapes."""
+    if terminator is None or terminator == "jcc" or isinstance(terminator, str):
+        return render_program(body, terminator if terminator != "jcc" else None)
+    lines = ["_start:"] + body + list(terminator)
+    lines += ["done:", "    int 0x80", ".data", f"buf: dz {BUF_BYTES}"]
+    return "\n".join(lines) + "\n"
+
+
+def random_jit_program(seed: int, length: int = 12) -> str:
+    """One-call JIT-profile generator for the jitverify property test."""
+    rng = random.Random(seed)
+    body = random_jit_block_lines(rng, length)
+    terminator = rng.choice(_JIT_TERMINATORS)
+    if terminator == "jcc":
+        return render_program(body, rng.choice(JCC))
+    return render_jit_program(body, terminator)

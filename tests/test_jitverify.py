@@ -1,0 +1,304 @@
+"""jitverify: symbolic validation of JIT-compiled block closures.
+
+Covers the fourth rung of the proof ladder (guest ≡ JIT-closure): the
+verifier must discharge every closure the compiler emits, and — the
+planted-bug contract — when a generated closure is corrupted, it must
+not merely reject it but *attribute* the corruption to the right defect
+class (``not-equivalent``, ``flag-mask-mismatch``,
+``missing-entry-guard``, ``bad-return-count``, ``stats-mismatch``,
+``missing-smc-guard``, ``unbound-name``).
+"""
+
+import pytest
+
+from tests import blockgen
+from repro.dbt.frontend import scan_block
+from repro.dbt.translator import TranslationConfig
+from repro.guest.assembler import assemble
+from repro.guest.blockjit import compile_block, pack_space, unpack_space
+from repro.guest.interpreter import GuestInterpreter
+from repro.guest.memory import GuestMemory
+from repro.verify.findings import VerificationError
+from repro.verify.jitverify import (
+    JitVerifier,
+    check_chain_links,
+    expected_stats,
+    lint_closure_source,
+)
+from repro.verify.pipeline import checked_translate_program
+
+SMOKE = (
+    "_start:\n"
+    "    mov eax, 5\n"
+    "    add eax, ebx\n"
+    "    cmp eax, 10\n"
+    "    sete ecx\n"
+    "    int 0x80\n"
+)
+
+STORE = (
+    "_start:\n"
+    "    mov [buf + 4], eax\n"
+    "    add ebx, 1\n"
+    "    int 0x80\n"
+    ".data\n"
+    "buf: dz 64\n"
+)
+
+
+def _block_of(source):
+    program = assemble(source)
+    memory = GuestMemory()
+    program.load(memory)
+    guest = scan_block(memory.read_bytes, program.entry)
+    instrs = guest.instructions
+    return instrs, program.entry, compile_block(instrs, program.entry, len(instrs))
+
+
+def _refute(source_text, instrs, address, count):
+    verifier = JitVerifier(context="planted")
+    with pytest.raises(VerificationError) as excinfo:
+        verifier.verify_closure(source_text, instrs, address, count)
+    assert verifier.stats.refuted == 1
+    return [finding.code for finding in excinfo.value.findings]
+
+
+class TestAcceptsCompilerOutput:
+    def test_smoke_block_fully_proved(self):
+        instrs, address, block = _block_of(SMOKE)
+        verifier = JitVerifier(context="smoke")
+        assert verifier.check_block(instrs, address) is True
+        assert verifier.stats.refuted == 0
+        assert verifier.stats.skipped == 0
+        assert verifier.stats.proved + verifier.stats.validated == 2
+
+    def test_ineligible_block_is_silently_skipped(self):
+        from tests.test_blockjit import MIDBLOCK_JUMP
+
+        program = assemble(MIDBLOCK_JUMP)
+        interp = GuestInterpreter.for_program(program)
+        plan = interp._build_block_plan(program.entry, 2)
+        verifier = JitVerifier(context="mid")
+        assert verifier.check_block([e[1] for e in plan], program.entry) is False
+        assert verifier.stats.blocks == 0
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_default_profile_blocks_verify(self, seed):
+        source = blockgen.random_program(seed + 3000, length=10)
+        instrs, address, block = _block_of(source)
+        verifier = JitVerifier(context=f"seed{seed}")
+        assert verifier.check_block(instrs, address) is True
+        assert verifier.stats.refuted == 0
+
+
+class TestPlantedBugs:
+    """Corrupt the generated source six distinct ways; the verifier
+    must name each defect class."""
+
+    def test_wrong_register_value_is_not_equivalent(self):
+        instrs, address, block = _block_of(SMOKE)
+        bad = block.source.replace("    r0 = 5\n", "    r0 = 6\n")
+        assert bad != block.source
+        assert "not-equivalent" in _refute(bad, instrs, address, len(instrs))
+
+    def test_shrunk_flag_mask_is_flag_mask_mismatch(self):
+        instrs, address, block = _block_of(SMOKE)
+        assert "(fl & ~2245)" in block.source
+        bad = block.source.replace("(fl & ~2245)", "(fl & ~197)")
+        assert "flag-mask-mismatch" in _refute(bad, instrs, address, len(instrs))
+
+    def test_deleted_entry_guard_is_missing_entry_guard(self):
+        instrs, address, block = _block_of(SMOKE)
+        guard = f"    if S.eip != {address}: return -1\n"
+        assert guard in block.source
+        bad = block.source.replace(guard, "")
+        assert "missing-entry-guard" in _refute(bad, instrs, address, len(instrs))
+
+    def test_wrong_return_count_is_bad_return_count(self):
+        instrs, address, block = _block_of(SMOKE)
+        count = len(instrs)
+        bad = block.source.replace(f"    return {count}\n", f"    return {count - 1}\n")
+        assert bad != block.source
+        assert "bad-return-count" in _refute(bad, instrs, address, count)
+
+    def test_wrong_instruction_bump_is_stats_mismatch(self):
+        instrs, address, block = _block_of(SMOKE)
+        count = len(instrs)
+        bad = block.source.replace(
+            f"    _b('instructions', {count})\n",
+            f"    _b('instructions', {count + 1})\n",
+        )
+        assert bad != block.source
+        assert "stats-mismatch" in _refute(bad, instrs, address, count)
+
+    def test_deleted_smc_guard_is_missing_smc_guard(self):
+        instrs, address, block = _block_of(STORE)
+        lines = [
+            line for line in block.source.splitlines(keepends=True)
+            if "NC(" not in line
+        ]
+        bad = "".join(lines)
+        assert bad != block.source
+        assert "missing-smc-guard" in _refute(bad, instrs, address, len(instrs))
+
+    def test_undefined_name_is_unbound_name(self):
+        instrs, address, block = _block_of(SMOKE)
+        bad = block.source.replace("    r0 = r0 + r3", "    r0 = r0 + r9")
+        if bad == block.source:  # emitter wrote the sum via a temp
+            bad = block.source.replace("r0 + r3", "r0 + r9")
+        assert bad != block.source
+        assert "unbound-name" in _refute(bad, instrs, address, len(instrs))
+
+
+class TestExpectedStats:
+    def test_smoke_accounting(self):
+        instrs, _, _ = _block_of(SMOKE)
+        plain, cond = expected_stats(instrs)
+        assert plain == {"instructions": 5, "syscalls": 1}
+        assert cond == {}
+
+    def test_memory_and_branch_accounting(self):
+        source = (
+            "_start:\n"
+            "    mov [buf], eax\n"
+            "    add ebx, [buf + 4]\n"
+            "    push ecx\n"
+            "    pop edx\n"
+            "    jnz out\n"
+            "out:\n"
+            "    int 0x80\n"
+            ".data\n"
+            "buf: dz 64\n"
+        )
+        program = assemble(source)
+        memory = GuestMemory()
+        program.load(memory)
+        guest = scan_block(memory.read_bytes, program.entry)
+        plain, cond = expected_stats(guest.instructions)
+        assert plain == {
+            "instructions": 5, "reads": 2, "writes": 2, "branches": 1,
+        }
+        assert cond == {"taken_branches": 1}
+
+
+class TestClosureSourceLint:
+    def test_clean_closure_lints_clean(self):
+        _, _, block = _block_of(STORE)
+        assert lint_closure_source(block.source) == []
+
+    def test_syntax_error_is_reported(self):
+        defects = lint_closure_source("def _jit_block(I:\n")
+        assert [code for code, _ in defects] == ["closure-syntax"]
+
+
+class TestTranslationConfigWiring:
+    def test_checked_jit_populates_equiv_stats(self):
+        program = assemble(SMOKE)
+        result = checked_translate_program(program, TranslationConfig(checked="jit"))
+        assert result.equiv is not None
+        assert result.equiv.blocks >= 1
+        assert result.equiv.refuted == 0
+
+
+class TestChainLinks:
+    def _healthy(self):
+        def fn(interp):  # pragma: no cover - never called
+            return 0
+
+        class Block:
+            static_successor = 0x2000
+
+        links = {}
+        code = {(0x1000, 3): fn, (0x2000, 2): fn}
+        blocks = {(0x1000, 3): Block(), (0x2000, 2): type("B", (), {"static_successor": None})()}
+        links[0x2000] = [fn, 2, None, 0, None]
+        links[0x1000] = [fn, 3, 0x2000, 4, None]
+        return links, code, blocks, fn
+
+    def test_healthy_table_is_clean(self):
+        links, code, blocks, fn = self._healthy()
+        links[0x1000][3] = 4
+        links[0x1000][4] = None
+        assert check_chain_links(links, code, blocks) == []
+
+    def test_chained_healthy_link(self):
+        links, code, blocks, fn = self._healthy()
+        links[0x2000][2] = 0x2000  # give the successor a successor guess
+        links[0x1000][4] = links[0x2000]
+        assert check_chain_links(links, code, blocks) == []
+
+    def test_stale_fn_is_flagged(self):
+        links, code, blocks, fn = self._healthy()
+        links[0x1000][0] = lambda interp: 0
+        codes = [f.code for f in check_chain_links(links, code, blocks)]
+        assert "chain-fn-mismatch" in codes
+
+    def test_drifted_static_successor_is_flagged(self):
+        links, code, blocks, fn = self._healthy()
+        links[0x1000][2] = 0x3000
+        codes = [f.code for f in check_chain_links(links, code, blocks)]
+        assert "chain-succ-mismatch" in codes
+
+    def test_premature_chain_is_flagged(self):
+        links, code, blocks, fn = self._healthy()
+        links[0x1000][3] = 2  # below the streak threshold
+        links[0x1000][4] = links[0x2000]
+        codes = [f.code for f in check_chain_links(links, code, blocks)]
+        assert "chain-premature-link" in codes
+
+    def test_detached_next_entry_is_flagged(self):
+        links, code, blocks, fn = self._healthy()
+        links[0x1000][4] = [fn, 2, None, 0, None]  # not links[0x2000]
+        codes = [f.code for f in check_chain_links(links, code, blocks)]
+        assert "chain-stale-link" in codes
+
+    def test_live_vm_dispatch_table_is_clean(self):
+        from repro.morph.config import PRESETS
+        from repro.vm.timing import TimingVM
+
+        from tests.test_fastpath_differential import SELF_PATCHING_LOOP
+
+        vm = TimingVM(assemble(SELF_PATCHING_LOOP), PRESETS["speculative_4"], jit=True)
+        vm.run()
+        assert vm.jit_metrics["chains_linked"] >= 1
+        assert vm.check_chain_invariants() == []
+
+
+class TestSourceRetention:
+    def test_pack_roundtrip_regenerates_source_byte_for_byte(self):
+        from tests.test_blockjit import COUNTING_LOOP, _run_blocks
+
+        program = assemble(COUNTING_LOOP)
+        text = program.text
+        shared = {}
+
+        def run(space):
+            interp = GuestInterpreter.for_program(assemble(COUNTING_LOOP))
+            jit = interp.enable_jit(
+                threshold=1, shared_space=space,
+                generation=lambda: 0, share_range=(text.address, text.end),
+            )
+            _run_blocks(interp)
+            return jit
+
+        first = run(shared)
+        originals = {
+            key: block.source for key, block in first.blocks.items()
+        }
+        rebuilt = unpack_space(pack_space(shared))
+        second = run(rebuilt)
+        assert second.metrics["compiles"] == 0  # everything adopted
+        for (address, count), source in originals.items():
+            key = (address, count)
+            if key not in second.blocks:
+                continue
+            assert second.blocks[key].source == "<packed>"
+            regenerated = second.source_for(address, count)
+            assert regenerated == source  # byte-for-byte deterministic
+            # cached in place after the first regeneration
+            assert second.blocks[key].source == source
+
+    def test_source_for_unknown_block_is_none(self):
+        interp = GuestInterpreter.for_program(assemble(SMOKE))
+        jit = interp.enable_jit(threshold=1)
+        assert jit.source_for(0xDEAD, 3) is None

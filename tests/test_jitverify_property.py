@@ -1,0 +1,72 @@
+"""Property: jitverify accepts every closure the compiler emits.
+
+Hypothesis drives the JIT-eligibility-biased :mod:`tests.blockgen`
+profile (divides, MUL, memory XCHG, every terminator shape) through a
+shrinkable PRNG and asserts the verifier discharges each compiled
+closure with zero refuted obligations and zero skips.  Counterexamples
+are persisted (shrunk) under ``tests/data/`` exactly like the
+equivalence property test.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests import blockgen
+from repro.dbt.frontend import scan_block
+from repro.guest.assembler import assemble
+from repro.guest.memory import GuestMemory
+from repro.verify.findings import VerificationError
+from repro.verify.jitverify import JitVerifier
+
+DATA_DIR = Path(__file__).parent / "data"
+#: Written (and overwritten, ending with the shrunk minimum) whenever
+#: the property below fails; rename to ``jit_regression_<what>.asm``
+#: when committing one as a permanent regression.
+COUNTEREXAMPLE = DATA_DIR / "jit_counterexample_latest.asm"
+
+
+def _check_source(source):
+    program = assemble(source)
+    memory = GuestMemory()
+    program.load(memory)
+    guest = scan_block(memory.read_bytes, program.entry)
+    verifier = JitVerifier(context="property")
+    eligible = verifier.check_block(guest.instructions, program.entry)
+    if eligible:
+        assert verifier.stats.refuted == 0
+        assert verifier.stats.skipped == 0, [
+            str(finding) for finding in verifier.stats.findings
+        ]
+    return eligible
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.randoms(use_true_random=False), st.integers(2, 14))
+def test_jit_profile_closures_all_verify(rng, length):
+    body = blockgen.random_jit_block_lines(rng, length)
+    terminator = rng.choice(blockgen._JIT_TERMINATORS)
+    if terminator == "jcc":
+        source = blockgen.render_program(body, rng.choice(blockgen.JCC))
+    else:
+        source = blockgen.render_jit_program(body, terminator)
+    try:
+        _check_source(source)
+    except (VerificationError, AssertionError):
+        COUNTEREXAMPLE.write_text(source)
+        raise
+
+
+def _regressions():
+    return sorted(DATA_DIR.glob("jit_regression_*.asm"))
+
+
+@pytest.mark.parametrize(
+    "path", _regressions() or [None], ids=lambda p: p.name if p else "none"
+)
+def test_persisted_counterexamples_stay_fixed(path):
+    if path is None:
+        pytest.skip("no persisted jitverify regressions")
+    _check_source(path.read_text())

@@ -1,0 +1,130 @@
+"""lint-src: the determinism/soundness AST lint over simulator sources."""
+
+import textwrap
+
+from repro.verify.lintsrc import lint_file, lint_tree
+
+
+def _lint_snippet(tmp_path, code, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(code))
+    return [(f.code, f.severity.name) for f in lint_file(path, name)]
+
+
+class TestRules:
+    def test_set_iteration_in_for(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            def f(items):
+                out = []
+                for x in set(items):
+                    out.append(x)
+                return out
+        """)
+        assert ("set-iteration", "ERROR") in found
+
+    def test_set_union_iteration(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            def f(a, b):
+                return [x for x in set(a) | set(b)]
+        """)
+        assert ("set-iteration", "ERROR") in found
+
+    def test_list_of_set_materialization(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            def f(a):
+                return list({x for x in a})
+        """)
+        assert ("set-iteration", "ERROR") in found
+
+    def test_sorted_set_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            def f(a, b):
+                return sorted(set(a) | set(b))
+        """)
+        assert found == []
+
+    def test_dict_iteration_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            def f(d, e):
+                return [k for k in {**d, **e}]
+        """)
+        assert found == []
+
+    def test_wall_clock(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import time
+            def stamp(row):
+                row["when"] = time.time()
+        """)
+        assert ("wall-clock", "ERROR") in found
+
+    def test_perf_counter_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import time
+            def measure():
+                return time.perf_counter()
+        """)
+        assert found == []
+
+    def test_global_random(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import random
+            def pick(items):
+                return random.choice(items)
+        """)
+        assert ("global-random", "ERROR") in found
+
+    def test_seeded_random_instance_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import random
+            def pick(items, seed):
+                return random.Random(seed).choice(items)
+        """)
+        assert found == []
+
+    def test_random_in_prng_module_is_fine(self, tmp_path):
+        path = tmp_path / "prng.py"
+        path.write_text("import random\ndef draw():\n    return random.getrandbits(32)\n")
+        assert lint_file(path, "src/repro/common/prng.py") == []
+
+    def test_mutable_default_arg(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            def f(x, cache={}):
+                return cache.setdefault(x, x * 2)
+        """)
+        assert ("mutable-default-arg", "ERROR") in found
+
+    def test_shared_cache_mutation_in_worker_module(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            from concurrent.futures import ProcessPoolExecutor
+            _CACHE = {}
+            def worker(item):
+                _CACHE[item] = item * 2
+                return _CACHE[item]
+        """)
+        assert ("shared-cache-mutation", "ERROR") in found
+
+    def test_module_global_without_concurrency_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            _CACHE = {}
+            def intern(item):
+                _CACHE[item] = item * 2
+                return _CACHE[item]
+        """)
+        assert found == []
+
+
+class TestTree:
+    def test_repo_tree_is_clean(self):
+        findings = lint_tree()
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_allowlist_suppresses(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "bad.py").write_text("def f(x, cache=[]):\n    return cache\n")
+        assert len(lint_tree(root=tmp_path)) == 1
+        (tmp_path / "lint-src-allowlist.txt").write_text(
+            "src/repro/bad.py::mutable-default-arg  # test fixture\n"
+        )
+        assert lint_tree(root=tmp_path) == []
