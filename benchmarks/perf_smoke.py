@@ -29,6 +29,7 @@ from pathlib import Path
 from repro.dbt.transcache import TranslationCache
 from repro.guest.interpreter import GuestInterpreter
 from repro.morph.config import PRESETS
+from repro.obs import prof
 from repro.vm.timing import TimingVM
 from repro.workloads import build_workload
 
@@ -69,6 +70,23 @@ def measure(workload: str = DEFAULT_WORKLOAD, scale: float = DEFAULT_SCALE) -> d
     )
     assert jit_result == result, "JIT-on run diverged from JIT-off run"
 
+    # the same warm cell under an active phase profiler: measures the
+    # profiling overhead (documented bound: a few percent) and asserts
+    # the determinism invariant — profiled results are bit-identical
+    profiler = prof.PhaseProfiler()
+    previous = prof.set_profiler(profiler)
+    try:
+        program = build_workload(workload, scale=scale)
+        prof_result, prof_seconds = _timed_run(
+            program, config, jit=True,
+            translation_cache=cache, program_key=workload,
+        )
+    finally:
+        # restore, don't disable: run_all may be profiling around us
+        prof.set_profiler(previous)
+    assert prof_result == result, "profiled run diverged from unprofiled run"
+    profile_paths = len(profiler.snapshot().get("paths", {}))
+
     program = build_workload(workload, scale=scale)
     started = time.perf_counter()
     interp = GuestInterpreter.for_program(program)
@@ -95,6 +113,11 @@ def measure(workload: str = DEFAULT_WORKLOAD, scale: float = DEFAULT_SCALE) -> d
             ),
         },
         "jit_speedup": round(nojit_seconds / jit_seconds, 3),
+        "profiling": {
+            "seconds": round(prof_seconds, 4),
+            "paths": profile_paths,
+            "overhead_vs_jit_warm": round(prof_seconds / jit_seconds - 1.0, 4),
+        },
         "interpreter": {
             "seconds": round(interp_seconds, 4),
             "instructions": interp.stats["instructions"],
@@ -103,6 +126,27 @@ def measure(workload: str = DEFAULT_WORKLOAD, scale: float = DEFAULT_SCALE) -> d
             ),
         },
     }
+
+
+def append_history(doc: dict) -> None:
+    """Append this measurement to the cross-run benchmark history."""
+    from repro.obs.history import BenchHistory, make_record
+
+    record = make_record(
+        f"perf_smoke:{doc['workload']}",
+        scale=doc["scale"], jobs=1, jit=True,
+        metrics={
+            "jit_speedup": doc["jit_speedup"],
+            "timing_blocks_per_second": doc["timing_vm"]["blocks_per_second"],
+            "jit_blocks_per_second": doc["timing_vm_jit"]["blocks_per_second"],
+            "interp_instructions_per_second": (
+                doc["interpreter"]["instructions_per_second"]
+            ),
+            "profiling_overhead": doc["profiling"]["overhead_vs_jit_warm"],
+        },
+    )
+    path = BenchHistory().append(record)
+    print(f"perf-smoke: appended history record to {path}", file=sys.stderr)
 
 
 def check_against_baseline(doc: dict) -> int:
@@ -139,8 +183,17 @@ def main() -> None:
         "--write-baseline", action="store_true",
         help="record the measured numbers as the new committed baseline",
     )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending this measurement to .benchhistory/",
+    )
     args = parser.parse_args()
     doc = measure(args.workload, args.scale)
+    if not args.no_history:
+        try:
+            append_history(doc)
+        except OSError as err:  # history is best-effort, never fail the run
+            print(f"perf-smoke: history append failed: {err}", file=sys.stderr)
     if args.write_baseline:
         payload = {
             "workload": doc["workload"],

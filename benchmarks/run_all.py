@@ -36,7 +36,14 @@ from repro.harness import (
     figure10_relative,
     table11_intrinsics,
 )
-from repro.harness.runner import cache_stats, configure_disk_cache, disk_cache, run_one
+from repro.harness.runner import (
+    cache_stats,
+    configure_disk_cache,
+    disk_cache,
+    run_one,
+    worker_telemetry,
+)
+from repro.obs import prof
 
 SCALE = 1.0
 
@@ -133,6 +140,16 @@ def _parse_args(argv) -> argparse.Namespace:
         help="disable the block JIT (results are bit-identical; only "
              "wall-clock changes — this flag exists to measure that)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable the phase profiler (REPRO_PROF=1) in this process "
+             "and every worker; per-phase host time lands in the JSON "
+             "record and the benchmark history",
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="skip appending this run to .benchhistory/history.jsonl",
+    )
     return parser.parse_args(argv)
 
 
@@ -142,6 +159,10 @@ def main(argv=None) -> None:
     if args.no_jit:
         # before any worker pool exists, so every worker inherits it
         os.environ["REPRO_JIT"] = "0"
+    if args.profile:
+        # likewise before the pool: workers resolve REPRO_PROF at import
+        os.environ[prof.ENABLE_ENV] = "1"
+        prof.enable()
     if args.no_cache:
         configure_disk_cache(enabled=False)
     figures = [
@@ -262,12 +283,16 @@ def _write_results_json(args, figure_records, started, low, high) -> None:
     """Persist the machine-readable benchmark record."""
     passed = sum(1 for record in figure_records if record["status"] == "ok")
     disk = disk_cache()
+    total_seconds = round(time.time() - started, 2)
+    # pooled worker telemetry: per-worker cache hit/miss/latency and
+    # phase profiles, plus the deterministic cross-worker aggregate
+    telemetry = worker_telemetry()
     doc = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "scale": args.scale,
         "jobs": args.jobs,
         "jit": not args.no_jit,
-        "total_seconds": round(time.time() - started, 2),
+        "total_seconds": total_seconds,
         "figures_passed": passed,
         "figures_failed": len(figure_records) - passed,
         "headline": {
@@ -277,12 +302,60 @@ def _write_results_json(args, figure_records, started, low, high) -> None:
         "run_cache": cache_stats(),
         "disk_cache": disk.stats() if disk is not None else {"enabled": False},
         "perf_smoke": _perf_smoke_record(),
+        "workers": telemetry,
         "figures": figure_records,
     }
+    merged_profile = None
+    if prof.active().enabled:
+        parent_profile = prof.active().snapshot()
+        aggregate = telemetry.get("aggregate") or {}
+        merged_profile = prof.merge_profiles(
+            [parent_profile, aggregate.get("profile") or {}]
+        )
+        doc["profile"] = {"parent": parent_profile, "merged": merged_profile}
     with open(args.json_path, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.json_path}")
+    if merged_profile is not None and merged_profile.get("paths"):
+        print(prof.render_profile(merged_profile, limit=15))
+    if not args.no_history:
+        try:
+            _append_history(args, figure_records, total_seconds, low, high,
+                            merged_profile)
+        except OSError as err:  # history is best-effort, never fail the run
+            print(f"history append failed: {err}", file=sys.stderr)
+
+
+def _append_history(args, figure_records, total_seconds, low, high, profile) -> None:
+    """Give this run a durable line in ``.benchhistory/history.jsonl``."""
+    from repro.obs.history import BenchHistory, make_record
+
+    figures = {
+        record["figure"]: {
+            "cold_seconds": record["cold_seconds"],
+            "warm_seconds": record["warm_seconds"],
+        }
+        for record in figure_records
+        if record.get("status") == "ok" and "cold_seconds" in record
+    }
+    metrics = {}
+    if low is not None:
+        metrics["slowdown_low_band"] = round(low, 3)
+    if high is not None:
+        metrics["slowdown_high_band"] = round(high, 3)
+    record = make_record(
+        "run_all",
+        scale=args.scale,
+        jobs=args.jobs,
+        jit=not args.no_jit,
+        total_seconds=total_seconds,
+        figures=figures or None,
+        metrics=metrics or None,
+        phases=prof.phase_totals(profile) if profile else None,
+    )
+    path = BenchHistory().append(record)
+    print(f"appended history record to {path}")
 
 
 if __name__ == "__main__":

@@ -14,9 +14,11 @@ instruction emission cost.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.common.stats import StatSet
+from repro.obs import prof
 from repro.dbt.block import TranslatedBlock
 from repro.dbt.codegen import generate_block
 from repro.dbt.frontend import CodeReader, lower_block, scan_block
@@ -64,6 +66,28 @@ class TranslationConfig:
     equiv_seed: int = 0x5EED
 
 
+def _pass_lap_observer(base, profiler):
+    """Wrap an optimizer observer to lap host time into per-pass phases.
+
+    The optimizer calls its observer once after every pass; the lap
+    between consecutive callbacks is that pass's host time, booked as a
+    child of the open ``optimizer`` phase.  Any wrapped (checked-mode)
+    observer runs under ``verify`` and its time resets the lap clock, so
+    verification is never attributed to the following pass.
+    """
+    clock = time.perf_counter_ns
+    last = [clock()]
+
+    def lap(name, blk):
+        profiler.add(name, clock() - last[0])
+        if base is not None:
+            with profiler.phase("verify"):
+                base(name, blk)
+        last[0] = clock()
+
+    return lap
+
+
 class Translator:
     """Stateless translation pipeline over a guest code reader."""
 
@@ -71,27 +95,39 @@ class Translator:
         self.read_code = read_code
         self.config = config or TranslationConfig()
         self.stats = StatSet("translator")
+        #: host-time phase profiler (the shared null sink unless
+        #: profiling was enabled before this translator was built)
+        self.profiler = prof.active()
         #: aggregate :class:`repro.verify.equiv.EquivStats` across all
         #: blocks this translator checked (``checked="equiv"`` only)
         self.equiv_stats = None
 
     def translate(self, guest_pc: int) -> TranslatedBlock:
         """Translate the guest basic block at ``guest_pc``."""
-        guest = scan_block(self.read_code, guest_pc)
-        ir = lower_block(guest)
+        profiler = self.profiler
+        with profiler.phase("translate"):
+            return self._translate(guest_pc, profiler)
+
+    def _translate(self, guest_pc: int, profiler) -> TranslatedBlock:
+        with profiler.phase("decode"):
+            guest = scan_block(self.read_code, guest_pc)
+        with profiler.phase("frontend"):
+            ir = lower_block(guest)
         uop_count = len(ir.uops)
 
         checked = self.config.checked
         live_out = ALL_FLAGS_MASK
         if self.config.optimize or checked:
-            live_out = self._exit_flag_liveness(ir)
+            with profiler.phase("frontend"):
+                live_out = self._exit_flag_liveness(ir)
         observer = None
         equiv_checker = None
         if checked:
             from repro.verify.irverify import assert_ir_ok
 
             context = f"block {guest_pc:#x}"
-            assert_ir_ok(ir, live_out, stage="frontend", context=context)
+            with profiler.phase("verify"):
+                assert_ir_ok(ir, live_out, stage="frontend", context=context)
             static_observer = lambda name, blk: assert_ir_ok(  # noqa: E731
                 blk, live_out, stage=name, context=context
             )
@@ -129,28 +165,35 @@ class Translator:
 
         cost = TRANSLATE_BASE_COST + TRANSLATE_PER_GUEST_INSTR * ir.guest_instr_count
         if self.config.optimize:
-            optimize_block(
-                ir,
-                iterations=self.config.optimizer_iterations,
-                flag_live_out=live_out,
-                observer=observer,
-            )
+            if profiler.enabled:
+                observer = _pass_lap_observer(observer, profiler)
+            with profiler.phase("optimizer"):
+                optimize_block(
+                    ir,
+                    iterations=self.config.optimizer_iterations,
+                    flag_live_out=live_out,
+                    observer=observer,
+                )
             cost += OPTIMIZE_PER_UOP * uop_count
 
-        block = generate_block(ir)
+        with profiler.phase("codegen"):
+            block = generate_block(ir)
         if checked:
             from repro.verify.hostverify import assert_host_ok
 
-            assert_host_ok(block, stage="codegen", context=context)
-            if equiv_checker is not None:
-                equiv_checker.check_host(block.instrs, "codegen")
+            with profiler.phase("verify"):
+                assert_host_ok(block, stage="codegen", context=context)
+                if equiv_checker is not None:
+                    equiv_checker.check_host(block.instrs, "codegen")
         if self.config.optimize:
             pinned = [stub.offset_words for stub in block.exit_stubs]
-            block.instrs = schedule_block(block.instrs, pinned=pinned)
+            with profiler.phase("schedule"):
+                block.instrs = schedule_block(block.instrs, pinned=pinned)
             if checked:
-                assert_host_ok(block, stage=SCHEDULER_PASS_NAME, context=context)
-                if equiv_checker is not None:
-                    equiv_checker.check_host(block.instrs, SCHEDULER_PASS_NAME)
+                with profiler.phase("verify"):
+                    assert_host_ok(block, stage=SCHEDULER_PASS_NAME, context=context)
+                    if equiv_checker is not None:
+                        equiv_checker.check_host(block.instrs, SCHEDULER_PASS_NAME)
         from repro.dbt.cost import estimate_block_cost
 
         block.cost_cycles = estimate_block_cost(

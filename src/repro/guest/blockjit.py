@@ -70,6 +70,7 @@ from repro.guest.isa import (
 )
 from repro.guest.memory import MemoryFault
 from repro.guest.syscalls import SYSCALL_VECTOR
+from repro.obs import prof
 from repro.obs.metrics import COMPILE_TIME_BUCKETS, MetricsRegistry
 
 #: Compile a block on its Nth execution (1 = first touch).
@@ -1038,6 +1039,7 @@ class BlockJit:
         self._share_low = share_low
         self._share_high = share_high
         self.metrics = metrics if metrics is not None else MetricsRegistry("blockjit")
+        self.profiler = prof.active()
         #: VM hook: called after invalidate() so chained dispatch state
         #: (links into now-stale closures) is dropped atomically.
         self.on_invalidate: Optional[Callable[[], None]] = None
@@ -1085,20 +1087,21 @@ class BlockJit:
 
         plan = self.interp._build_block_plan(address, count)
         instrs = [entry[1] for entry in plan]
-        started = time.perf_counter()
+        started = time.perf_counter_ns()
         try:
             block = compile_block(instrs, address, count)
         except Ineligible:
+            self.profiler.add("jit.compile", time.perf_counter_ns() - started)
             self._failed.add(key)
             self.metrics.bump("ineligible")
             if shared_key is not None:
                 self.shared[shared_key] = _INELIGIBLE
             return None
+        elapsed_ns = time.perf_counter_ns() - started
+        self.profiler.add("jit.compile", elapsed_ns)
         self.metrics.bump("compiles")
         self.metrics.bump("compiled_guest_instructions", count)
-        self.metrics.observe(
-            "compile.us", (time.perf_counter() - started) * 1e6, COMPILE_TIME_BUCKETS
-        )
+        self.metrics.observe("compile.us", elapsed_ns / 1e3, COMPILE_TIME_BUCKETS)
         self.blocks[key] = block
         self.code[key] = block.fn
         if shared_key is not None:

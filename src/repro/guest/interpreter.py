@@ -296,10 +296,13 @@ class GuestInterpreter:
         Raises :class:`GuestFault` if the budget is exhausted, which in
         practice flags an accidental infinite loop in a test program.
         """
-        for _ in range(max_instructions):
-            if self.step() is StepEvent.EXITED:
-                assert self.exit_code is not None
-                return self.exit_code
+        from repro.obs import prof
+
+        with prof.active().phase("interpreter"):
+            for _ in range(max_instructions):
+                if self.step() is StepEvent.EXITED:
+                    assert self.exit_code is not None
+                    return self.exit_code
         raise GuestFault(self.state.eip, f"exceeded {max_instructions} instructions")
 
     # -- block fast path -------------------------------------------------------

@@ -22,10 +22,13 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
 from repro.morph.config import VirtualArchConfig
+from repro.obs import prof
+from repro.obs.metrics import IO_TIME_BUCKETS, MetricsRegistry
 from repro.vm.timing import TimingRunResult
 
 #: Default cache directory (repo/cwd-relative), overridable via env.
@@ -100,6 +103,10 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: per-instance I/O latency distributions (load.us / store.us /
+        #: blob_load.us / blob_store.us), shipped in worker telemetry
+        self.metrics = MetricsRegistry("harness.diskcache")
+        self.profiler = prof.active()
 
     # -- keys -------------------------------------------------------------
 
@@ -120,6 +127,17 @@ class DiskCache:
         self, workload: str, config: VirtualArchConfig, scale: float
     ) -> Optional[TimingRunResult]:
         """Return the cached result for a cell, or ``None``."""
+        with self.profiler.phase("cache.io"):
+            started = time.perf_counter_ns()
+            result = self._load(workload, config, scale)
+            self.metrics.observe(
+                "load.us", (time.perf_counter_ns() - started) / 1e3, IO_TIME_BUCKETS
+            )
+        return result
+
+    def _load(
+        self, workload: str, config: VirtualArchConfig, scale: float
+    ) -> Optional[TimingRunResult]:
         path = self._path(self.cell_key(workload, config, scale))
         try:
             with open(path) as handle:
@@ -139,6 +157,17 @@ class DiskCache:
         self, workload: str, config: VirtualArchConfig, scale: float, result: TimingRunResult
     ) -> Path:
         """Persist one cell atomically; returns the file path."""
+        with self.profiler.phase("cache.io"):
+            started = time.perf_counter_ns()
+            path = self._store(workload, config, scale, result)
+            self.metrics.observe(
+                "store.us", (time.perf_counter_ns() - started) / 1e3, IO_TIME_BUCKETS
+            )
+        return path
+
+    def _store(
+        self, workload: str, config: VirtualArchConfig, scale: float, result: TimingRunResult
+    ) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(self.cell_key(workload, config, scale))
         doc = {
@@ -177,34 +206,45 @@ class DiskCache:
         count toward the hit/miss/store bookkeeping, which tracks
         result cells only.
         """
-        try:
-            return (self.root / f"{name}.bin").read_bytes()
-        except OSError:
-            return None
+        with self.profiler.phase("cache.io"):
+            started = time.perf_counter_ns()
+            try:
+                data = (self.root / f"{name}.bin").read_bytes()
+            except OSError:
+                data = None
+            self.metrics.observe(
+                "blob_load.us", (time.perf_counter_ns() - started) / 1e3, IO_TIME_BUCKETS
+            )
+        return data
 
     def save_blob(self, name: str, data: bytes) -> Path:
         """Atomically persist an auxiliary binary entry."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self.root / f"{name}.bin"
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp_name, path)
-        except BaseException:
+        with self.profiler.phase("cache.io"):
+            started = time.perf_counter_ns()
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.root / f"{name}.bin"
+            fd, tmp_name = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            self.metrics.observe(
+                "blob_store.us", (time.perf_counter_ns() - started) / 1e3, IO_TIME_BUCKETS
+            )
         return path
 
     # -- reporting --------------------------------------------------------
 
     def stats(self) -> dict:
-        """Hit/miss/store counts plus the derived hit rate."""
+        """Hit/miss/store counts, the derived hit rate, and latencies."""
         looked = self.hits + self.misses
-        return {
+        out = {
             "root": str(self.root),
             "version": self.version,
             "hits": self.hits,
@@ -212,6 +252,13 @@ class DiskCache:
             "stores": self.stores,
             "hit_rate": self.hits / looked if looked else 0.0,
         }
+        latency = {}
+        for key, hist in self.metrics.histograms().items():
+            if hist.count:
+                latency[key] = hist.track.as_dict()
+        if latency:
+            out["latency_us"] = latency
+        return out
 
 
 def enabled_by_env() -> bool:

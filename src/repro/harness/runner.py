@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -43,7 +44,8 @@ from repro.guest.blockjit import jit_enabled_by_env, pack_space, unpack_space
 from repro.guest.program import GuestProgram
 from repro.harness.diskcache import DiskCache, config_digest, enabled_by_env
 from repro.morph.config import PRESETS, VirtualArchConfig
-from repro.obs.metrics import MetricsRegistry
+from repro.obs import prof
+from repro.obs.metrics import IO_TIME_BUCKETS, MetricsRegistry, merge_registry_snapshots
 from repro.vm.timing import TimingRunResult, run_timing
 from repro.workloads import build_workload
 
@@ -75,6 +77,29 @@ METRICS = MetricsRegistry("harness.runner")
 #: Lazily constructed process-wide disk cache (None = disabled).
 _DISK: Optional[DiskCache] = None
 _DISK_ENABLED: Optional[bool] = None  # None = follow the environment
+
+class _WorkerTelemetryStore:
+    """Latest cumulative telemetry snapshot per pool worker.
+
+    Pool workers are long-lived, so each :func:`_worker_run` ships a
+    *cumulative* snapshot of its process-global instruments; the parent
+    keeps only the newest one per worker pid (folding them would double
+    count) and aggregates across workers on demand.
+    """
+
+    def __init__(self) -> None:
+        self.by_worker: Dict[int, dict] = {}
+
+    def record(self, snapshot: dict) -> None:
+        self.by_worker[int(snapshot.get("pid", 0))] = snapshot
+
+    def clear(self) -> None:
+        self.by_worker.clear()
+
+
+#: Telemetry shipped back by pool workers (see :func:`worker_telemetry`).
+_WORKER_TELEMETRY = _WorkerTelemetryStore()
+
 
 #: Persistent worker pool for :func:`run_many`.  Kept alive across
 #: calls so the workers' process-global caches — assembled programs,
@@ -164,10 +189,11 @@ def run_one(workload: str, config: ConfigLike, scale: float = 1.0) -> TimingRunR
             _CACHE.put(key, loaded)
             return loaded
         METRICS.bump("disk_cache.misses")
-    result = run_timing(
-        _program(workload, scale), cfg,
-        translation_cache=_TRANSLATIONS, program_key=(workload, scale),
-    )
+    with prof.active().phase("run"):
+        result = run_timing(
+            _program(workload, scale), cfg,
+            translation_cache=_TRANSLATIONS, program_key=(workload, scale),
+        )
     _CACHE.put(key, result)
     if disk is not None:
         disk.store(workload, cfg, scale, result)
@@ -189,20 +215,22 @@ def _program(workload: str, scale: float) -> GuestProgram:
 
 def _worker_run(cells: Sequence[Tuple[str, VirtualArchConfig, float]],
                 disk_enabled: bool, disk_root: Optional[str]
-                ) -> Tuple[List[TimingRunResult], Dict[str, int]]:
+                ) -> Tuple[List[TimingRunResult], Dict[str, int], dict]:
     """Execute a group of cells in a worker process (module-level: picklable).
 
     Groups are one workload each (see :func:`run_many`), so the worker's
     program memo and translation cache stay warm across its cells.
 
-    Returns the results plus this call's cache-activity *deltas* (disk
+    Returns the results, this call's cache-activity *deltas* (disk
     stores, translation hits/misses) — counted from a snapshot, because
     the pool reuses worker processes and the worker-global caches carry
-    counts across calls.  Without this the parent's reports showed zero
-    stores for work the workers did (the bug BENCH_results.json used to
-    exhibit: a fully cold run recording ``"stores": 0``).
+    counts across calls (without this the parent's reports showed zero
+    stores for work the workers did) — and the worker's *cumulative*
+    telemetry snapshot: its metrics registry, phase profile, and cache
+    stats, which the parent folds via :func:`worker_telemetry`.
     """
     configure_disk_cache(disk_enabled, disk_root)
+    profiler = prof.active()
     disk = disk_cache()
     stores_before = disk.stores if disk is not None else 0
     hits_before = _TRANSLATIONS.hits
@@ -221,11 +249,23 @@ def _worker_run(cells: Sequence[Tuple[str, VirtualArchConfig, float]],
         pack_name = f"jitpack_{workload}_{scale}".replace("/", "_")
         if not space:
             data = disk.load_blob(pack_name)
-            if data is not None:
-                try:
-                    space.update(unpack_space(data))
-                except Exception:
-                    pass  # corrupt/stale pack: recompile from scratch
+            if data is None:
+                METRICS.bump("jitpack.misses")
+            else:
+                with profiler.phase("jit.pack"):
+                    started = time.perf_counter_ns()
+                    try:
+                        space.update(unpack_space(data))
+                        METRICS.bump("jitpack.hits")
+                        METRICS.bump("jitpack.blocks_adopted", len(space))
+                    except Exception:
+                        METRICS.bump("jitpack.corrupt")
+                        # corrupt/stale pack: recompile from scratch
+                    METRICS.observe(
+                        "jitpack.unpack.us",
+                        (time.perf_counter_ns() - started) / 1e3,
+                        IO_TIME_BUCKETS,
+                    )
         packed = len(space)
     results = [run_one(workload, config, scale) for workload, config, scale in cells]
     if disk is not None:
@@ -239,16 +279,31 @@ def _worker_run(cells: Sequence[Tuple[str, VirtualArchConfig, float]],
     if pack_name is not None and space and (
         len(space) > packed or not disk.has_blob(pack_name)
     ):
-        try:
-            disk.save_blob(pack_name, pack_space(space))
-        except Exception:
-            pass  # packing is an optimization; never fail the run
+        with profiler.phase("jit.pack"):
+            started = time.perf_counter_ns()
+            try:
+                disk.save_blob(pack_name, pack_space(space))
+                METRICS.bump("jitpack.saves")
+                METRICS.bump("jitpack.blocks_saved", len(space))
+            except Exception:
+                pass  # packing is an optimization; never fail the run
+            METRICS.observe(
+                "jitpack.pack.us", (time.perf_counter_ns() - started) / 1e3,
+                IO_TIME_BUCKETS,
+            )
     deltas = {
         "disk_stores": (disk.stores - stores_before) if disk is not None else 0,
         "translation_hits": _TRANSLATIONS.hits - hits_before,
         "translation_misses": _TRANSLATIONS.misses - misses_before,
     }
-    return results, deltas
+    telemetry = {
+        "pid": os.getpid(),
+        "metrics": METRICS.snapshot(),
+        "profile": profiler.snapshot(),
+        "disk": disk.stats() if disk is not None else None,
+        "translations": _TRANSLATIONS.stats(),
+    }
+    return results, deltas, telemetry
 
 
 def run_many(
@@ -324,7 +379,8 @@ def run_many(
         for group in grouped
     ]
     for group, future in futures:
-        group_results, deltas = future.result()
+        group_results, deltas, telemetry = future.result()
+        _WORKER_TELEMETRY.record(telemetry)
         for (workload, cfg, scale), result in zip(group, group_results):
             METRICS.bump("run_cache.misses")
             METRICS.bump("runs.parallel")
@@ -351,6 +407,43 @@ def clear_cache() -> None:
     _PROGRAMS.clear()
     _TRANSLATIONS.clear()
     METRICS.bump("run_cache.clears")
+
+
+def worker_telemetry() -> dict:
+    """Per-worker and aggregate telemetry from the last pool activity.
+
+    ``workers`` maps worker pid -> its latest cumulative snapshot
+    (metrics registry, phase profile, disk/translation cache stats);
+    ``aggregate`` folds them deterministically — workers are visited in
+    sorted-pid order and both folds (:func:`merge_registry_snapshots`,
+    :func:`repro.obs.prof.merge_profiles`) are order-independent, so
+    the aggregate is bit-identical regardless of completion order.
+    """
+    workers = {pid: _WORKER_TELEMETRY.by_worker[pid]
+               for pid in sorted(_WORKER_TELEMETRY.by_worker)}
+    if not workers:
+        return {"workers": {}, "aggregate": None}
+    snapshots = [w.get("metrics") or {} for w in workers.values()]
+    profiles = [w.get("profile") or {} for w in workers.values()]
+    disk_totals = {"hits": 0, "misses": 0, "stores": 0}
+    for worker in workers.values():
+        disk = worker.get("disk")
+        if disk:
+            for key in disk_totals:
+                disk_totals[key] += int(disk.get(key, 0))
+    aggregate = {
+        "worker_count": len(workers),
+        "metrics": merge_registry_snapshots(snapshots, name="workers.aggregate"),
+        "profile": prof.merge_profiles(profiles),
+        "disk": disk_totals,
+    }
+    return {"workers": {str(pid): snap for pid, snap in workers.items()},
+            "aggregate": aggregate}
+
+
+def clear_worker_telemetry() -> None:
+    """Forget recorded worker snapshots (tests and fresh sweeps)."""
+    _WORKER_TELEMETRY.clear()
 
 
 def cache_stats() -> dict:

@@ -1,13 +1,18 @@
 """Observability layer: cycle-stamped event tracing, a metrics
-registry (counters + histograms + time series), and exporters
-(Perfetto ``trace_event`` JSON, plain-text run reports, report diffs).
+registry (counters + histograms + time series), a host phase profiler,
+an append-only benchmark history with a trend-aware regression gate,
+and exporters (Perfetto ``trace_event`` JSON, plain-text run reports,
+report diffs, collapsed flame stacks).
 
 Tracing is off by default — every instrumented component points at the
 shared :data:`~repro.obs.events.NULL_TRACER` until a real
 :class:`~repro.obs.events.Tracer` is passed in (see
-``python -m repro.obs trace``).  The always-on metrics registry
-samples at block granularity, so its overhead is unmeasurable next to
-the timing simulation itself.
+``python -m repro.obs trace``).  The phase profiler follows the same
+null-object discipline (:data:`~repro.obs.prof.NULL_PROFILER`; enable
+with ``REPRO_PROF=1`` or ``python -m repro.obs flame``) and never
+changes simulation results.  The always-on metrics registry samples at
+block granularity, so its overhead is unmeasurable next to the timing
+simulation itself.
 """
 
 from repro.obs.events import (
@@ -19,8 +24,20 @@ from repro.obs.events import (
     Tracer,
     events_by_tile,
 )
-from repro.obs.metrics import Histogram, MetricsRegistry, TimeSeries
-from repro.obs.perfetto import to_perfetto, validate_trace_events, write_trace
+from repro.obs.history import BenchHistory, check_regressions, make_record
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+    merge_registry_snapshots,
+)
+from repro.obs.perfetto import (
+    add_profile_lanes,
+    to_perfetto,
+    validate_trace_events,
+    write_trace,
+)
+from repro.obs.prof import NULL_PROFILER, NullProfiler, PhaseProfiler, merge_profiles
 from repro.obs.report import (
     build_report,
     diff_reports,
@@ -38,12 +55,21 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "events_by_tile",
+    "BenchHistory",
+    "check_regressions",
+    "make_record",
     "Histogram",
     "MetricsRegistry",
     "TimeSeries",
+    "merge_registry_snapshots",
+    "add_profile_lanes",
     "to_perfetto",
     "validate_trace_events",
     "write_trace",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "PhaseProfiler",
+    "merge_profiles",
     "build_report",
     "diff_reports",
     "load_report",

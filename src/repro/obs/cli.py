@@ -18,6 +18,16 @@ Commands:
     Check a trace JSON against the ``trace_event`` schema (used by the
     CI trace job; exit 1 on any problem).
 
+``flame``
+    Run one workload with phase profiling enabled and write the
+    profile as collapsed stacks (speedscope / flamegraph.pl format),
+    printing the hottest-paths table.
+
+``trend``
+    Render per-figure / per-phase trend tables from the benchmark
+    history (``.benchhistory/history.jsonl``); ``--check`` turns it
+    into the trend-aware regression gate (exit 1 on a regression).
+
 Workloads are either built-in suite names (``164.gzip`` ...) or paths
 to VX86 assembly files, mirroring ``python -m repro.verify``.
 """
@@ -33,8 +43,15 @@ from typing import List, Optional
 from repro.guest.assembler import AssemblyError, assemble
 from repro.guest.program import GuestProgram
 from repro.morph.config import PRESETS
+from repro.obs import history as bench_history
+from repro.obs import prof
 from repro.obs.events import DEFAULT_TRACE_CAPACITY, Tracer
-from repro.obs.perfetto import to_perfetto, validate_trace_events, write_trace
+from repro.obs.perfetto import (
+    add_profile_lanes,
+    to_perfetto,
+    validate_trace_events,
+    write_trace,
+)
 from repro.obs.report import (
     build_report,
     load_report,
@@ -146,6 +163,64 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_flame(args: argparse.Namespace) -> int:
+    # install the profiler before anything binds prof.active()
+    profiler = prof.PhaseProfiler()
+    previous = prof.set_profiler(profiler)
+    try:
+        _, result = _run_traced(args)
+    finally:
+        prof.set_profiler(previous)
+    snapshot = profiler.snapshot()
+    print(
+        f"{result.workload} / {result.config_name}: {result.cycles:,} cycles"
+    )
+    print(prof.render_profile(snapshot, limit=args.limit))
+    problems = prof.conservation_violations(snapshot)
+    for problem in problems:
+        print(f"conservation problem: {problem}", file=sys.stderr)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(prof.collapsed_stacks(snapshot))
+        print(f"wrote {args.out} — load it at https://speedscope.app")
+    if args.trace:
+        doc = to_perfetto(
+            [], metadata={"workload": result.workload, "config": result.config_name}
+        )
+        add_profile_lanes(doc, {"main": snapshot})
+        trace_problems = validate_trace_events(doc)
+        for problem in trace_problems[:20]:
+            print(f"schema problem: {problem}", file=sys.stderr)
+        if trace_problems:
+            return 1
+        write_trace(args.trace, doc)
+        print(f"wrote {args.trace} — load it at https://ui.perfetto.dev")
+    return 1 if problems else 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    store = bench_history.BenchHistory(args.dir)
+    records = store.records()
+    if store.skipped:
+        print(f"note: skipped {store.skipped} unreadable record(s)", file=sys.stderr)
+    print(bench_history.trend_table(records, limit=args.limit))
+    if not args.check:
+        return 0
+    problems = bench_history.check_regressions(
+        records,
+        window=args.window,
+        tolerance=args.tolerance,
+        min_samples=args.min_samples,
+    )
+    if problems:
+        print(f"\nREGRESSION vs rolling median ({len(problems)} metric(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print("\ntrend gate: OK (no watched metric beyond tolerance)")
+    return 0
+
+
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workload", required=True,
@@ -194,6 +269,54 @@ def build_parser() -> argparse.ArgumentParser:
     validate = commands.add_parser("validate", help="validate a trace_event JSON file")
     validate.add_argument("trace", help="trace JSON path")
     validate.set_defaults(func=_cmd_validate)
+
+    flame = commands.add_parser(
+        "flame", help="run a workload under the phase profiler, export collapsed stacks"
+    )
+    _add_run_arguments(flame)
+    flame.add_argument(
+        "--out", default="flame.txt",
+        help="collapsed-stacks output path (default: flame.txt; '' to skip)",
+    )
+    flame.add_argument(
+        "--limit", type=int, default=30,
+        help="profile table rows to print (default: 30)",
+    )
+    flame.add_argument(
+        "--trace", default=None,
+        help="also write the profile as Perfetto counter lanes to this path",
+    )
+    flame.set_defaults(func=_cmd_flame)
+
+    trend = commands.add_parser(
+        "trend", help="benchmark-history trend tables and regression gate"
+    )
+    trend.add_argument(
+        "--dir", default=None,
+        help="history directory (default: $REPRO_BENCHHISTORY_DIR or .benchhistory)",
+    )
+    trend.add_argument(
+        "--limit", type=int, default=10,
+        help="runs shown per group (default: 10)",
+    )
+    trend.add_argument(
+        "--check", action="store_true",
+        help="gate: exit 1 if the newest run regressed vs the rolling median",
+    )
+    trend.add_argument(
+        "--window", type=int, default=bench_history.DEFAULT_WINDOW,
+        help=f"rolling-median window (default: {bench_history.DEFAULT_WINDOW})",
+    )
+    trend.add_argument(
+        "--tolerance", type=float, default=bench_history.DEFAULT_TOLERANCE,
+        help=f"relative tolerance (default: {bench_history.DEFAULT_TOLERANCE})",
+    )
+    trend.add_argument(
+        "--min-samples", type=int, default=bench_history.MIN_BASELINE_SAMPLES,
+        help="prior comparable runs required before judging "
+             f"(default: {bench_history.MIN_BASELINE_SAMPLES})",
+    )
+    trend.set_defaults(func=_cmd_trend)
     return parser
 
 

@@ -1,0 +1,341 @@
+"""Append-only cross-run benchmark history with a trend-aware gate.
+
+``BENCH_results.json`` is overwritten on every ``run_all.py`` run, so
+the repository's perf trajectory used to live only in git archaeology.
+This module gives every benchmark run a durable, schema-versioned
+record in ``.benchhistory/history.jsonl`` — one JSON object per line,
+appended (never rewritten), keyed by the code-version stamp the disk
+cache already computes plus the knobs that shape wall-clock (scale,
+jobs, jit) — and builds two consumers on top:
+
+* ``python -m repro.obs trend`` — per-figure / per-phase / per-metric
+  trend tables across the retained runs;
+* a *trend-aware regression gate* (:func:`check_regressions`): the
+  newest record is compared against the rolling median of the previous
+  comparable runs (same source + knobs), which upgrades the harness's
+  single-point ``perf_baseline.json`` check — a noisy single baseline
+  can drift, a rolling median cannot be gamed by one lucky run.
+
+Wall-clock reads here (`time.time` for the record timestamp) are
+deliberate and allowlisted for the determinism lint: timestamps label
+history records; they never feed simulation results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from statistics import median
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Bumped when the record layout changes incompatibly.  Readers skip
+#: records from *newer* schemas instead of misparsing them.
+SCHEMA_VERSION = 1
+
+#: Default history directory (repo/cwd-relative), overridable via env.
+DEFAULT_ROOT = ".benchhistory"
+
+#: Environment variable naming the history directory.
+ROOT_ENV = "REPRO_BENCHHISTORY_DIR"
+
+HISTORY_FILENAME = "history.jsonl"
+
+#: Rolling-median window (prior comparable runs considered).
+DEFAULT_WINDOW = 5
+
+#: Relative tolerance before a metric's move counts as a regression.
+DEFAULT_TOLERANCE = 0.25
+
+#: Prior comparable runs required before the gate is willing to judge.
+MIN_BASELINE_SAMPLES = 3
+
+#: ``metrics`` keys where *lower* is worse (throughput-shaped); every
+#: other watched metric is time-shaped (higher is worse).
+_HIGHER_IS_BETTER_SUFFIXES = ("_per_second", "speedup")
+
+
+def _code_stamp() -> str:
+    # late import: obs must stay importable without the harness stack
+    from repro.harness.diskcache import code_version_stamp
+
+    return code_version_stamp()
+
+
+def make_record(
+    source: str,
+    *,
+    scale: float,
+    jobs: int,
+    jit: bool,
+    total_seconds: Optional[float] = None,
+    figures: Optional[Mapping[str, Mapping[str, float]]] = None,
+    metrics: Optional[Mapping[str, float]] = None,
+    phases: Optional[Mapping[str, Mapping[str, int]]] = None,
+    stamp: Optional[str] = None,
+    ts: Optional[float] = None,
+) -> Dict[str, object]:
+    """Build one schema-versioned history record.
+
+    ``figures`` maps figure name -> ``{"cold_seconds": .., "warm_seconds": ..}``;
+    ``metrics`` holds flat throughput/speedup numbers; ``phases`` is a
+    :func:`repro.obs.prof.phase_totals` mapping.  ``stamp``/``ts`` are
+    overridable for tests.
+    """
+    when = time.time() if ts is None else ts
+    record: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "ts": round(when, 3),
+        "iso": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(when)) + "Z",
+        "source": source,
+        "stamp": stamp if stamp is not None else _code_stamp(),
+        "knobs": {"scale": scale, "jobs": jobs, "jit": bool(jit)},
+    }
+    if total_seconds is not None:
+        record["total_seconds"] = round(total_seconds, 3)
+    if figures:
+        record["figures"] = {
+            name: {key: round(float(value), 3) for key, value in sorted(entry.items())}
+            for name, entry in sorted(figures.items())
+        }
+    if metrics:
+        record["metrics"] = {key: metrics[key] for key in sorted(metrics)}
+    if phases:
+        record["phases"] = {
+            name: {"ns": int(entry["ns"]), "calls": int(entry["calls"])}
+            for name, entry in sorted(phases.items())
+        }
+    return record
+
+
+class BenchHistory:
+    """The append-only JSONL store under ``.benchhistory/``."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        base = Path(root if root is not None else os.environ.get(ROOT_ENV, DEFAULT_ROOT))
+        self.root = base
+        self.path = base / HISTORY_FILENAME
+        #: malformed lines skipped by the last :meth:`records` call.
+        self.skipped = 0
+
+    def append(self, record: Mapping[str, object]) -> Path:
+        """Append one record as a single JSON line; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        if "\n" in line:  # defensive: would corrupt the line protocol
+            raise ValueError("history records must serialize to one line")
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+        return self.path
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every parseable record, in append (= chronological) order.
+
+        Corrupt lines (a run killed mid-append) and records from a
+        newer schema are skipped, counted in :attr:`skipped` — an
+        append-only log must tolerate its own torn tail.
+        """
+        self.skipped = 0
+        out: List[Dict[str, object]] = []
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return out
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.skipped += 1
+                continue
+            if not isinstance(record, dict) or record.get("schema", 0) > SCHEMA_VERSION:
+                self.skipped += 1
+                continue
+            out.append(record)
+        return out
+
+
+# -- grouping --------------------------------------------------------------
+
+
+def group_key(record: Mapping[str, object]) -> Tuple:
+    """Records are only comparable within (source, scale, jobs, jit)."""
+    knobs = record.get("knobs") or {}
+    return (
+        record.get("source", "?"),
+        knobs.get("scale"),
+        knobs.get("jobs"),
+        bool(knobs.get("jit", True)),
+    )
+
+
+def _grouped(records: Sequence[Mapping]) -> Dict[Tuple, List[Mapping]]:
+    groups: Dict[Tuple, List[Mapping]] = {}
+    for record in records:
+        groups.setdefault(group_key(record), []).append(record)
+    return groups
+
+
+# -- watched metrics -------------------------------------------------------
+
+
+def watched_metrics(record: Mapping[str, object]) -> Dict[str, Tuple[float, bool]]:
+    """``{metric name: (value, higher_is_better)}`` for one record."""
+    out: Dict[str, Tuple[float, bool]] = {}
+    total = record.get("total_seconds")
+    if isinstance(total, (int, float)):
+        out["total_seconds"] = (float(total), False)
+    for figure, entry in sorted((record.get("figures") or {}).items()):
+        cold = entry.get("cold_seconds") if isinstance(entry, dict) else None
+        if isinstance(cold, (int, float)):
+            out[f"{figure} cold_seconds"] = (float(cold), False)
+    for name, value in sorted((record.get("metrics") or {}).items()):
+        if isinstance(value, (int, float)):
+            higher = name.endswith(_HIGHER_IS_BETTER_SUFFIXES)
+            out[name] = (float(value), higher)
+    return out
+
+
+def check_regressions(
+    records: Sequence[Mapping],
+    window: int = DEFAULT_WINDOW,
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_samples: int = MIN_BASELINE_SAMPLES,
+) -> List[str]:
+    """Judge the newest record against its rolling-median baseline.
+
+    For each watched metric of the last record, the baseline is the
+    median over the up-to-``window`` most recent *prior* records in the
+    same (source, knobs) group.  Time-shaped metrics regress when they
+    exceed ``median * (1 + tolerance)``; throughput-shaped ones when
+    they fall below ``median * (1 - tolerance)``.  With fewer than
+    ``min_samples`` comparable priors the gate abstains (returns ``[]``)
+    — a young history must not fail CI.
+    """
+    if not records:
+        return []
+    latest = records[-1]
+    key = group_key(latest)
+    priors = [r for r in records[:-1] if group_key(r) == key]
+    baseline_pool = priors[-window:]
+    if len(baseline_pool) < min_samples:
+        return []
+    problems: List[str] = []
+    latest_metrics = watched_metrics(latest)
+    for name, (value, higher_is_better) in sorted(latest_metrics.items()):
+        samples = []
+        for prior in baseline_pool:
+            prior_value = watched_metrics(prior).get(name)
+            if prior_value is not None:
+                samples.append(prior_value[0])
+        if len(samples) < min_samples:
+            continue
+        base = median(samples)
+        if base <= 0:
+            continue
+        if higher_is_better:
+            floor = base * (1.0 - tolerance)
+            if value < floor:
+                problems.append(
+                    f"{name}: {value:.3f} < floor {floor:.3f} "
+                    f"(median of {len(samples)} runs: {base:.3f})"
+                )
+        else:
+            ceiling = base * (1.0 + tolerance)
+            if value > ceiling:
+                problems.append(
+                    f"{name}: {value:.3f} > ceiling {ceiling:.3f} "
+                    f"(median of {len(samples)} runs: {base:.3f})"
+                )
+    return problems
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def _fmt_knobs(key: Tuple) -> str:
+    source, scale, jobs, jit = key
+    return (
+        f"{source} @ scale={scale} jobs={jobs} jit={'on' if jit else 'off'}"
+    )
+
+
+def _short_when(record: Mapping) -> str:
+    iso = record.get("iso")
+    if isinstance(iso, str) and len(iso) >= 16:
+        return iso[:16].replace("T", " ")
+    return str(record.get("ts", "?"))
+
+
+def _metric_columns(records: Sequence[Mapping], limit: int = 8) -> List[str]:
+    """The most informative metric columns for one group's table."""
+    names: List[str] = []
+    for record in records:
+        for name in watched_metrics(record):
+            if name not in names:
+                names.append(name)
+    # total first, figures next, throughput metrics last
+    names.sort(key=lambda n: (n != "total_seconds", not n.endswith("cold_seconds"), n))
+    return names[:limit]
+
+
+def trend_table(
+    records: Sequence[Mapping],
+    limit: int = 10,
+    phase_columns: int = 6,
+) -> str:
+    """Per-group trend tables: one row per run, newest last."""
+    if not records:
+        return "(history is empty — run benchmarks/run_all.py or perf_smoke.py first)"
+    blocks: List[str] = []
+    for key, group in sorted(_grouped(records).items(), key=lambda kv: kv[0]):
+        recent = group[-limit:]
+        columns = _metric_columns(recent)
+        header = f"== {_fmt_knobs(key)} ({len(group)} run(s), showing {len(recent)}) =="
+        lines = [header]
+        short = [c.replace(" cold_seconds", "").replace("Figure ", "F") for c in columns]
+        widths = [max(12, len(name)) for name in short]
+        lines.append(
+            f"  {'when':<17} {'stamp':<10}"
+            + "".join(f" {name:>{width}}" for name, width in zip(short, widths))
+        )
+        for record in recent:
+            values = watched_metrics(record)
+            cells = []
+            for column, width in zip(columns, widths):
+                value = values.get(column)
+                cells.append(f" {value[0]:>{width}.3f}" if value else f" {'-':>{width}}")
+            lines.append(
+                f"  {_short_when(record):<17} {str(record.get('stamp', '?'))[:10]:<10}"
+                + "".join(cells)
+            )
+        phase_names = _top_phases(recent, phase_columns)
+        if phase_names:
+            lines.append(
+                f"  {'phases (ms)':<17} {'':<10}"
+                + "".join(f" {name[-12:]:>12}" for name in phase_names)
+            )
+            for record in recent:
+                phases = record.get("phases") or {}
+                cells = []
+                for name in phase_names:
+                    entry = phases.get(name)
+                    cells.append(
+                        f" {int(entry['ns']) / 1e6:>12.1f}" if entry else f" {'-':>12}"
+                    )
+                lines.append(f"  {_short_when(record):<17} {'':<10}" + "".join(cells))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def _top_phases(records: Sequence[Mapping], limit: int) -> List[str]:
+    """The hottest phase names across a group, by latest-record time."""
+    totals: Dict[str, int] = {}
+    for record in records:
+        for name, entry in (record.get("phases") or {}).items():
+            totals[name] = max(totals.get(name, 0), int(entry.get("ns", 0)))
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    return [name for name, _ in ranked[:limit]]

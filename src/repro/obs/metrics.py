@@ -20,7 +20,8 @@ grid-level reports.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from math import fsum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.stats import RunningMean, StatSet
 
@@ -37,6 +38,12 @@ DEFAULT_SERIES_CAPACITY = 1024
 #: host-side work; typical block compiles land in the 50-2000us range).
 COMPILE_TIME_BUCKETS: Tuple[float, ...] = (
     10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 50_000,
+)
+
+#: Disk-cache I/O latency buckets, in microseconds (a cell read is tens
+#: of microseconds warm, tens of milliseconds on a cold spinning disk).
+IO_TIME_BUCKETS: Tuple[float, ...] = (
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
 )
 
 #: Superblock chain-length buckets (consecutive compiled blocks executed
@@ -221,3 +228,69 @@ class MetricsRegistry(StatSet):
         if hist is None:
             return None
         return hist.track.as_dict()
+
+
+# -- cross-process snapshot merging ---------------------------------------
+#
+# Worker processes ship registry *snapshots* (plain dicts) back through
+# run_many(); the parent folds them with the functions below.  The merge
+# is order-independent down to the bit: counters and bucket counts are
+# integers (exact addition), and float totals are combined with
+# math.fsum, whose result is the correctly rounded true sum of its
+# inputs — the same for every permutation.  Pinned by the hypothesis
+# property tests in tests/test_metrics_merge.py.
+
+
+def merge_track_dicts(tracks: Sequence[Mapping]) -> Dict[str, Optional[float]]:
+    """Fold serialized :class:`RunningMean` dicts, order-independently."""
+    count = sum(int(t.get("count", 0)) for t in tracks)
+    total = fsum(float(t.get("total", 0.0)) for t in tracks)
+    mins = [t["min"] for t in tracks if t.get("min") is not None]
+    maxs = [t["max"] for t in tracks if t.get("max") is not None]
+    return {
+        "count": count,
+        "total": total,
+        "mean": total / count if count else 0.0,
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+    }
+
+
+def merge_histogram_dicts(hists: Sequence[Mapping]) -> Dict[str, object]:
+    """Fold serialized :class:`Histogram` dicts (same bucket layout)."""
+    if not hists:
+        raise ValueError("nothing to merge")
+    buckets = list(hists[0].get("buckets", []))
+    counts = [0] * (len(buckets) + 1)
+    for hist in hists:
+        if list(hist.get("buckets", [])) != buckets:
+            raise ValueError("histogram bucket layouts differ across snapshots")
+        for index, bucket_count in enumerate(hist.get("counts", [])):
+            counts[index] += int(bucket_count)
+    return {"buckets": buckets, "counts": counts, **merge_track_dicts(hists)}
+
+
+def merge_registry_snapshots(
+    snapshots: Iterable[Mapping], name: str = "aggregate"
+) -> Dict[str, object]:
+    """Fold :meth:`MetricsRegistry.snapshot` dicts into one aggregate.
+
+    Counters and histograms sum; time series are dropped (they are
+    per-run trajectories, not aggregable totals).  Any permutation of
+    ``snapshots`` yields a bit-identical result.
+    """
+    counters: Dict[str, int] = {}
+    histograms: Dict[str, List[Mapping]] = {}
+    for snap in snapshots:
+        for key, value in (snap.get("counters") or {}).items():
+            counters[key] = counters.get(key, 0) + int(value)
+        for key, hist in (snap.get("histograms") or {}).items():
+            histograms.setdefault(key, []).append(hist)
+    return {
+        "name": name,
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "histograms": {
+            key: merge_histogram_dicts(histograms[key]) for key in sorted(histograms)
+        },
+        "timeseries": {},
+    }

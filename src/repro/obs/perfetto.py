@@ -22,14 +22,22 @@ thread the exported ``ts`` sequence is sorted, so it is monotonically
 non-decreasing — a property :func:`validate_trace_events` (used by the
 CI trace job and the test suite) checks along with the rest of the
 schema.
+
+:func:`add_profile_lanes` appends a second "host profiler" process to
+a document: one thread lane per worker, carrying ``prof.<phase>``
+counter ("C") tracks built from :mod:`repro.obs.prof` snapshots — so a
+pooled sweep's per-worker host-time breakdown loads into the same
+Perfetto view as the simulated timeline.  The validator enforces the
+counter-track contract (numeric args, a named lane) for these events.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.obs.events import TraceEvent, events_by_tile
+from repro.obs.prof import phase_totals
 
 #: The trace_event phases this exporter produces.
 _EXPORTED_PHASES = {"X", "i", "C", "M"}
@@ -40,6 +48,9 @@ _VALID_PHASES = _EXPORTED_PHASES | {"B", "E"}
 
 #: pid used for the single simulated process.
 _PID = 1
+
+#: pid used for the host-profiler counter lanes (one tid per worker).
+_PROFILER_PID = 2
 
 
 def _thread_order(tile: str) -> tuple:
@@ -199,13 +210,67 @@ def to_perfetto(
     return doc
 
 
+def add_profile_lanes(
+    doc: Dict[str, object],
+    profiles: Mapping[str, Mapping],
+    *,
+    process_name: str = "host profiler",
+) -> Dict[str, object]:
+    """Append per-worker phase-profile counter lanes to ``doc``.
+
+    ``profiles`` maps a lane label (worker pid, ``"parent"``,
+    ``"aggregate"``) to a :meth:`~repro.obs.prof.PhaseProfiler.snapshot`
+    dict.  Each lane becomes one thread of a second ``host profiler``
+    process; each leaf phase total becomes one ``prof.<phase>`` counter
+    sample with the value in milliseconds.  Profiles are cumulative
+    totals, not a time series, so the ``ts`` values are synthetic
+    indices — monotone per lane, as the validator requires.
+    """
+    events: List[Dict[str, object]] = doc.setdefault("traceEvents", [])  # type: ignore[assignment]
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PROFILER_PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    )
+    for lane, label in enumerate(sorted(profiles, key=str), start=1):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PROFILER_PID,
+                "tid": lane,
+                "args": {"name": f"worker {label}"},
+            }
+        )
+        totals = phase_totals(profiles[label])
+        for ts, (leaf, entry) in enumerate(sorted(totals.items())):
+            events.append(
+                {
+                    "ph": "C",
+                    "name": f"prof.{leaf}",
+                    "cat": "prof",
+                    "pid": _PROFILER_PID,
+                    "tid": lane,
+                    "ts": ts,
+                    "args": {"ms": round(int(entry["ns"]) / 1e6, 3)},
+                }
+            )
+    return doc
+
+
 def validate_trace_events(doc: object) -> List[str]:
     """Check ``doc`` against the trace_event schema; returns problems.
 
     An empty list means the document is loadable by Perfetto /
     ``chrome://tracing``.  Checked: top-level shape, required fields and
-    types per phase, JSON-serializability, and per-(pid, tid) monotone
-    non-decreasing timestamps.
+    types per phase, JSON-serializability, per-(pid, tid) monotone
+    non-decreasing timestamps, numeric counter-track values, and — for
+    ``prof.*`` counter lanes — that each lane carries ``thread_name``
+    metadata (otherwise Perfetto renders an anonymous worker lane).
     """
     problems: List[str] = []
     if not isinstance(doc, dict):
@@ -218,6 +283,13 @@ def validate_trace_events(doc: object) -> List[str]:
     except (TypeError, ValueError) as err:
         problems.append(f"document is not JSON-serializable: {err}")
 
+    named_lanes = {
+        (event.get("pid"), event.get("tid"))
+        for event in events
+        if isinstance(event, dict)
+        and event.get("ph") == "M"
+        and event.get("name") == "thread_name"
+    }
     last_ts: Dict[tuple, float] = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
@@ -247,6 +319,25 @@ def validate_trace_events(doc: object) -> List[str]:
                 problems.append(f"{where}: 'X' event needs non-negative 'dur'")
         if phase == "i" and event.get("s") not in (None, "t", "p", "g"):
             problems.append(f"{where}: instant scope must be t/p/g")
+        if phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"{where}: 'C' event needs a non-empty args object")
+            elif not all(
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+                for value in args.values()
+            ):
+                problems.append(f"{where}: counter args must be numeric")
+            name = event.get("name")
+            if (
+                isinstance(name, str)
+                and name.startswith("prof.")
+                and (event.get("pid"), event.get("tid")) not in named_lanes
+            ):
+                problems.append(
+                    f"{where}: prof counter lane {(event.get('pid'), event.get('tid'))} "
+                    "has no thread_name metadata"
+                )
         thread = (event.get("pid"), event.get("tid"))
         if ts < last_ts.get(thread, float("-inf")):
             problems.append(

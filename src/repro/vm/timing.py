@@ -16,6 +16,7 @@ slowdown.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -29,6 +30,7 @@ from repro.dbt.speculative import TranslationSubsystem
 from repro.dbt.translator import TranslationConfig, Translator
 from repro.memsys.memsystem import PipelinedMemorySystem
 from repro.morph import MorphController, QueueLengthPolicy, VirtualArchConfig
+from repro.obs import prof
 from repro.obs.events import NULL_TRACER
 from repro.obs.metrics import CHAIN_LENGTH_BUCKETS, MetricsRegistry
 from repro.refmachine.pentium3 import PentiumIIIModel
@@ -65,6 +67,22 @@ class _TimingObserver(AccessObserver):
     def __init__(self, vm: "TimingVM") -> None:
         self.vm = vm
         self._memsys_access = vm.memsys.access
+        profiler = prof.active()
+        if profiler.enabled:
+            # attribute memsys time to the open interpreter/jit.run
+            # phase by timing the bound access call itself; the wrapper
+            # only exists when profiling, so the off path stays direct
+            memsys_access = self._memsys_access
+            clock = time.perf_counter_ns
+            add = profiler.add
+
+            def timed_access(now, address, is_write):
+                t0 = clock()
+                outcome = memsys_access(now, address, is_write)
+                add("memsys", clock() - t0)
+                return outcome
+
+            self._memsys_access = timed_access
         self._piii_on_access = vm.piii.on_access
         self._code_pages = vm.code_pages  # mutated in place, never rebound
         self._pending_smc = vm.pending_smc
@@ -261,6 +279,7 @@ class TimingVM:
         self.now = 0
         self.pending_stall = 0
         self.stats = StatSet("timing_vm")
+        self._prof = prof.active()
         self._blocks_since_metrics = 0
         # block addresses whose code pages are already registered, and
         # interned fetch-level stat keys — both avoid per-block rework
@@ -320,7 +339,12 @@ class TimingVM:
         # interpreter's block fast path batches fetch/dispatch work and
         # the PIII per-instruction accounting folds into one call
         self.pending_stall = 0
-        executed = interp.run_block_at(pc, block.guest_instr_count)
+        profiler = self._prof
+        if profiler.enabled:
+            with profiler.phase("interpreter"):
+                executed = interp.run_block_at(pc, block.guest_instr_count)
+        else:
+            executed = interp.run_block_at(pc, block.guest_instr_count)
         self.piii.on_instructions(executed)
         self._executed_instructions += executed
         self.now += block.cost_cycles + self.pending_stall
@@ -338,7 +362,12 @@ class TimingVM:
             self.stats.bump("syscalls")
 
         if self.morph is not None:
-            self.now += self.morph.on_block_executed(self.now)
+            if profiler.enabled:
+                t0 = time.perf_counter_ns()
+                self.now += self.morph.on_block_executed(self.now)
+                profiler.add("morph", time.perf_counter_ns() - t0)
+            else:
+                self.now += self.morph.on_block_executed(self.now)
 
         self._blocks_since_metrics += 1
         if self._blocks_since_metrics >= METRICS_SAMPLE_INTERVAL_BLOCKS:
@@ -405,6 +434,12 @@ class TimingVM:
         piii_on_instructions = self.piii.on_instructions
         morph = self.morph
         tracer = self.tracer
+        profiler = self._prof
+        profiling = profiler.enabled
+        prof_enter = profiler.enter
+        prof_exit = profiler.exit
+        prof_add = profiler.add
+        clock = time.perf_counter_ns
         epoch = jit.epoch if jit is not None else 0
         pc = self._pc
         prev_pc = self._prev_pc
@@ -462,12 +497,26 @@ class TimingVM:
             if entry is not None:
                 if trace_len == 0 and tracer.enabled:
                     tracer.emit(self.now, "jit", "trace_enter", "execution", pc=pc)
+                if profiling:
+                    # scoped (not flat) timing, so nested jit.compile /
+                    # memsys attributions become children of this phase
+                    # instead of double-counting beside it
+                    prof_enter("jit.run")
                 executed = entry[0](interp)
                 if executed < 0:  # entry-state mismatch: legacy path
+                    if profiling:
+                        prof_exit()
+                        prof_enter("interpreter")
                     executed = run_block_at(pc, count)
                     entry = None
                 else:
                     trace_len += 1
+                if profiling:
+                    prof_exit()
+            elif profiling:
+                prof_enter("interpreter")
+                executed = run_block_at(pc, count)
+                prof_exit()
             else:
                 executed = run_block_at(pc, count)
             if entry is None and trace_len:
@@ -492,7 +541,12 @@ class TimingVM:
                 bump("syscalls")
 
             if morph is not None:
-                self.now += morph.on_block_executed(self.now)
+                if profiling:
+                    morph_t0 = clock()
+                    self.now += morph.on_block_executed(self.now)
+                    prof_add("morph", clock() - morph_t0)
+                else:
+                    self.now += morph.on_block_executed(self.now)
 
             self._blocks_since_metrics += 1
             if self._blocks_since_metrics >= METRICS_SAMPLE_INTERVAL_BLOCKS:

@@ -1,0 +1,244 @@
+"""Benchmark history: the JSONL store, grouping, the trend-aware
+regression gate (including a planted regression through the CLI), and
+table rendering."""
+
+import json
+
+from repro.obs import cli
+from repro.obs.history import (
+    DEFAULT_TOLERANCE,
+    MIN_BASELINE_SAMPLES,
+    SCHEMA_VERSION,
+    BenchHistory,
+    check_regressions,
+    group_key,
+    make_record,
+    trend_table,
+    watched_metrics,
+)
+
+
+def _record(ts, *, source="perf_smoke:164.gzip", jit_speedup=6.5,
+            total_seconds=None, **extra_metrics):
+    metrics = {"jit_speedup": jit_speedup}
+    metrics.update(extra_metrics)
+    return make_record(
+        source,
+        scale=0.3, jobs=1, jit=True,
+        total_seconds=total_seconds,
+        metrics=metrics,
+        stamp="deadbeef",
+        ts=ts,
+    )
+
+
+class TestStore:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        store = BenchHistory(tmp_path)
+        record = _record(1000.0, total_seconds=12.5)
+        path = store.append(record)
+        assert path == tmp_path / "history.jsonl"
+        loaded = store.records()
+        assert loaded == [record]
+        assert store.skipped == 0
+
+    def test_records_in_append_order(self, tmp_path):
+        store = BenchHistory(tmp_path)
+        for ts in (1.0, 2.0, 3.0):
+            store.append(_record(ts))
+        assert [r["ts"] for r in store.records()] == [1.0, 2.0, 3.0]
+
+    def test_torn_tail_and_garbage_skipped(self, tmp_path):
+        store = BenchHistory(tmp_path)
+        store.append(_record(1.0))
+        with open(store.path, "a") as handle:
+            handle.write("{\"schema\": 1, \"truncat")  # a killed run's tail
+        store.append(_record(2.0))  # wait — append lands after the torn line
+        records = store.records()
+        # the torn fragment glues onto the next line, corrupting both;
+        # the first record must survive regardless
+        assert records[0]["ts"] == 1.0
+        assert store.skipped >= 1
+
+    def test_newer_schema_records_skipped(self, tmp_path):
+        store = BenchHistory(tmp_path)
+        store.append(_record(1.0))
+        future = dict(_record(2.0), schema=SCHEMA_VERSION + 1)
+        store.append(future)
+        records = store.records()
+        assert [r["ts"] for r in records] == [1.0]
+        assert store.skipped == 1
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        store = BenchHistory(tmp_path / "never_created")
+        assert store.records() == []
+
+    def test_embedded_newlines_stay_on_one_line(self, tmp_path):
+        # json escapes them, so the line protocol survives hostile strings
+        store = BenchHistory(tmp_path)
+        store.append({"schema": 1, "note": "a\nb"})
+        records = store.records()
+        assert records == [{"schema": 1, "note": "a\nb"}]
+        assert store.skipped == 0
+
+    def test_root_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCHHISTORY_DIR", str(tmp_path / "env_root"))
+        store = BenchHistory()
+        assert store.root == tmp_path / "env_root"
+
+
+class TestRecordShape:
+    def test_make_record_fields(self):
+        record = _record(1234.5678, total_seconds=3.14159)
+        assert record["schema"] == SCHEMA_VERSION
+        assert record["ts"] == 1234.568
+        assert record["iso"].endswith("Z")
+        assert record["stamp"] == "deadbeef"
+        assert record["knobs"] == {"scale": 0.3, "jobs": 1, "jit": True}
+        assert record["total_seconds"] == 3.142
+        json.dumps(record)  # must be one-line serializable
+
+    def test_figures_and_phases_normalised(self):
+        record = make_record(
+            "run_all", scale=1.0, jobs=2, jit=True,
+            figures={"Figure 5": {"cold_seconds": 10.12345, "warm_seconds": 2.0}},
+            phases={"jit.compile": {"ns": 123456789.0, "calls": 42.0}},
+            stamp="s", ts=0.0,
+        )
+        assert record["figures"]["Figure 5"]["cold_seconds"] == 10.123
+        assert record["phases"]["jit.compile"] == {"ns": 123456789, "calls": 42}
+
+    def test_group_key_separates_knobs(self):
+        a = _record(1.0)
+        b = make_record("perf_smoke:164.gzip", scale=0.3, jobs=4, jit=True,
+                        stamp="s", ts=2.0)
+        assert group_key(a) != group_key(b)
+        assert group_key(a) == group_key(_record(3.0))
+
+    def test_watched_metrics_direction(self):
+        record = make_record(
+            "run_all", scale=1.0, jobs=2, jit=True,
+            total_seconds=30.0,
+            figures={"Figure 5": {"cold_seconds": 10.0}},
+            metrics={
+                "jit_blocks_per_second": 50_000.0,
+                "jit_speedup": 6.5,
+                "slowdown_low_band": 1.2,
+            },
+            stamp="s", ts=0.0,
+        )
+        watched = watched_metrics(record)
+        # throughput-shaped: higher is better
+        assert watched["jit_blocks_per_second"] == (50_000.0, True)
+        assert watched["jit_speedup"] == (6.5, True)
+        # time-shaped: higher is worse
+        assert watched["total_seconds"] == (30.0, False)
+        assert watched["Figure 5 cold_seconds"] == (10.0, False)
+        assert watched["slowdown_low_band"] == (1.2, False)
+
+
+def _steady_history(n=5, speedup=6.5):
+    return [_record(float(i), jit_speedup=speedup) for i in range(n)]
+
+
+class TestGate:
+    def test_steady_history_passes(self):
+        assert check_regressions(_steady_history()) == []
+
+    def test_abstains_below_min_samples(self):
+        records = _steady_history(MIN_BASELINE_SAMPLES - 1)  # priors < min
+        records.append(_record(99.0, jit_speedup=0.1))  # huge planted regression
+        assert check_regressions(records) == []
+
+    def test_planted_throughput_regression_flagged(self):
+        records = _steady_history(5)
+        records.append(_record(99.0, jit_speedup=6.5 * (1 - DEFAULT_TOLERANCE) * 0.9))
+        problems = check_regressions(records)
+        assert len(problems) == 1
+        assert "jit_speedup" in problems[0]
+
+    def test_planted_time_regression_flagged(self):
+        records = [_record(float(i), total_seconds=10.0) for i in range(5)]
+        records.append(_record(99.0, total_seconds=10.0 * (1 + DEFAULT_TOLERANCE) * 1.1))
+        problems = check_regressions(records)
+        assert any("total_seconds" in p for p in problems)
+
+    def test_within_tolerance_passes(self):
+        records = _steady_history(5)
+        records.append(_record(99.0, jit_speedup=6.5 * (1 - DEFAULT_TOLERANCE) * 1.05))
+        assert check_regressions(records) == []
+
+    def test_improvement_never_flagged(self):
+        records = _steady_history(5)
+        records.append(_record(99.0, jit_speedup=60.0))
+        assert check_regressions(records) == []
+
+    def test_other_groups_do_not_pollute_baseline(self):
+        # a much faster run_all group must not make the smoke gate trip
+        records = [
+            make_record("run_all", scale=1.0, jobs=2, jit=True,
+                        metrics={"jit_speedup": 100.0}, stamp="s", ts=float(i))
+            for i in range(5)
+        ]
+        records += _steady_history(5)
+        records.append(_record(99.0, jit_speedup=6.4))
+        assert check_regressions(records) == []
+
+    def test_rolling_window_limits_baseline(self):
+        # ancient fast runs age out of the window: only the recent slow
+        # ones form the median, so a "regression" vs ancient history passes
+        records = [_record(float(i), jit_speedup=20.0) for i in range(5)]
+        records += [_record(float(10 + i), jit_speedup=5.0) for i in range(5)]
+        records.append(_record(99.0, jit_speedup=4.5))
+        assert check_regressions(records, window=5) == []
+        # with a window spanning the fast era it trips
+        assert check_regressions(records, window=10) != []
+
+
+class TestTrendCLI:
+    def _seed(self, tmp_path, tail_speedup):
+        store = BenchHistory(tmp_path)
+        for record in _steady_history(5):
+            store.append(record)
+        store.append(_record(99.0, jit_speedup=tail_speedup))
+
+    def test_trend_table_renders(self):
+        text = trend_table(_steady_history(3))
+        assert "perf_smoke:164.gzip" in text
+        assert "jit_speedup" in text
+        assert "6.500" in text
+
+    def test_trend_table_empty_history(self):
+        assert "history is empty" in trend_table([])
+
+    def test_cli_check_passes_on_steady_history(self, tmp_path, capsys):
+        self._seed(tmp_path, tail_speedup=6.5)
+        rc = cli.main(["trend", "--dir", str(tmp_path), "--check"])
+        assert rc == 0
+        assert "trend gate: OK" in capsys.readouterr().out
+
+    def test_cli_check_fails_on_planted_regression(self, tmp_path, capsys):
+        self._seed(tmp_path, tail_speedup=1.0)
+        rc = cli.main(["trend", "--dir", str(tmp_path), "--check"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_trend_without_check_never_gates(self, tmp_path):
+        self._seed(tmp_path, tail_speedup=1.0)
+        assert cli.main(["trend", "--dir", str(tmp_path)]) == 0
+
+    def test_cli_reports_skipped_lines(self, tmp_path, capsys):
+        self._seed(tmp_path, tail_speedup=6.5)
+        with open(tmp_path / "history.jsonl", "a") as handle:
+            handle.write("not json\n")
+        rc = cli.main(["trend", "--dir", str(tmp_path), "--check"])
+        assert rc == 0
+        assert "skipped 1 unreadable" in capsys.readouterr().err
+
+    def test_cli_tolerance_flag(self, tmp_path):
+        # a 10% dip: fails at 5% tolerance, passes at 25%
+        self._seed(tmp_path, tail_speedup=6.5 * 0.9)
+        assert cli.main(["trend", "--dir", str(tmp_path), "--check",
+                         "--tolerance", "0.05"]) == 1
+        assert cli.main(["trend", "--dir", str(tmp_path), "--check",
+                         "--tolerance", "0.25"]) == 0

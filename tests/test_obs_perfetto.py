@@ -12,7 +12,12 @@ from pathlib import Path
 from repro.guest.assembler import assemble
 from repro.morph.config import PRESETS
 from repro.obs.events import Tracer
-from repro.obs.perfetto import to_perfetto, validate_trace_events, write_trace
+from repro.obs.perfetto import (
+    add_profile_lanes,
+    to_perfetto,
+    validate_trace_events,
+    write_trace,
+)
 from repro.vm.timing import TimingVM
 
 DATA_DIR = Path(__file__).parent / "data"
@@ -115,6 +120,133 @@ class TestValidator:
         }
         problems = validate_trace_events(doc)
         assert any("dur" in p for p in problems)
+
+    def test_rejects_empty_counter_args(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "C", "name": "depth", "pid": 1, "tid": 1, "ts": 0, "args": {}}
+            ]
+        }
+        problems = validate_trace_events(doc)
+        assert any("non-empty args" in p for p in problems)
+
+    def test_rejects_non_numeric_counter_args(self):
+        for bad in ("fast", True, None):
+            doc = {
+                "traceEvents": [
+                    {
+                        "ph": "C", "name": "depth", "pid": 1, "tid": 1,
+                        "ts": 0, "args": {"v": bad},
+                    }
+                ]
+            }
+            problems = validate_trace_events(doc)
+            assert any("numeric" in p for p in problems), f"accepted {bad!r}"
+
+    def test_rejects_prof_lane_without_thread_name(self):
+        doc = {
+            "traceEvents": [
+                {
+                    "ph": "C", "name": "prof.codegen", "pid": 2, "tid": 1,
+                    "ts": 0, "args": {"ms": 1.5},
+                }
+            ]
+        }
+        problems = validate_trace_events(doc)
+        assert any("thread_name" in p for p in problems)
+        # the same lane with metadata is clean
+        doc["traceEvents"].insert(
+            0,
+            {
+                "ph": "M", "name": "thread_name", "pid": 2, "tid": 1,
+                "args": {"name": "worker main"},
+            },
+        )
+        assert validate_trace_events(doc) == []
+
+
+def _profile_snapshot(pairs):
+    return {
+        "clock": "perf_counter_ns",
+        "paths": {path: {"ns": ns, "calls": 1} for path, ns in pairs},
+    }
+
+
+class TestProfileLanes:
+    def test_lanes_validate_and_carry_counters(self):
+        doc = to_perfetto(_synthetic_tracer().events())
+        add_profile_lanes(
+            doc,
+            {
+                "12345": _profile_snapshot(
+                    [("run", 9_000_000), ("run;interpreter", 5_000_000)]
+                ),
+                "aggregate": _profile_snapshot([("run", 20_000_000)]),
+            },
+        )
+        assert validate_trace_events(doc) == []
+        counters = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "C" and e["name"].startswith("prof.")
+        ]
+        assert counters, "no prof.* counter events emitted"
+        assert all(e["pid"] == 2 for e in counters)
+        assert all(isinstance(e["args"]["ms"], float) for e in counters)
+
+    def test_one_lane_per_worker_with_names(self):
+        doc = to_perfetto([])
+        add_profile_lanes(
+            doc,
+            {
+                "100": _profile_snapshot([("run", 1_000_000)]),
+                "200": _profile_snapshot([("run", 2_000_000)]),
+                "parent": _profile_snapshot([("run", 3_000_000)]),
+            },
+        )
+        meta = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 2
+        ]
+        assert sorted(e["args"]["name"] for e in meta) == [
+            "worker 100", "worker 200", "worker parent",
+        ]
+        # lanes are disjoint tids under the profiler pid
+        assert len({e["tid"] for e in meta}) == 3
+
+    def test_leaf_totals_fold_across_parents(self):
+        # the same leaf under two parents becomes one counter sample
+        doc = to_perfetto([])
+        add_profile_lanes(
+            doc,
+            {
+                "w": _profile_snapshot(
+                    [("run;interpreter;memsys", 1_000_000),
+                     ("run;jit.run;memsys", 2_000_000)]
+                )
+            },
+        )
+        memsys = [
+            e for e in doc["traceEvents"] if e.get("name") == "prof.memsys"
+        ]
+        assert len(memsys) == 1
+        assert memsys[0]["args"]["ms"] == 3.0
+
+    def test_profiler_process_does_not_disturb_tile_threads(self):
+        # adding lanes to a real traced doc keeps it schema-clean and
+        # leaves the simulated process untouched
+        doc = to_perfetto(_synthetic_tracer().events())
+        before = [e for e in doc["traceEvents"] if e.get("pid") == 1]
+        add_profile_lanes(doc, {"w": _profile_snapshot([("run", 1_000)])})
+        after = [e for e in doc["traceEvents"] if e.get("pid") == 1]
+        assert before == after
+        assert validate_trace_events(doc) == []
+
+    def test_empty_profiles_add_only_process_metadata(self):
+        doc = to_perfetto([])
+        add_profile_lanes(doc, {})
+        assert validate_trace_events(doc) == []
+        added = [e for e in doc["traceEvents"] if e.get("pid") == 2]
+        assert [e["ph"] for e in added] == ["M"]
 
 
 HOT_LOOP = """

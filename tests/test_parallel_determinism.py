@@ -91,6 +91,60 @@ def test_parallel_stores_are_counted(tmp_path):
         assert len(packs) == len(SMALL)
 
 
+def test_worker_telemetry_collected_and_aggregated(tmp_path):
+    """A pooled sweep leaves per-worker snapshots plus a deterministic
+    aggregate behind — the BENCH 'workers' section."""
+    from repro.harness.runner import clear_worker_telemetry, worker_telemetry
+
+    clear_worker_telemetry()
+    cells = [(w, c, SCALE) for w in SMALL for c in CONFIGS]
+    run_many(cells, jobs=2)
+    telemetry = worker_telemetry()
+
+    assert telemetry["workers"], "pooled run recorded no worker snapshots"
+    for pid, snap in telemetry["workers"].items():
+        assert pid.isdigit()  # keys are stringified worker pids
+        assert snap["pid"] == int(pid)
+        assert "counters" in snap["metrics"]
+        assert snap["disk"] is not None
+
+    aggregate = telemetry["aggregate"]
+    assert aggregate["worker_count"] == len(telemetry["workers"])
+    assert aggregate["metrics"]["name"] == "workers.aggregate"
+    # cold sweep: every cell was simulated and stored by some worker
+    assert aggregate["disk"]["stores"] == len(cells)
+    assert aggregate["disk"]["hits"] == 0
+    # profiling was off, so the merged profile carries no paths
+    assert aggregate["profile"].get("paths", {}) == {}
+
+
+def test_worker_telemetry_cleared_and_absent_when_serial(tmp_path):
+    from repro.harness.runner import clear_worker_telemetry, worker_telemetry
+
+    clear_worker_telemetry()
+    assert worker_telemetry() == {"workers": {}, "aggregate": None}
+    # the serial path never ships work to a pool, so nothing is recorded
+    run_many([(SMALL[0], CONFIGS[0], SCALE)], jobs=1)
+    assert worker_telemetry() == {"workers": {}, "aggregate": None}
+
+
+def test_worker_telemetry_keeps_latest_cumulative_snapshot(tmp_path):
+    """Pool workers are long-lived and ship *cumulative* state; the
+    parent must keep the newest snapshot per pid, not fold repeats
+    (folding would double-count every earlier dispatch)."""
+    from repro.harness.runner import clear_worker_telemetry, worker_telemetry
+
+    clear_worker_telemetry()
+    cells = [(w, c, SCALE) for w in SMALL for c in CONFIGS]
+    run_many(cells, jobs=2)
+    first_stores = worker_telemetry()["aggregate"]["disk"]["stores"]
+    clear_cache()  # cold memo, warm disk: second sweep stores nothing new
+    run_many(cells, jobs=2)
+    second_stores = worker_telemetry()["aggregate"]["disk"]["stores"]
+    assert first_stores == len(cells)
+    assert second_stores <= first_stores  # cumulative, never double-counted
+
+
 def test_jit_pack_is_loaded_by_sibling_workers(tmp_path):
     """A second cold parallel sweep must reuse the workers' JIT packs:
     results stay bit-identical and no result cells are re-stored."""
