@@ -136,6 +136,27 @@ class CachingTranslator(Translator):
         self._space = cache.space((namespace, translator_knobs(config)))
         self._generation = generation
 
+    def audit(self) -> Dict[str, int]:
+        """Classify the namespace's cached blocks by generation.
+
+        ``live`` entries are keyed to the current generation, ``stale``
+        ones to older generations (unreachable but harmlessly retained,
+        like the JIT's shared space), and ``future`` ones to a
+        generation newer than the counter — impossible unless the
+        generation source regressed, so the protocol-conformance tier
+        treats any ``future`` entry as an invariant violation.
+        """
+        current = self._generation()
+        counts = {"live": 0, "stale": 0, "future": 0}
+        for generation, _pc in self._space:
+            if generation == current:
+                counts["live"] += 1
+            elif generation < current:
+                counts["stale"] += 1
+            else:
+                counts["future"] += 1
+        return counts
+
     def translate(self, guest_pc: int) -> TranslatedBlock:
         key = (self._generation(), guest_pc)
         master = self._space.get(key)

@@ -1129,6 +1129,48 @@ class BlockJit:
             block.source = rebuilt.source
         return block.source
 
+    def check_consistency(self) -> list:
+        """Audit the engine's internal maps; returns Finding violations.
+
+        The dispatch fast path assumes ``code`` and ``blocks`` are
+        views of the same key set with ``code[k] is blocks[k].fn`` and
+        every block stamped with its own key — ``invalidate()`` clears
+        them together, so any divergence means a protocol bug.  Used by
+        the protocol-conformance tier; never called on the hot path.
+        """
+        from repro.verify.findings import Finding, Severity
+
+        findings = []
+
+        def err(code: str, message: str) -> None:
+            findings.append(
+                Finding(
+                    analyzer="protocol", severity=Severity.ERROR,
+                    code=code, message=message, stage="blockjit",
+                )
+            )
+
+        for key in self.code.keys() | self.blocks.keys():
+            fn = self.code.get(key)
+            block = self.blocks.get(key)
+            if fn is None or block is None:
+                err(
+                    "jit-space-divergence",
+                    f"key {key} present in {'code' if fn is not None else 'blocks'} only",
+                )
+                continue
+            if block.fn is not fn:
+                err("jit-closure-mismatch", f"code[{key}] is not blocks[{key}].fn")
+            if (block.address, block.count) != key:
+                err(
+                    "jit-key-mismatch",
+                    f"blocks[{key}] is stamped ({block.address:#x}, {block.count})",
+                )
+        for key in self._failed:
+            if key in self.code:
+                err("jit-failed-yet-installed", f"key {key} both failed and installed")
+        return findings
+
     def invalidate(self) -> None:
         """Self-modifying code: drop local closures and failure marks.
 

@@ -10,9 +10,15 @@ entries written by an older revision of the simulator self-invalidate
 instead of serving stale timing numbers.
 
 The cache is safe under concurrent writers (``run_many`` worker
-processes): files are written to a temp name and atomically renamed,
-and two workers racing on the same cell write identical content
-because every run is deterministic.
+processes): files are written to a temp name and atomically renamed
+(``tempfile.mkstemp`` + ``os.replace``), and two workers racing on the
+same cell write identical content because every run is deterministic.
+Readers independently verify every document's stamp fields (format,
+code version, workload, scale, full config) against the request before
+serving it, so a hash collision, a foreign file at the cell path, or a
+corrupted document degrades to a miss instead of a wrong result — the
+``diskcache-stamp-match`` invariant of the protocol model in
+:mod:`repro.verify.protocol.models`.
 """
 
 from __future__ import annotations
@@ -145,6 +151,9 @@ class DiskCache:
         except (OSError, ValueError):
             self.misses += 1
             return None
+        if not self._stamp_matches(doc, workload, config, scale):
+            self.misses += 1
+            return None
         try:
             result = result_from_dict(doc["result"])
         except (KeyError, TypeError):
@@ -152,6 +161,24 @@ class DiskCache:
             return None
         self.hits += 1
         return result
+
+    def _stamp_matches(
+        self, doc: object, workload: str, config: VirtualArchConfig, scale: float
+    ) -> bool:
+        """Whether a loaded document really belongs to the requested cell.
+
+        The path already encodes the key, but the reader must not trust
+        the filesystem: mismatched-stamp documents read as misses.
+        """
+        if not isinstance(doc, dict):
+            return False
+        return (
+            doc.get("format") == FORMAT_VERSION
+            and doc.get("version") == self.version
+            and doc.get("workload") == workload
+            and doc.get("scale") == scale
+            and doc.get("config") == dataclasses.asdict(config)
+        )
 
     def store(
         self, workload: str, config: VirtualArchConfig, scale: float, result: TimingRunResult

@@ -123,7 +123,17 @@ class MorphController:
             bank_coords=[list(c) for c in new_shape.bank_coords],
             queue_length=queue_length if queue_length is not None else -1,
             cost=cost,
+            hysteresis=self.policy.hysteresis_cycles,
         )
+
+    def fsm_state(self) -> dict:
+        """The controller's FSM state, for protocol audits and tests."""
+        return {
+            "shape": self.current_shape,
+            "last_change": self.policy._last_change,
+            "hysteresis": self.policy.hysteresis_cycles,
+            "reconfigurations": self.stats["reconfigurations"],
+        }
 
     def _apply(self, shape: MorphShape, now: int, charge: bool) -> int:
         cost = 0

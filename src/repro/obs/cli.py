@@ -97,6 +97,21 @@ def _run_traced(args: argparse.Namespace, capacity: Optional[int] = None):
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     vm, result = _run_traced(args, capacity=args.capacity)
+    if args.raw:
+        raw_doc = {
+            "schema": "repro.obs.rawtrace/1",
+            "meta": {
+                "workload": result.workload,
+                "config": result.config_name,
+                "scale": args.scale,
+                "cycles": result.cycles,
+            },
+            "dropped": vm.tracer.dropped,
+            "events": [event.as_dict() for event in vm.tracer.events()],
+        }
+        with open(args.raw, "w") as handle:
+            json.dump(raw_doc, handle)
+        print(f"wrote {args.raw} (raw events, for `python -m repro.verify conform`)")
     doc = to_perfetto(
         vm.tracer.events(),
         metadata={
@@ -249,6 +264,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--capacity", type=int, default=DEFAULT_TRACE_CAPACITY,
         help=f"trace ring-buffer capacity (default: {DEFAULT_TRACE_CAPACITY})",
+    )
+    trace.add_argument(
+        "--raw", default=None, metavar="PATH",
+        help="also write the raw event stream as JSON "
+             "(replayable by `python -m repro.verify conform`)",
     )
     trace.set_defaults(func=_cmd_trace)
 

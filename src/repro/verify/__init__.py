@@ -21,9 +21,18 @@ Plus one dynamic-semantics layer:
   optimizer pass (modulo dead flags), and IR ≡ host after codegen and
   scheduling (``TranslationConfig(checked="equiv")``).
 
+And one protocol layer:
+
+* :mod:`repro.verify.protocol` — explicit-state model checking of the
+  runtime protocols (SMC invalidation, superblock chaining, the morph
+  controller FSM, the concurrent disk cache) plus trace conformance:
+  replaying :mod:`repro.obs` event streams against the same invariants
+  (``TimingVM(checked="protocol")``).
+
 ``python -m repro.verify <program>`` runs the lint plus a checked
 translation sweep over a workload or assembly file; ``python -m
-repro.verify equiv`` runs the symbolic equivalence sweep.
+repro.verify equiv`` runs the symbolic equivalence sweep; ``model``
+and ``conform`` run the protocol layer; ``all`` runs every tier.
 """
 
 from repro.verify.equiv import EquivChecker, EquivStats
@@ -32,6 +41,19 @@ from repro.verify.guestlint import GuestLintReport, lint_bytes, lint_program
 from repro.verify.hostverify import assert_host_ok, verify_host_block
 from repro.verify.irverify import assert_ir_ok, verify_ir
 from repro.verify.pipeline import SweepResult, checked_translate_program
+from repro.verify.protocol import (
+    MODELS,
+    PLANTED_BUGS,
+    ConformanceChecker,
+    ConformReport,
+    Model,
+    ModelCheckResult,
+    Violation,
+    audit_vm,
+    check_model,
+    conform_events,
+    conform_vm,
+)
 
 __all__ = [
     "Finding",
@@ -49,4 +71,15 @@ __all__ = [
     "checked_translate_program",
     "EquivChecker",
     "EquivStats",
+    "Model",
+    "ModelCheckResult",
+    "Violation",
+    "check_model",
+    "MODELS",
+    "PLANTED_BUGS",
+    "ConformanceChecker",
+    "ConformReport",
+    "conform_events",
+    "conform_vm",
+    "audit_vm",
 ]

@@ -20,10 +20,18 @@ have actually bitten simulator codebases:
 * ``shared-cache-mutation`` — a module that spawns workers (imports
   ``concurrent.futures`` or ``threading``) and also mutates a
   module-level mutable global from function scope: the mutation either
-  races (threads) or silently diverges per process (processes).
+  races (threads) or silently diverges per process (processes);
+* ``non-atomic-write`` — in harness/worker modules (anything under
+  ``harness/`` or importing concurrency), a bare ``open(..., "w")``
+  whose enclosing function never calls ``os.replace``/``os.rename``:
+  a concurrent reader can observe the torn, partially-written file.
+  The sanctioned pattern is stage-to-``*.tmp`` + ``os.replace`` (see
+  ``harness/diskcache.py`` and the ``diskcache`` protocol model).
 
 Intentional exceptions live in ``lint-src-allowlist.txt`` at the repo
 root, one ``path::code`` per line with a mandatory ``#`` justification.
+Entries that no longer match any finding are themselves reported as
+``stale-allowlist`` WARNINGs so the file cannot accumulate dead rows.
 """
 
 from __future__ import annotations
@@ -87,6 +95,11 @@ class _ModuleLint(ast.NodeVisitor):
         self.uses_concurrency = False
         self.module_mutables: Set[str] = set()
         self.function_depth = 0
+        #: enclosing-function node ids (scope keys for the atomic-write
+        #: rule; module level is the empty stack -> key None)
+        self._scope_stack: List[int] = []
+        self._file_writes: List[Tuple[ast.AST, str, Optional[int]]] = []
+        self._replace_scopes: Set[Optional[int]] = set()
 
     def flag(self, code: str, node: ast.AST, message: str) -> None:
         self.findings.append((code, getattr(node, "lineno", 0), message))
@@ -119,7 +132,9 @@ class _ModuleLint(ast.NodeVisitor):
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
         self.function_depth += 1
+        self._scope_stack.append(id(node))
         self.generic_visit(node)
+        self._scope_stack.pop()
         self.function_depth -= 1
 
     visit_AsyncFunctionDef = visit_FunctionDef
@@ -162,7 +177,32 @@ class _ModuleLint(ast.NodeVisitor):
             self.flag("set-iteration", node,
                       "%s() over a set materializes a hash-seed-dependent order"
                       % fn.id)
+        # atomic-write bookkeeping: bare open() for writing, and the
+        # os.replace/os.rename publishes that excuse the enclosing scope
+        if isinstance(fn, ast.Name) and fn.id == "open":
+            mode = self._open_mode(node)
+            if mode is not None and any(ch in mode for ch in "wax"):
+                self._file_writes.append((node, mode, self._scope_key()))
+        if (isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name)
+                and fn.value.id == "os" and fn.attr in ("replace", "rename")):
+            self._replace_scopes.add(self._scope_key())
         self.generic_visit(node)
+
+    def _scope_key(self) -> Optional[int]:
+        return self._scope_stack[-1] if self._scope_stack else None
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        mode = None
+        if len(node.args) >= 2:
+            arg = node.args[1]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                mode = arg.value
+        for keyword in node.keywords:
+            if (keyword.arg == "mode" and isinstance(keyword.value, ast.Constant)
+                    and isinstance(keyword.value.value, str)):
+                mode = keyword.value.value
+        return mode
 
     # -- rule: shared-cache mutation in worker modules ---------------------
 
@@ -219,6 +259,17 @@ class _ModuleLint(ast.NodeVisitor):
                 self.flag("shared-cache-mutation", node,
                           "module-level mutable %r mutated in a module that "
                           "spawns workers" % name)
+        # non-atomic writes only count where concurrent readers exist:
+        # harness/worker modules (os.fdopen-over-mkstemp, the sanctioned
+        # staging idiom, is deliberately not matched)
+        if self.uses_concurrency or self.rel_path.startswith("src/repro/harness/"):
+            for node, mode, scope in self._file_writes:
+                if scope in self._replace_scopes:
+                    continue
+                self.flag("non-atomic-write", node,
+                          "open(..., %r) in a worker module without os.replace: "
+                          "readers can observe the torn file (stage to *.tmp "
+                          "and os.replace instead)" % mode)
 
 
 def _load_allowlist(path: Optional[Path]) -> Set[Tuple[str, str]]:
@@ -266,14 +317,25 @@ def lint_tree(
     base = root if root is not None else _repo_root()
     allow_path = Path(allowlist) if allowlist else base / DEFAULT_ALLOWLIST
     allowed = _load_allowlist(allow_path)
+    used: Set[Tuple[str, str]] = set()
     findings: List[Finding] = []
     src = base / "src" / "repro"
     for path in sorted(src.rglob("*.py")):
         rel = path.relative_to(base).as_posix()
         for finding in lint_file(path, rel):
             if (rel, finding.code) in allowed:
+                used.add((rel, finding.code))
                 continue
             findings.append(finding)
+    # an allowlist row that excuses nothing is dead weight — and a trap,
+    # because it would silently excuse a future regression of that code
+    for rel, code in sorted(allowed - used):
+        findings.append(
+            Finding(analyzer="lintsrc", severity=Severity.WARNING,
+                    code="stale-allowlist",
+                    message="%s::%s matches no finding; prune the allowlist row"
+                            % (rel, code))
+        )
     return findings
 
 

@@ -88,6 +88,7 @@ class _TimingObserver(AccessObserver):
         self._pending_smc = vm.pending_smc
         self._text_start = vm._text_start
         self._text_end = vm._text_end
+        self._tracer = vm.tracer
 
     def on_read(self, address: int, size: int) -> None:
         self._access(address, False)
@@ -106,6 +107,11 @@ class _TimingObserver(AccessObserver):
         self._piii_on_access(address, is_write)
         if is_write and (address >> 12) in self._code_pages:
             self._pending_smc.add(address >> 12)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    vm.now, "smc", "write", "execution",
+                    gen=vm.code_writes, page=address >> 12,
+                )
 
 
 @dataclass
@@ -159,9 +165,23 @@ class TimingVM:
         translation_cache=None,
         program_key=None,
         jit: Optional[bool] = None,
+        checked: Optional[str] = None,
     ) -> None:
+        if checked not in (None, False, "protocol"):
+            raise ValueError(f"unknown checked mode for TimingVM: {checked!r}")
         self.program = program
         self.config = config
+        #: ``checked="protocol"`` runs the protocol conformance tier:
+        #: a tracer is installed (if none was passed), chain invariants
+        #: are asserted on every SMC invalidation, and :meth:`run` ends
+        #: by replaying the event stream through the conformance
+        #: checkers — any violation raises ``VerificationError``.
+        self.protocol_checked = checked == "protocol"
+        self.protocol_report = None
+        if self.protocol_checked and tracer is None:
+            from repro.obs.events import Tracer
+
+            tracer = Tracer()
         #: Event sink shared by every subsystem.  ``None`` (the default)
         #: means the zero-cost null sink: no events, no allocations.
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -205,6 +225,11 @@ class TimingVM:
         self.memsys.page_table.map_region(program.brk_base, 1 << 24)  # heap headroom
 
         translation_config = TranslationConfig(optimize=config.optimize)
+        if self.protocol_checked:
+            # a truthy ``checked`` also turns on the static IR/host
+            # verifiers and gives cached translations their own
+            # namespace (``translator_knobs`` includes ``checked``)
+            translation_config.checked = "protocol"
         if config.hardware_mmu:
             # TLB-backed loads: PIII-class L1 hit (Table 11's fix)
             translation_config.load_latency = 3
@@ -387,7 +412,25 @@ class TimingVM:
         """Run the workload to completion; returns the timing result."""
         self.start()
         self._run_fast(max_guest_instructions)
+        if self.protocol_checked:
+            self.assert_protocol()
         return self._result(self._executed_instructions)
+
+    def assert_protocol(self):
+        """Replay the event stream through the protocol conformance
+        checkers and audit the live dispatch/JIT/cache structures;
+        raises ``VerificationError`` on any violation.  The full
+        :class:`~repro.verify.protocol.ConformReport` (event, check and
+        violation counts) is kept on ``self.protocol_report``."""
+        from repro.verify.findings import VerificationError, errors_only
+        from repro.verify.protocol import conform_vm
+
+        report = conform_vm(self)
+        self.protocol_report = report
+        errors = errors_only(report.findings)
+        if errors:
+            raise VerificationError("protocol", errors)
+        return report
 
     def _close_trace(self, trace_len: int, pc: int, reason: str) -> None:
         """Record the end of a run of consecutive compiled-block executions."""
@@ -653,7 +696,19 @@ class TimingVM:
             self.hierarchy.l1.flush()
             self.now += SMC_INVALIDATION_COST
             self.stats.bump("smc_invalidations")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    self.now, "smc", "invalidate", "execution",
+                    page=page, victims=len(victims), gen=self.code_writes,
+                )
         self.pending_smc.clear()
+        if self.protocol_checked:
+            # de-chaining must be complete before the next dispatch
+            findings = self.check_chain_invariants()
+            if findings:
+                from repro.verify.findings import VerificationError
+
+                raise VerificationError("smc-invalidate", findings)
 
     def _result(self, executed_instructions: int) -> TimingRunResult:
         cache_stats = self.hierarchy.stats
@@ -689,6 +744,7 @@ def run_timing(
     translation_cache=None,
     program_key=None,
     jit: Optional[bool] = None,
+    checked: Optional[str] = None,
 ) -> TimingRunResult:
     """Convenience wrapper: build a :class:`TimingVM` and run it.
 
@@ -699,9 +755,12 @@ def run_timing(
     program — results are bit-identical either way.  ``jit`` overrides
     the ``REPRO_JIT`` environment default for the block JIT; on or off,
     results are bit-identical (it only changes wall-clock speed).
+    ``checked="protocol"`` runs the protocol conformance tier (see
+    :class:`TimingVM`): any invariant violation raises
+    ``repro.verify.findings.VerificationError``.
     """
     return TimingVM(
         program, config, stdin=stdin, tracer=tracer,
         translation_cache=translation_cache, program_key=program_key,
-        jit=jit,
+        jit=jit, checked=checked,
     ).run()

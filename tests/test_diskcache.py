@@ -92,6 +92,72 @@ class TestDiskCacheUnit:
         assert len(code_version_stamp()) == 16
 
 
+class TestReaderStampVerification:
+    """The diskcache-stamp-match invariant: a document at the cell path
+    is only served if every stamp field matches the request — foreign,
+    torn or relocated files degrade to misses, never wrong results."""
+
+    def _cell_path(self, cache):
+        return cache._path(cache.cell_key(WORKLOAD, PRESETS[CONFIG], SCALE))
+
+    def _seeded_cache(self, tmp_path, no_disk):
+        result = run_one(WORKLOAD, CONFIG, SCALE)
+        cache = DiskCache(tmp_path, version="test")
+        cache.store(WORKLOAD, PRESETS[CONFIG], SCALE, result)
+        return cache
+
+    def _corrupt(self, cache, **overrides):
+        import json
+
+        path = self._cell_path(cache)
+        doc = json.loads(path.read_text())
+        doc.update(overrides)
+        path.write_text(json.dumps(doc))
+
+    def test_wrong_workload_stamp_is_a_miss(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        self._corrupt(cache, workload="181.mcf")
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_wrong_scale_stamp_is_a_miss(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        self._corrupt(cache, scale=SCALE * 2)
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is None
+
+    def test_wrong_version_stamp_is_a_miss(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        self._corrupt(cache, version="other-revision")
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is None
+
+    def test_wrong_format_stamp_is_a_miss(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        self._corrupt(cache, format=999)
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is None
+
+    def test_mismatched_config_stamp_is_a_miss(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        mutated = dataclasses.asdict(PRESETS[CONFIG].with_(l15_banks=0))
+        self._corrupt(cache, config=mutated)
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is None
+
+    def test_torn_json_is_a_miss(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        path = self._cell_path(cache)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is None
+
+    def test_non_dict_document_is_a_miss(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        self._cell_path(cache).write_text('["not", "a", "cell"]')
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is None
+
+    def test_intact_document_still_hits(self, tmp_path, no_disk):
+        cache = self._seeded_cache(tmp_path, no_disk)
+        assert cache.load(WORKLOAD, PRESETS[CONFIG], SCALE) is not None
+        assert cache.stats()["hits"] == 1
+
+
 class TestHarnessIntegration:
     def test_warm_rerun_served_from_disk(self, cache_dir):
         first = run_one(WORKLOAD, CONFIG, SCALE)

@@ -113,6 +113,80 @@ class TestRules:
         """)
         assert found == []
 
+    def test_non_atomic_write_in_worker_module(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import threading
+            def publish(path, doc):
+                with open(path, "w") as fh:
+                    fh.write(doc)
+        """)
+        assert ("non-atomic-write", "ERROR") in found
+
+    def test_non_atomic_write_in_harness_module(self, tmp_path):
+        path = tmp_path / "store.py"
+        path.write_text(
+            "def publish(path, doc):\n"
+            "    with open(path, 'w') as fh:\n"
+            "        fh.write(doc)\n"
+        )
+        found = [(f.code, f.severity.name)
+                 for f in lint_file(path, "src/repro/harness/store.py")]
+        assert ("non-atomic-write", "ERROR") in found
+
+    def test_write_with_os_replace_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import os
+            import threading
+            def publish(path, doc):
+                with open(path + ".tmp", "w") as fh:
+                    fh.write(doc)
+                os.replace(path + ".tmp", path)
+        """)
+        assert found == []
+
+    def test_replace_in_other_function_does_not_excuse(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import os
+            import threading
+            def publish(path, doc):
+                with open(path, "w") as fh:
+                    fh.write(doc)
+            def unrelated(a, b):
+                os.replace(a, b)
+        """)
+        assert ("non-atomic-write", "ERROR") in found
+
+    def test_fdopen_staging_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import os
+            import tempfile
+            import threading
+            def publish(path, doc):
+                fd, tmp = tempfile.mkstemp()
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(doc)
+                os.replace(tmp, path)
+        """)
+        assert found == []
+
+    def test_read_mode_open_is_fine(self, tmp_path):
+        found = _lint_snippet(tmp_path, """
+            import threading
+            def slurp(path):
+                with open(path) as fh:
+                    return fh.read()
+        """)
+        assert found == []
+
+    def test_plain_module_write_is_fine(self, tmp_path):
+        # no concurrency, not under harness/: single-writer, no readers
+        found = _lint_snippet(tmp_path, """
+            def dump(path, doc):
+                with open(path, "w") as fh:
+                    fh.write(doc)
+        """)
+        assert found == []
+
 
 class TestTree:
     def test_repo_tree_is_clean(self):
@@ -124,6 +198,28 @@ class TestTree:
         src.mkdir(parents=True)
         (src / "bad.py").write_text("def f(x, cache=[]):\n    return cache\n")
         assert len(lint_tree(root=tmp_path)) == 1
+        (tmp_path / "lint-src-allowlist.txt").write_text(
+            "src/repro/bad.py::mutable-default-arg  # test fixture\n"
+        )
+        assert lint_tree(root=tmp_path) == []
+
+    def test_stale_allowlist_entry_warns(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "fine.py").write_text("def f(x):\n    return x\n")
+        (tmp_path / "lint-src-allowlist.txt").write_text(
+            "src/repro/fine.py::wall-clock  # no longer true\n"
+        )
+        findings = lint_tree(root=tmp_path)
+        assert [(f.code, f.severity.name) for f in findings] == [
+            ("stale-allowlist", "WARNING")
+        ]
+        assert "src/repro/fine.py::wall-clock" in findings[0].message
+
+    def test_live_allowlist_entry_does_not_warn(self, tmp_path):
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "bad.py").write_text("def f(x, cache=[]):\n    return cache\n")
         (tmp_path / "lint-src-allowlist.txt").write_text(
             "src/repro/bad.py::mutable-default-arg  # test fixture\n"
         )
