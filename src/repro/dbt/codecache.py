@@ -72,12 +72,16 @@ class L1CodeCache:
         self._bytes_used = 0
         self._chains: Set[Tuple[int, int]] = set()
         self.stats = StatSet("l1_code_cache")
+        # lookup() runs once per executed block — cache the two counters
+        # it touches instead of paying a dict probe per bump
+        self._accesses = self.stats.counter("accesses")
+        self._hits = self.stats.counter("hits")
 
     def lookup(self, pc: int) -> Optional[TranslatedBlock]:
         block = self._resident.get(pc)
-        self.stats.bump("accesses")
+        self._accesses.value += 1
         if block is not None:
-            self.stats.bump("hits")
+            self._hits.value += 1
         return block
 
     def insert(self, block: TranslatedBlock) -> bool:

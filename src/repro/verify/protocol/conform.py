@@ -239,6 +239,25 @@ class ConformanceChecker:
                 event, index,
             )
             self._in_trace = False
+        elif event.name == "trace_install":
+            # trace JIT compiled (or adopted) a superblock closure
+            blocks = args.get("blocks")
+            self._check(
+                isinstance(blocks, int) and blocks >= 1,
+                "jit-empty-trace-install",
+                f"trace_install with blocks={blocks!r}",
+                event, index,
+            )
+        elif event.name == "trace_deinstall":
+            # an installed trace's entry guard rejected (stale
+            # generation): it must have covered at least one block
+            blocks = args.get("blocks")
+            self._check(
+                isinstance(blocks, int) and blocks >= 1,
+                "jit-empty-trace-deinstall",
+                f"trace_deinstall with blocks={blocks!r}",
+                event, index,
+            )
         else:
             self._violate("jit-unknown-event", f"unknown jit event {event.name!r}", event, index)
 
@@ -399,14 +418,18 @@ def audit_vm(vm) -> List[Finding]:
     """Structural protocol audits over a live :class:`TimingVM`.
 
     Covers what the event stream cannot see: the chained-dispatch table
-    (stale links, threshold discipline), the block JIT's internal maps,
-    and the translation cache's generation keys.
+    (stale links, threshold discipline), the block JIT's and trace
+    JIT's internal maps, and the translation cache's generation keys.
     """
     findings: List[Finding] = list(vm.check_chain_invariants())
 
     jit = getattr(vm.interp, "_jit", None)
     if jit is not None:
         findings.extend(jit.check_consistency())
+
+    tracejit = getattr(vm, "_tracejit", None)
+    if tracejit is not None:
+        findings.extend(tracejit.check_consistency())
 
     translator = vm.subsystem.translator
     audit = getattr(translator, "audit", None)

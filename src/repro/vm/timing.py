@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 from repro.common.stats import StatSet
 from repro.guest.blockjit import jit_enabled_by_env
+from repro.guest.tracejit import TraceJit, trace_jit_enabled_by_env
 from repro.guest.interpreter import AccessObserver, GuestInterpreter
 from repro.guest.program import GuestProgram
 from repro.dbt.block import pages_spanned
@@ -52,6 +53,22 @@ METRICS_SAMPLE_INTERVAL_BLOCKS = 32
 #: the dispatch loop chains the two closures (the indirect-exit inline
 #: cache; statically known successors chain on first contact).
 CHAIN_STREAK_THRESHOLD = 4
+
+#: Environment override for :data:`CHAIN_STREAK_THRESHOLD` (per-VM, read
+#: at construction — the trace tier inherits the chains it shapes).
+CHAIN_STREAK_ENV = "REPRO_CHAIN_STREAK"
+
+
+def chain_streak_from_env() -> int:
+    """The chain streak threshold, honouring :data:`CHAIN_STREAK_ENV`."""
+    import os
+
+    raw = os.environ.get(CHAIN_STREAK_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return CHAIN_STREAK_THRESHOLD
+    return max(1, value)
 
 
 class _TimingObserver(AccessObserver):
@@ -165,6 +182,7 @@ class TimingVM:
         translation_cache=None,
         program_key=None,
         jit: Optional[bool] = None,
+        trace_jit: Optional[bool] = None,
         checked: Optional[str] = None,
     ) -> None:
         if checked not in (None, False, "protocol"):
@@ -278,19 +296,38 @@ class TimingVM:
         self.jit_enabled = jit if jit is not None else jit_enabled_by_env()
         self.jit_metrics = MetricsRegistry("blockjit")
         self._chain_links: Dict[int, list] = {}
+        #: Chain streak threshold, overridable via REPRO_CHAIN_STREAK.
+        self.chain_streak = chain_streak_from_env()
+        #: Trace tier above chaining: hot chains compile to single
+        #: closures (repro.guest.tracejit).  Like the block JIT, a pure
+        #: simulation accelerator — results are bit-identical on or off.
+        self._tracejit: Optional[TraceJit] = None
         if self.jit_enabled:
             shared = None
+            shared_traces = None
             if translation_cache is not None and self._text_end > self._text_start:
-                shared = translation_cache.jit_space(
-                    program_key if program_key is not None else program.name
-                )
+                space_key = program_key if program_key is not None else program.name
+                shared = translation_cache.jit_space(space_key)
+                shared_traces = translation_cache.trace_space(space_key)
             engine = self.interp.enable_jit(
                 shared_space=shared,
                 generation=lambda: self.code_writes,
                 share_range=(self._text_start, self._text_end),
                 metrics=self.jit_metrics,
             )
-            engine.on_invalidate = self._chain_links.clear
+            engine.on_invalidate = self._on_jit_invalidate
+            trace_on = trace_jit if trace_jit is not None else trace_jit_enabled_by_env()
+            if trace_on:
+                self._tracejit = TraceJit(
+                    self.interp,
+                    engine,
+                    generation=lambda: self.code_writes,
+                    shared_space=shared_traces,
+                    metrics=self.jit_metrics,
+                    metrics_interval=METRICS_SAMPLE_INTERVAL_BLOCKS,
+                )
+                self._tracejit.on_install = self._on_trace_install
+                self._tracejit.on_deinstall = self._on_trace_deinstall
 
         self.morph: Optional[MorphController] = None
         if config.morphing:
@@ -313,6 +350,29 @@ class TimingVM:
 
     def _read_code(self, address: int, length: int) -> bytes:
         return self.interp.memory.read_bytes(address, length)
+
+    def _on_jit_invalidate(self) -> None:
+        """Self-modifying write invalidated compiled code: chained
+        dispatch state and installed traces reference stale closures
+        and must be dropped in the same breath (both cleared in place —
+        the fast loop aliases the dicts)."""
+        self._chain_links.clear()
+        if self._tracejit is not None:
+            self._tracejit.invalidate()
+
+    def _on_trace_install(self, trace) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.now, "jit", "trace_install", "execution",
+                pc=trace.head, blocks=trace.blocks, loop=trace.loop,
+            )
+
+    def _on_trace_deinstall(self, head: int, blocks: int) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(
+                self.now, "jit", "trace_deinstall", "execution",
+                pc=head, blocks=blocks,
+            )
 
     # -- the runtime-execution tile's main loop ------------------------------
 
@@ -469,6 +529,13 @@ class TimingVM:
         jit_code = interp._jit_code
         jit_blocks = jit.blocks if jit is not None else {}
         links = self._chain_links
+        streak_threshold = self.chain_streak
+        tracejit = self._tracejit
+        traces = tracejit.traces if tracejit is not None else None
+        trace_heat = tracejit.heat if tracejit is not None else None
+        trace_threshold = tracejit.threshold if tracejit is not None else 0
+        jm_bump = self.jit_metrics.bump
+        jm_observe = self.jit_metrics.observe
         bump = self.stats.bump
         fetch_keys = self._fetch_stat_keys
         pages_registered = self._pages_registered
@@ -493,6 +560,59 @@ class TimingVM:
         trace_len = 0
 
         while interp.exit_code is None:
+            if traces is not None:
+                trace_fn = traces.get(pc)
+                if trace_fn is not None:
+                    # trace tier: one closure runs the whole superblock
+                    # (fetches, stats, timing, morph, metrics samples and
+                    # SMC checks included) and reports where it side-
+                    # exited; on an entry-guard rejection (None) the
+                    # trace is stale and de-installs.
+                    if trace_len == 0 and tracer.enabled:
+                        tracer.emit(
+                            self.now, "jit", "trace_enter", "execution", pc=pc
+                        )
+                    if profiling:
+                        prof_enter("jit.run")
+                    tres = trace_fn(
+                        self, interp, executed_total,
+                        max_guest_instructions, prev_pc, arrived_indirect,
+                    )
+                    if profiling:
+                        prof_exit()
+                    if tres is None:
+                        tracejit.deinstall(pc)
+                    else:
+                        blocks_run, executed_total, npc, t_prev, t_ai, \
+                            t_kind, t_reason = tres
+                        trace_len += blocks_run
+                        jm_bump("trace.exit_" + t_reason)
+                        jm_observe(
+                            "trace.length", blocks_run, CHAIN_LENGTH_BUCKETS
+                        )
+                        prev_entry = None
+                        epoch = jit.epoch
+                        prev_pc = t_prev
+                        pc = npc
+                        arrived_indirect = t_ai
+                        exit_kind = t_kind
+                        if t_reason == "smc" and trace_len:
+                            self._close_trace(trace_len, t_prev, "smc")
+                            trace_len = 0
+                        if (
+                            interp.exit_code is None
+                            and executed_total > max_guest_instructions
+                        ):
+                            self._pc = pc
+                            self._prev_pc = prev_pc
+                            self._arrived_indirect = arrived_indirect
+                            self._executed_instructions = executed_total
+                            self.last_exit_kind = exit_kind
+                            raise RuntimeError(
+                                f"workload exceeded {max_guest_instructions}"
+                                " guest instructions"
+                            )
+                        continue
             lookup = fetch(self.now, pc, prev_pc, arrived_indirect)
             self.now = lookup.ready_time
             block = lookup.block
@@ -532,9 +652,23 @@ class TimingVM:
                             )
                             entry = links[pc] = [
                                 fn, count, succ,
-                                CHAIN_STREAK_THRESHOLD if succ is not None else 0,
+                                streak_threshold if succ is not None else 0,
                                 None,
                             ]
+                if (
+                    trace_heat is not None
+                    and entry is not None
+                    and entry[4] is not None
+                ):
+                    # chained arrival at a head whose successor is
+                    # itself chained: the candidate population traces
+                    # are selected from
+                    heat = trace_heat.get(pc, 0) + 1
+                    if heat >= trace_threshold:
+                        trace_heat[pc] = 0
+                        tracejit.consider(pc, links)
+                    else:
+                        trace_heat[pc] = heat
 
             self.pending_stall = 0
             if entry is not None:
@@ -606,7 +740,7 @@ class TimingVM:
                 if entry[2] == npc:
                     streak = entry[3] + 1
                     entry[3] = streak
-                    if entry[4] is None and streak >= CHAIN_STREAK_THRESHOLD:
+                    if entry[4] is None and streak >= streak_threshold:
                         nxt = links.get(npc)
                         if nxt is not None:
                             entry[4] = nxt
@@ -665,7 +799,7 @@ class TimingVM:
             return []
         return check_chain_links(
             self._chain_links, jit.code, jit.blocks,
-            threshold=CHAIN_STREAK_THRESHOLD,
+            threshold=self.chain_streak,
         )
 
     def result(self) -> TimingRunResult:
@@ -744,6 +878,7 @@ def run_timing(
     translation_cache=None,
     program_key=None,
     jit: Optional[bool] = None,
+    trace_jit: Optional[bool] = None,
     checked: Optional[str] = None,
 ) -> TimingRunResult:
     """Convenience wrapper: build a :class:`TimingVM` and run it.
@@ -762,5 +897,5 @@ def run_timing(
     return TimingVM(
         program, config, stdin=stdin, tracer=tracer,
         translation_cache=translation_cache, program_key=program_key,
-        jit=jit, checked=checked,
+        jit=jit, trace_jit=trace_jit, checked=checked,
     ).run()

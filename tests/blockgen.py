@@ -231,3 +231,110 @@ def random_jit_program(seed: int, length: int = 12) -> str:
     if terminator == "jcc":
         return render_program(body, rng.choice(JCC))
     return render_jit_program(body, terminator)
+
+
+# -- trace-JIT-biased profile ----------------------------------------------
+#
+# The trace JIT compiles whole hot *paths*, so its differential tests
+# need multi-block loops whose successions are stable enough to chain
+# and trace: a counted loop over several blocks joined by direct jumps,
+# stable computed jumps (``mov esi, label; jmp esi`` — an indirect
+# terminator whose target never changes), and optionally a one-shot
+# self-modifying patch into the loop's own code page mid-run (the SMC
+# side-exit and re-formation path).  ``ecx`` (loop counter) and ``esi``
+# (computed-jump target) are reserved; bodies draw from the rest.
+
+_TRACE_BODY_REGS = ("eax", "ebx", "edx", "edi")
+
+
+def _one_trace_instruction(rng: random.Random, lines: List[str]) -> None:
+    dst = rng.choice(_TRACE_BODY_REGS)
+    src = rng.choice(_TRACE_BODY_REGS)
+    kind = rng.randrange(8)
+    if kind == 0:
+        lines.append(f"    mov {dst}, {_imm(rng)}")
+    elif kind == 1:
+        lines.append(f"    mov {dst}, {src}")
+    elif kind == 2:
+        # imul included deliberately: its emitter burns the most helper
+        # temporaries, the class of names a trace header local could
+        # collide with (register form only — no immediate encoding)
+        op = rng.choice(ALU + ("imul",))
+        rhs = src if op == "imul" else (
+            str(_imm(rng)) if rng.random() < 0.4 else src
+        )
+        lines.append(f"    {op} {dst}, {rhs}")
+    elif kind == 3:
+        lines.append(f"    {rng.choice(SHIFTS)} {dst}, {rng.randrange(0, 32)}")
+    elif kind == 4:
+        lines.append(f"    {rng.choice(('inc', 'dec', 'neg', 'not'))} {dst}")
+    elif kind == 5:
+        lines.append(f"    {rng.choice(SETCC)} {dst}")
+    elif kind == 6:
+        scale = rng.choice((1, 2, 4))
+        lines.append(f"    lea {dst}, [{src} + {dst}*{scale} + {rng.randrange(64)}]")
+    else:
+        mask = (BUF_BYTES - 4) & ~3
+        lines.append(f"    and {src}, {mask:#x}")
+        if rng.random() < 0.5:
+            lines.append(f"    mov {dst}, [buf + {src}]")
+        else:
+            lines.append(f"    mov [buf + {src}], {dst}")
+
+
+def random_trace_program(
+    seed: int,
+    iterations: int = 40,
+    body_length: int = 3,
+) -> str:
+    """A multi-block counted loop for the trace-JIT differential tests.
+
+    Each generated program terminates (the loop is counter-driven and
+    the patch never touches the loop control), runs its body hot enough
+    for chains and traces to form at the default thresholds, and mixes
+    in the trace-specific hazards at random: a stable computed jump, a
+    conditional interior branch, and a mid-run self-modifying store
+    into a code page the loop itself spans.
+    """
+    rng = random.Random(seed)
+    blocks = rng.randrange(2, 5)
+    computed_at = rng.randrange(blocks - 1) if rng.random() < 0.5 else None
+    patch = rng.random() < 0.5
+    interior_jcc = rng.random() < 0.4
+
+    lines = ["_start:", f"    mov ecx, {iterations}", "head:"]
+    # fixed patch anchor: `mov eax, 5` whose immediate byte sits at
+    # [head + 2] once the counter init is behind us (same idiom as the
+    # self-patching fast-path test)
+    lines.append("    mov eax, 5")
+    for j in range(blocks):
+        for _ in range(rng.randrange(1, body_length + 1)):
+            _one_trace_instruction(rng, lines)
+        if j < blocks - 1:
+            if interior_jcc and j == 0:
+                # a conditional that settles: taken the same way every
+                # iteration after the first few, so the chain stays hot
+                lines.append(f"    cmp ecx, {iterations + 1}")
+                lines.append(f"    {rng.choice(('jb', 'jne', 'jl'))} b{j + 1}")
+                lines.append("    add edi, 3")
+            if computed_at == j:
+                lines.append(f"    mov esi, b{j + 1}")
+                lines.append("    jmp esi")
+            else:
+                lines.append(f"    jmp b{j + 1}")
+            lines.append(f"b{j + 1}:")
+    if patch:
+        lines.append(f"    cmp ecx, {iterations // 2}")
+        lines.append("    jne nopatch")
+        lines.append("    movb [head + 2], 9")
+        lines.append("nopatch:")
+    lines += [
+        "    sub ecx, 1",
+        "    jnz head",
+        "    mov eax, 1",
+        "    and ebx, 255",
+        "    int 0x80",
+        ".data",
+        f"buf: dz {BUF_BYTES}",
+    ]
+    return "\n".join(lines) + "\n"
